@@ -1,0 +1,204 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index) and runs
+   bechamel micro-benchmarks of the toolchain itself.
+
+     dune exec bench/main.exe                 # full report (E1-E5)
+     dune exec bench/main.exe -- fig10        # one artefact
+     dune exec bench/main.exe -- ablation     # E6/E7/E10 + cost sensitivity
+     dune exec bench/main.exe -- allsites     # E8
+     dune exec bench/main.exe -- peephole     # E9
+     dune exec bench/main.exe -- multibit     # E11
+     dune exec bench/main.exe -- selective    # E12
+     dune exec bench/main.exe -- micro        # bechamel micro-benches
+     dune exec bench/main.exe -- all --samples 1000 --csv out.csv  # paper-scale
+
+   The default sample count (400 per configuration) keeps the default
+   run under a couple of minutes; the paper used 1000. *)
+
+module R = Ferrum_report
+module Experiments = R.Experiments
+module Render = R.Render
+module Ablation = R.Ablation
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
+    \                 ablation|allsites|multibit|peephole|selective|micro|\n\
+    \                 all]\n\
+    \                [--samples N] [--seed N] [--csv PATH]";
+  exit 2
+
+type cmd =
+  | Table1 | Table2 | Fig10 | Fig11 | Exectime | Outcomes | Summary
+  | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | Micro | All
+  | Default
+
+let parse_args () =
+  let cmd = ref Default in
+  let samples = ref 400 in
+  let seed = ref 2024L in
+  let csv = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--samples" :: n :: rest ->
+      samples := int_of_string n;
+      go rest
+    | "--seed" :: n :: rest ->
+      seed := Int64.of_string n;
+      go rest
+    | "--csv" :: path :: rest ->
+      csv := Some path;
+      go rest
+    | arg :: rest ->
+      (cmd :=
+         match arg with
+         | "table1" -> Table1
+         | "table2" -> Table2
+         | "fig10" -> Fig10
+         | "fig11" -> Fig11
+         | "exectime" -> Exectime
+         | "outcomes" -> Outcomes
+         | "summary" -> Summary
+         | "ablation" -> AblationCmd
+         | "allsites" -> Allsites
+         | "multibit" -> Multibit
+         | "peephole" -> PeepholeCmd
+         | "selective" -> Selective
+         | "micro" -> Micro
+         | "all" -> All
+         | _ -> usage ());
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!cmd, !samples, !seed, !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the toolchain.                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let entry = List.hd Ferrum_workloads.Catalog.all in
+  let m = entry.build () in
+  let raw = Ferrum_eddi.Pipeline.raw m in
+  let ferrum =
+    Ferrum_eddi.Pipeline.protect Ferrum_eddi.Technique.Ferrum m
+  in
+  let raw_img = Ferrum_machine.Machine.load raw.program in
+  let ferrum_img = Ferrum_machine.Machine.load ferrum.program in
+  let tests =
+    [
+      Test.make ~name:"backend.compile"
+        (Staged.stage (fun () -> Ferrum_eddi.Pipeline.raw m));
+      Test.make ~name:"pass.ir-eddi"
+        (Staged.stage (fun () -> Ferrum_eddi.Ir_eddi.protect m));
+      Test.make ~name:"pass.hybrid"
+        (Staged.stage (fun () -> Ferrum_eddi.Hybrid.protect m));
+      Test.make ~name:"pass.ferrum"
+        (Staged.stage (fun () ->
+             Ferrum_eddi.Ferrum_pass.protect raw.program));
+      Test.make ~name:"simulate.raw"
+        (Staged.stage (fun () -> Ferrum_machine.Machine.golden raw_img));
+      Test.make ~name:"simulate.ferrum"
+        (Staged.stage (fun () -> Ferrum_machine.Machine.golden ferrum_img));
+      Test.make ~name:"inject.one-fault"
+        (Staged.stage
+           (let target = Ferrum_faultsim.Faultsim.prepare ferrum_img in
+            let rng = Ferrum_faultsim.Rng.create ~seed:5L in
+            fun () ->
+              Ferrum_faultsim.Faultsim.inject target rng
+                ~dyn_index:(target.eligible_steps / 2)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Fmt.pr "Micro-benchmarks (bechamel; %s workload, ns per run)@."
+    entry.name;
+  let grouped = Test.make_grouped ~name:"ferrum" ~fmt:"%s %s" tests in
+  let results = benchmark grouped in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ t ] -> Fmt.pr "  %-24s %12.1f ns/run@." name t
+          | _ -> Fmt.pr "  %-24s (no estimate)@." name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cmd, samples, seed, csv = parse_args () in
+  let options perf_only =
+    { Experiments.default_options with
+      samples = (if perf_only then 0 else samples);
+      seed }
+  in
+  let run ?(perf_only = false) () =
+    Experiments.run ~options:(options perf_only) ()
+  in
+  let maybe_csv results =
+    match csv with
+    | Some path ->
+      Ferrum_report.Export.write_csv path results;
+      Fmt.pr "(wrote %s)@." path
+    | None -> ()
+  in
+  let print_all ~with_outcomes () =
+    let results = run () in
+    maybe_csv results;
+    print_endline (Render.table1 ());
+    print_newline ();
+    print_endline (Render.table2 results);
+    print_newline ();
+    print_endline (Render.fig10 results);
+    print_endline (Render.fig11 results);
+    print_endline (Render.exec_time results);
+    if with_outcomes then begin
+      print_newline ();
+      print_endline (Render.outcome_table results)
+    end;
+    print_newline ();
+    print_endline (Render.summary results)
+  in
+  match cmd with
+  | Default -> print_all ~with_outcomes:false ()
+  | All ->
+    print_all ~with_outcomes:true ();
+    print_newline ();
+    print_endline (Ablation.render (Ablation.run ~samples:(samples / 2) ()));
+    print_newline ();
+    print_endline (Ablation.all_sites ~samples:(samples / 2) ());
+    print_newline ();
+    print_endline (Ablation.multibit ~samples:(samples / 2) ());
+    print_newline ();
+    print_endline (Ablation.optimized_backend ~samples:(samples / 2) ());
+    print_newline ();
+    print_endline (R.Selective.render ~samples:(samples / 2) ());
+    print_newline ();
+    micro ()
+  | Table1 -> print_endline (Render.table1 ())
+  | Table2 -> print_endline (Render.table2 (run ~perf_only:true ()))
+  | Fig10 -> print_endline (Render.fig10 (run ()))
+  | Fig11 -> print_endline (Render.fig11 (run ~perf_only:true ()))
+  | Exectime -> print_endline (Render.exec_time (run ~perf_only:true ()))
+  | Outcomes -> print_endline (Render.outcome_table (run ()))
+  | Summary -> print_endline (Render.summary (run ()))
+  | AblationCmd ->
+    print_endline (Ablation.render (Ablation.run ~samples ()))
+  | Allsites -> print_endline (Ablation.all_sites ~samples ())
+  | Multibit -> print_endline (Ablation.multibit ~samples ())
+  | PeepholeCmd -> print_endline (Ablation.optimized_backend ~samples ())
+  | Selective -> print_endline (R.Selective.render ~samples ())
+  | Micro -> micro ()

@@ -1,0 +1,409 @@
+(* ferrum — command-line front end for the toolchain.
+
+   Subcommands:
+     list                      benchmark catalogue (paper Table II)
+     ir BENCH                  print the mini-IR of a benchmark
+     compile BENCH [-p TECH]   print (protected) assembly
+     run BENCH [-p TECH]       simulate and report output/cycles
+     inject BENCH [-p TECH]    run a fault-injection campaign
+     report [ARTEFACT]         regenerate the paper's tables/figures *)
+
+module Machine = Ferrum_machine.Machine
+module F = Ferrum_faultsim.Faultsim
+module Technique = Ferrum_eddi.Technique
+module Pipeline = Ferrum_eddi.Pipeline
+module Catalog = Ferrum_workloads.Catalog
+open Cmdliner
+
+let find_bench name =
+  match Catalog.find name with
+  | Some e -> e
+  | None ->
+    Fmt.epr "unknown benchmark %S; try: %s@." name
+      (String.concat ", " Catalog.names);
+    exit 1
+
+let technique_conv =
+  let parse s =
+    match Technique.of_short_name s with
+    | Some t -> Ok t
+    | None -> Error (`Msg "expected ir-eddi, hybrid or ferrum")
+  in
+  let print ppf t = Fmt.string ppf (Technique.short_name t) in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  let doc = "Benchmark name (see `ferrum list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let protect_arg =
+  let doc = "Protection technique: ir-eddi, hybrid or ferrum." in
+  Arg.(value & opt (some technique_conv) None & info [ "p"; "protect" ] ~doc)
+
+let samples_arg =
+  let doc = "Number of fault injections to sample." in
+  Arg.(value & opt int 400 & info [ "samples" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; campaigns are bit-reproducible for a given seed." in
+  Arg.(value & opt int64 2024L & info [ "seed" ] ~doc)
+
+let all_sites_arg =
+  let doc =
+    "Also inject into duplicated/checker/instrumentation instructions \
+     (DESIGN.md experiment E8)."
+  in
+  Arg.(value & flag & info [ "all-sites" ] ~doc)
+
+let fault_bits_arg =
+  let doc = "Bits flipped per fault (>1 reproduces multi-bit upsets, E11)." in
+  Arg.(value & opt int 1 & info [ "fault-bits" ] ~doc)
+
+let optimize_arg =
+  let doc = "Run the backend peephole optimiser before protection (E9)." in
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
+
+let no_simd_arg =
+  let doc = "Disable FERRUM's SIMD batching (E6 ablation)." in
+  Arg.(value & flag & info [ "no-simd" ] ~doc)
+
+let zmm_arg =
+  let doc = "Batch eight results through ZMM registers (E10 extension)." in
+  Arg.(value & flag & info [ "zmm" ] ~doc)
+
+let liveness_arg =
+  let doc =
+    "Under register pressure, clobber liveness-proven dead registers \
+     instead of push/pop requisition (paper SIII-B2)."
+  in
+  Arg.(value & flag & info [ "liveness" ] ~doc)
+
+let spares_arg =
+  let doc =
+    "Cap the spare general-purpose registers FERRUM may use (E7: forces \
+     stack-level requisition, paper Fig. 7)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-spares" ] ~doc)
+
+type knobs = {
+  optimize : bool;
+  ferrum_config : Ferrum_eddi.Ferrum_pass.config;
+}
+
+let knobs_term =
+  let make optimize no_simd zmm liveness max_spares =
+    {
+      optimize;
+      ferrum_config =
+        {
+          Ferrum_eddi.Ferrum_pass.use_simd = not no_simd;
+          use_zmm = zmm;
+          use_liveness = liveness;
+          select = None;
+          max_spare_gprs = max_spares;
+          max_spare_simd = None;
+        };
+    }
+  in
+  Term.(
+    const make $ optimize_arg $ no_simd_arg $ zmm_arg $ liveness_arg
+    $ spares_arg)
+
+let program_of ?technique knobs entry =
+  let m = entry.Catalog.build () in
+  match technique with
+  | None -> (Pipeline.raw ~optimize:knobs.optimize m).program
+  | Some t ->
+    (Pipeline.protect ~ferrum_config:knobs.ferrum_config
+       ~optimize:knobs.optimize t m)
+      .program
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Catalog.entry) ->
+        Fmt.pr "%-16s %-8s %s@." e.name e.suite e.domain)
+      Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark catalogue (Table II).")
+    Term.(const run $ const ())
+
+(* ---- ir ---- *)
+
+let ir_cmd =
+  let run bench =
+    let e = find_bench bench in
+    print_string (Ferrum_ir.Ir.to_string (e.build ()))
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Print the mini-IR of a benchmark.")
+    Term.(const run $ bench_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run bench technique knobs =
+    let p = program_of ?technique knobs (find_bench bench) in
+    print_string (Ferrum_asm.Printer.program_to_string p)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a benchmark to AT&T-syntax assembly, optionally protected.")
+    Term.(const run $ bench_arg $ protect_arg $ knobs_term)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run bench technique knobs =
+    let p = program_of ?technique knobs (find_bench bench) in
+    let img = Machine.load p in
+    let outcome, st = Machine.run_fresh img in
+    Fmt.pr "outcome: %a@." Machine.pp_outcome outcome;
+    Fmt.pr "dynamic instructions: %d@." st.Machine.steps;
+    Fmt.pr "model cycles: %.0f@." st.Machine.cycles;
+    Fmt.pr "static instructions: %d@." (Ferrum_asm.Prog.num_instructions p);
+    match outcome with Machine.Exit _ -> () | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a (optionally protected) benchmark.")
+    Term.(const run $ bench_arg $ protect_arg $ knobs_term)
+
+(* ---- inject ---- *)
+
+let inject_cmd =
+  let run bench technique knobs samples seed all_sites fault_bits verbose =
+    let p = program_of ?technique knobs (find_bench bench) in
+    let img = Machine.load p in
+    let scope = if all_sites then F.All_sites else F.Original_only in
+    let res = F.campaign ~scope ~seed ~samples ~fault_bits img in
+    Fmt.pr "%a@." F.pp_counts res.F.counts;
+    Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
+      (F.sdc_probability res.F.counts)
+      (F.confidence95 res.F.counts);
+    if verbose then
+      List.iter
+        (fun (cls, (f : F.fault)) ->
+          Fmt.pr "  %-8s dyn=%-8d %s bit=%d@." (F.classification_name cls)
+            f.F.dyn_index f.F.dest_desc f.F.bit)
+        (List.rev res.F.faults)
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every fault.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Fault-injection campaign: single bit flips in destination \
+          registers of sampled dynamic instructions.")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ verbose_arg)
+
+(* ---- trace: annotated execution trace ---- *)
+
+let trace_cmd =
+  let run bench technique knobs limit skip =
+    let p = program_of ?technique knobs (find_bench bench) in
+    let img = Machine.load p in
+    let printed = ref 0 and seen = ref 0 in
+    let on_step (st : Machine.state) idx =
+      incr seen;
+      if !seen > skip && !printed < limit then begin
+        incr printed;
+        let ins = img.Machine.code.(idx) in
+        let dests =
+          List.filter_map
+            (function
+              | Ferrum_asm.Instr.Dgpr (r, _) ->
+                Some
+                  (Fmt.str "%s=%Ld"
+                     (Ferrum_asm.Reg.gpr_name r Ferrum_asm.Reg.Q)
+                     st.Machine.gpr.(Ferrum_asm.Reg.gpr_index r))
+              | Ferrum_asm.Instr.Dflags _ ->
+                Some
+                  (Fmt.str "zf=%b sf=%b" st.Machine.zf st.Machine.sf)
+              | Ferrum_asm.Instr.Dsimd (x, lanes) ->
+                Some
+                  (Fmt.str "xmm%d[%d]=%Ld" x (List.hd lanes)
+                     st.Machine.simd.((x * 8) + List.hd lanes)))
+            img.Machine.dests.(idx)
+        in
+        Fmt.pr "%8d  %-40s %s@." !seen
+          (Ferrum_asm.Printer.string_of_instr ins.Ferrum_asm.Instr.op)
+          (String.concat "  " dests)
+      end
+    in
+    let outcome, st = Machine.run_fresh ~on_step img in
+    Fmt.pr "... %a after %d instructions@." Machine.pp_outcome outcome
+      st.Machine.steps
+  in
+  let limit_arg =
+    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"Instructions to print.")
+  in
+  let skip_arg =
+    Arg.(value & opt int 0 & info [ "skip" ] ~doc:"Instructions to skip first.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Print an annotated execution trace (each retired instruction \
+          with the values it wrote).")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ limit_arg $ skip_arg)
+
+(* ---- check: parse/validate/run assembly text ---- *)
+
+let check_cmd =
+  let run file execute =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Ferrum_asm.Parser.program text with
+    | exception Ferrum_asm.Parser.Parse_error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 1
+    | p -> (
+      match Ferrum_asm.Prog.validate p with
+      | exception Ferrum_asm.Prog.Ill_formed msg ->
+        Fmt.epr "%s: ill-formed: %s@." file msg;
+        exit 1
+      | () ->
+        let stats = Ferrum_asm.Stats.of_program p in
+        Fmt.pr "%s: ok@.%a" file Ferrum_asm.Stats.pp stats;
+        if execute then begin
+          let outcome, st = Machine.run_fresh (Machine.load p) in
+          Fmt.pr "outcome: %a (%d instructions, %.0f cycles)@."
+            Machine.pp_outcome outcome st.Machine.steps st.Machine.cycles;
+          match outcome with Machine.Exit _ -> () | _ -> exit 1
+        end)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Assembly text in the dialect printed by `compile'.")
+  in
+  let exec_arg =
+    Arg.(value & flag & info [ "run" ] ~doc:"Also simulate the program.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Parse and validate an assembly file (as printed by `compile'), \
+          report its composition, and optionally simulate it.")
+    Term.(const run $ file_arg $ exec_arg)
+
+(* ---- stats: transform statistics ---- *)
+
+let stats_cmd =
+  let run bench knobs =
+    let e = find_bench bench in
+    let m = e.Catalog.build () in
+    let raw = (Pipeline.raw ~optimize:knobs.optimize m).program in
+    let p, fstats =
+      Ferrum_eddi.Ferrum_pass.protect ~config:knobs.ferrum_config raw
+    in
+    let sraw = Ferrum_asm.Stats.of_program raw in
+    let sprot = Ferrum_asm.Stats.of_program p in
+    Fmt.pr "raw:@.%a@.ferrum:@.%a@." Ferrum_asm.Stats.pp sraw
+      Ferrum_asm.Stats.pp sprot;
+    Fmt.pr "static expansion: %.2fx@."
+      (Ferrum_asm.Stats.expansion ~baseline:sraw ~protected_:sprot);
+    Fmt.pr "transform: %a@." Ferrum_eddi.Ferrum_pass.pp_stats fstats
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Static composition and FERRUM transform statistics for a \
+             benchmark.")
+    Term.(const run $ bench_arg $ knobs_term)
+
+(* ---- cc: the C-lite frontend ---- *)
+
+let cc_cmd =
+  let run file technique knobs emit samples seed fault_bits =
+    let m =
+      try Ferrum_clite.Clite.compile_file file
+      with Ferrum_clite.Clite.Error msg ->
+        Fmt.epr "%s: %s@." file msg;
+        exit 1
+    in
+    let program () =
+      match technique with
+      | None -> (Pipeline.raw ~optimize:knobs.optimize m).program
+      | Some t ->
+        (Pipeline.protect ~ferrum_config:knobs.ferrum_config
+           ~optimize:knobs.optimize t m)
+          .program
+    in
+    match emit with
+    | "ir" -> print_string (Ferrum_ir.Ir.to_string m)
+    | "asm" -> print_string (Ferrum_asm.Printer.program_to_string (program ()))
+    | "run" ->
+      let img = Machine.load (program ()) in
+      let outcome, st = Machine.run_fresh img in
+      Fmt.pr "outcome: %a@." Machine.pp_outcome outcome;
+      Fmt.pr "dynamic instructions: %d@." st.Machine.steps;
+      Fmt.pr "model cycles: %.0f@." st.Machine.cycles;
+      (match outcome with Machine.Exit _ -> () | _ -> exit 1)
+    | "inject" ->
+      let img = Machine.load (program ()) in
+      let res = F.campaign ~seed ~samples ~fault_bits img in
+      Fmt.pr "%a@." F.pp_counts res.F.counts;
+      Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
+        (F.sdc_probability res.F.counts)
+        (F.confidence95 res.F.counts)
+    | other ->
+      Fmt.epr "unknown --emit %S (expected ir, asm, run or inject)@." other;
+      exit 2
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"C-lite source file (see examples/programs).")
+  in
+  let emit_arg =
+    Arg.(value & opt string "run"
+         & info [ "emit" ] ~doc:"What to do: ir, asm, run or inject.")
+  in
+  Cmd.v
+    (Cmd.info "cc"
+       ~doc:
+         "Compile a C-lite source file and print its IR or assembly, \
+          simulate it, or run a fault-injection campaign on it.")
+    Term.(
+      const run $ file_arg $ protect_arg $ knobs_term $ emit_arg
+      $ samples_arg $ seed_arg $ fault_bits_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run samples seed =
+    let options =
+      { Ferrum_report.Experiments.default_options with samples; seed }
+    in
+    let results = Ferrum_report.Experiments.run ~options () in
+    print_endline (Ferrum_report.Render.table1 ());
+    print_newline ();
+    print_endline (Ferrum_report.Render.table2 results);
+    print_newline ();
+    print_endline (Ferrum_report.Render.fig10 results);
+    print_endline (Ferrum_report.Render.fig11 results);
+    print_endline (Ferrum_report.Render.exec_time results);
+    print_newline ();
+    print_endline (Ferrum_report.Render.summary results)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate the paper's evaluation tables and figures.")
+    Term.(const run $ samples_arg $ seed_arg)
+
+let () =
+  let doc =
+    "FERRUM: assembly-level error detection by duplicated instructions \
+     with SIMD-batched checking (reproduction of He, Xu & Li, DSN 2024)."
+  in
+  let info = Cmd.info "ferrum" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
+            check_cmd; stats_cmd; trace_cmd; report_cmd ]))

@@ -1,0 +1,45 @@
+(* Development smoke driver: runs every workload through interpretation,
+   compilation and all three protections, reporting sizes and outputs. *)
+
+module Machine = Ferrum_machine.Machine
+
+let pp_out ppf l = Fmt.(list ~sep:(any " ") int64) ppf l
+
+let () =
+  List.iter
+    (fun (e : Ferrum_workloads.Catalog.entry) ->
+      let m = e.build () in
+      Ferrum_ir.Verify.run m;
+      let interp = Ferrum_ir.Interp.run m in
+      Fmt.pr "== %s ==@." e.name;
+      Fmt.pr "  interp: [%a] (%d steps)@." pp_out interp.output interp.steps;
+      let raw = Ferrum_eddi.Pipeline.raw m in
+      let img = Machine.load raw.program in
+      let g = Machine.golden img in
+      Fmt.pr "  raw:    %a  dyn=%d cycles=%.0f static=%d@."
+        Machine.pp_outcome g.outcome g.dyn_instructions g.cycles
+        (Ferrum_asm.Prog.num_instructions raw.program);
+      (match g.outcome with
+      | Machine.Exit out when out = interp.output -> ()
+      | _ -> Fmt.pr "  *** MISMATCH vs interpreter@.");
+      List.iter
+        (fun t ->
+          let r = Ferrum_eddi.Pipeline.protect t m in
+          let img = Machine.load r.program in
+          let g2 = Machine.golden img in
+          let ok =
+            match g2.outcome with
+            | Machine.Exit out -> out = interp.output
+            | _ -> false
+          in
+          Fmt.pr "  %-8s %s dyn=%d (x%.2f) cycles=%.0f (+%.0f%%) static=%d %.3fs@."
+            (Ferrum_eddi.Technique.short_name t)
+            (if ok then "ok " else Fmt.str "BAD %a" Machine.pp_outcome g2.outcome)
+            g2.dyn_instructions
+            (float_of_int g2.dyn_instructions /. float_of_int g.dyn_instructions)
+            g2.cycles
+            (100.0 *. (g2.cycles -. g.cycles) /. g.cycles)
+            (Ferrum_asm.Prog.num_instructions r.program)
+            r.transform_seconds)
+        Ferrum_eddi.Technique.all)
+    Ferrum_workloads.Catalog.all

@@ -1,0 +1,1 @@
+examples/asm_roundtrip.ml: Ferrum_asm Ferrum_eddi Ferrum_machine Ferrum_workloads Fmt List Parser Printer Prog String

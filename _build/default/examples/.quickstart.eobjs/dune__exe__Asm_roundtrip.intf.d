@@ -1,0 +1,1 @@
+examples/asm_roundtrip.mli:

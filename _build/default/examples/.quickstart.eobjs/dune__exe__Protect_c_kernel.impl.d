@@ -1,0 +1,1 @@
+examples/protect_c_kernel.ml: Array Ferrum_asm Ferrum_clite Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Ferrum_report Filename Fmt List Sys

@@ -1,0 +1,1 @@
+examples/protect_c_kernel.mli:

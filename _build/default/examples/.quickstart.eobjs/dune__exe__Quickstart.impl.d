@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ferrum_asm Ferrum_eddi Ferrum_ir Ferrum_machine Fmt List String

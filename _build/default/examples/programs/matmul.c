@@ -1,0 +1,45 @@
+// C-lite: fixed-point matrix multiply with a digest, in the style of
+// the Rodinia kernels.  Compiled by ferrum_clite, protected by FERRUM.
+
+long a[64];
+long b[64];
+long c[64];
+long rng;
+
+long next_rand() {
+  rng = rng * 6364136223846793005 + 1442695040888963407;
+  return (rng >> 33) & 0x7fffffff;
+}
+
+void init() {
+  rng = 42;
+  for (long i = 0; i < 64; i = i + 1) {
+    a[i] = next_rand() % 100;
+    b[i] = next_rand() % 100;
+    c[i] = 0;
+  }
+}
+
+void matmul(long n) {
+  for (long i = 0; i < n; i = i + 1) {
+    for (long j = 0; j < n; j = j + 1) {
+      long acc = 0;
+      for (long k = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void main() {
+  init();
+  matmul(8);
+  long digest = 0;
+  for (long i = 0; i < 64; i = i + 1) {
+    digest = digest ^ (c[i] + i * 31);
+  }
+  print(digest);
+  print(c[0]);
+  print(c[63]);
+}

@@ -1,0 +1,63 @@
+// C-lite: insertion sort + binary search, exercising nested control
+// flow, early exit (break) and short-circuit conditions.
+
+long data[48];
+long seed;
+
+long rand_step() {
+  seed = seed * 25214903917 + 11;
+  return (seed >> 16) & 0xffff;
+}
+
+void fill() {
+  seed = 7;
+  for (long i = 0; i < 48; i = i + 1) {
+    data[i] = rand_step();
+  }
+}
+
+void insertion_sort(long n) {
+  for (long i = 1; i < n; i = i + 1) {
+    long key = data[i];
+    long j = i - 1;
+    while (j >= 0 && data[j] > key) {
+      data[j + 1] = data[j];
+      j = j - 1;
+    }
+    data[j + 1] = key;
+  }
+}
+
+long binary_search(long n, long needle) {
+  long lo = 0;
+  long hi = n - 1;
+  while (lo <= hi) {
+    long mid = (lo + hi) / 2;
+    if (data[mid] == needle) {
+      return mid;
+    }
+    if (data[mid] < needle) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return 0 - 1;
+}
+
+void main() {
+  fill();
+  insertion_sort(48);
+  long sorted = 1;
+  for (long i = 1; i < 48; i = i + 1) {
+    if (data[i - 1] > data[i]) {
+      sorted = 0;
+      break;
+    }
+  }
+  print(sorted);
+  print(data[0]);
+  print(data[47]);
+  print(binary_search(48, data[17]));
+  print(binary_search(48, 0 - 5));
+}

@@ -1,0 +1,1 @@
+lib/asm/cond.ml: Fmt

@@ -1,0 +1,1 @@
+lib/asm/cond.mli: Format

@@ -1,0 +1,1 @@
+lib/asm/instr.ml: Cond List Reg

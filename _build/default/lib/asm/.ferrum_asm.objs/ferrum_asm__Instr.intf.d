@@ -1,0 +1,1 @@
+lib/asm/instr.mli: Cond Reg

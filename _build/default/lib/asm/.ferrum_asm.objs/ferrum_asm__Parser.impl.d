@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Buffer Cond Fmt Instr Int64 List Prog Reg String

@@ -1,0 +1,1 @@
+lib/asm/printer.ml: Cond Fmt Instr List Printf Prog Reg

@@ -1,0 +1,1 @@
+lib/asm/printer.mli: Format Instr Prog Reg

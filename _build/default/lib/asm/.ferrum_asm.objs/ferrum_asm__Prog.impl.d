@@ -1,0 +1,1 @@
+lib/asm/prog.ml: Fmt Instr List Set String

@@ -1,0 +1,1 @@
+lib/asm/prog.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/asm/reg.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/asm/reg.mli: Format

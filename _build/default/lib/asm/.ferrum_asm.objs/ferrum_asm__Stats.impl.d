@@ -1,0 +1,1 @@
+lib/asm/stats.ml: Fmt Hashtbl Instr List Option Prog

@@ -1,0 +1,1 @@
+lib/asm/stats.mli: Format Instr Prog

@@ -1,0 +1,119 @@
+(* Assembly program structure: labelled basic blocks grouped into
+   functions.  Control falls through from the end of one block to the
+   next block in list order unless the last instruction is a barrier
+   (unconditional jump or return), exactly as in real assembly text. *)
+
+type block = { label : string; insns : Instr.ins list }
+
+type func = { fname : string; blocks : block list }
+
+type t = { funcs : func list; entry : string }
+
+(* Label reached by checkers on a mismatch; the machine halts with
+   outcome [Detected] when control is transferred here (paper listings
+   use the same name). *)
+let exit_function_label = "exit_function"
+
+(* Builtin functions recognised by the machine (see Ferrum_machine):
+   [print_i64] appends %rdi to the observable program output and
+   [__ferrum_detect] halts with outcome [Detected]. *)
+let builtin_print = "print_i64"
+let builtin_detect = "__ferrum_detect"
+
+let block label insns = { label; insns }
+
+let func fname blocks = { fname; blocks }
+
+let program ?(entry = "main") funcs = { funcs; entry }
+
+let find_func t name = List.find_opt (fun f -> String.equal f.fname name) t.funcs
+
+let num_instructions_func f =
+  List.fold_left (fun acc b -> acc + List.length b.insns) 0 f.blocks
+
+(* Static instruction count of a whole program (paper §IV-B3 correlates
+   FERRUM's transform time with this number). *)
+let num_instructions t =
+  List.fold_left (fun acc f -> acc + num_instructions_func f) 0 t.funcs
+
+let map_funcs fn t = { t with funcs = List.map fn t.funcs }
+
+(* All block labels of a function, in layout order. *)
+let labels_of_func f = List.map (fun b -> b.label) f.blocks
+
+exception Ill_formed of string
+
+let ill_formed fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+(* Structural validation: unique labels, jump targets resolve to a label
+   of the same function (or the reserved detector label), the last block
+   of a function does not fall off the end, and scale factors are legal.
+   Raises [Ill_formed] otherwise. *)
+let validate (t : t) =
+  let func_names = List.map (fun f -> f.fname) t.funcs in
+  let module SS = Set.Make (String) in
+  let name_set = SS.of_list func_names in
+  if SS.cardinal name_set <> List.length func_names then
+    ill_formed "duplicate function names";
+  if not (SS.mem t.entry name_set) then ill_formed "entry %s undefined" t.entry;
+  List.iter
+    (fun f ->
+      let labels = labels_of_func f in
+      let label_set = SS.of_list labels in
+      if SS.cardinal label_set <> List.length labels then
+        ill_formed "%s: duplicate block labels" f.fname;
+      let check_target l =
+        if
+          (not (SS.mem l label_set))
+          && not (String.equal l exit_function_label)
+        then ill_formed "%s: unknown jump target %s" f.fname l
+      in
+      let check_mem (m : Instr.mem) =
+        match m.scale with
+        | 1 | 2 | 4 | 8 -> ()
+        | s -> ill_formed "%s: illegal scale %d" f.fname s
+      in
+      let check_ins (ins : Instr.ins) =
+        List.iter check_target (Instr.targets ins.op);
+        match ins.op with
+        | Lea (m, _) -> check_mem m
+        | Mov (_, a, b) | Alu (_, _, a, b) | Cmp (_, a, b) | Test (_, a, b)
+          ->
+          List.iter
+            (function Instr.Mem m -> check_mem m | _ -> ())
+            [ a; b ]
+        | Call callee ->
+          if
+            (not (SS.mem callee name_set))
+            && (not (String.equal callee builtin_print))
+            && not (String.equal callee builtin_detect)
+          then ill_formed "%s: call to unknown function %s" f.fname callee
+        | _ -> ()
+      in
+      List.iter (fun b -> List.iter check_ins b.insns) f.blocks;
+      match List.rev f.blocks with
+      | [] -> ill_formed "%s: empty function" f.fname
+      | last :: _ -> (
+        match List.rev last.insns with
+        | i :: _ when Instr.is_barrier i.op -> ()
+        | _ -> ill_formed "%s: control falls off the end" f.fname))
+    t.funcs
+
+(* Provenance histogram, used in tests and reports. *)
+let provenance_counts (t : t) =
+  let orig = ref 0 and dups = ref 0 and checks = ref 0 and instr = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun (i : Instr.ins) ->
+              match i.prov with
+              | Instr.Original -> incr orig
+              | Instr.Dup -> incr dups
+              | Instr.Check -> incr checks
+              | Instr.Instrumentation -> incr instr)
+            b.insns)
+        f.blocks)
+    t.funcs;
+  (!orig, !dups, !checks, !instr)

@@ -1,0 +1,46 @@
+(* Static statistics over assembly programs: instruction-class histograms
+   and code-size expansion factors, used by reports and tests. *)
+
+type t = {
+  total : int;
+  by_class : (Instr.klass * int) list;
+  originals : int;
+  dups : int;
+  checks : int;
+  instrumentation : int;
+}
+
+let all_klasses =
+  Instr.[ K_alu; K_load; K_store; K_branch; K_call; K_simd; K_div; K_setcc ]
+
+let of_program (p : Prog.t) =
+  let counts = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  List.iter
+    (fun (f : Prog.func) ->
+      List.iter
+        (fun (b : Prog.block) ->
+          List.iter (fun (i : Instr.ins) -> bump (Instr.klass i.op)) b.insns)
+        f.blocks)
+    p.funcs;
+  let by_class =
+    List.map
+      (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      all_klasses
+  in
+  let originals, dups, checks, instrumentation = Prog.provenance_counts p in
+  { total = Prog.num_instructions p; by_class; originals; dups; checks;
+    instrumentation }
+
+(* Static code-size expansion of a protected program over its baseline. *)
+let expansion ~baseline ~protected_ =
+  if baseline.total = 0 then 0.0
+  else float_of_int protected_.total /. float_of_int baseline.total
+
+let pp ppf t =
+  Fmt.pf ppf "total=%d (orig=%d dup=%d check=%d instr=%d)@\n" t.total
+    t.originals t.dups t.checks t.instrumentation;
+  List.iter
+    (fun (k, n) ->
+      if n > 0 then Fmt.pf ppf "  %-7s %d@\n" (Instr.klass_name k) n)
+    t.by_class

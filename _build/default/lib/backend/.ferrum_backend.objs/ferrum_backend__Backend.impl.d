@@ -1,0 +1,1 @@
+lib/backend/backend.ml: Cond Ferrum_asm Ferrum_ir Fmt Hashtbl Instr Int64 Ir List Prog Reg Verify

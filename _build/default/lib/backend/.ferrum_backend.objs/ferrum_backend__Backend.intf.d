@@ -1,0 +1,1 @@
+lib/backend/backend.mli: Ferrum_asm Ferrum_ir Instr Ir Prog Reg

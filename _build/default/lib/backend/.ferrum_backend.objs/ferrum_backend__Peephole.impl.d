@@ -1,0 +1,1 @@
+lib/backend/peephole.ml: Ferrum_asm Instr List Prog Reg

@@ -1,0 +1,1 @@
+lib/backend/peephole.mli: Ferrum_asm

@@ -1,0 +1,47 @@
+(** Backend compiler: mini-IR to x86-64 subset assembly.
+
+    The lowering mirrors clang -O0: every virtual register lives in a
+    stack slot, operands are reloaded before use, branch conditions are
+    re-materialised from memory with a compare against zero (the paper's
+    Figs. 8-9), and calls marshal arguments through the System-V
+    argument registers.  These backend-introduced instructions are the
+    "additional unprotected footprint" (paper §IV-B2) that costs
+    IR-level EDDI its coverage at assembly level.
+
+    Generated code uses RAX/RCX/RDX as scratch and the argument
+    registers at calls; RBX and R10-R15 are never touched, and no SIMD
+    register is ever used — the under-utilisation FERRUM exploits. *)
+
+open Ferrum_asm
+open Ferrum_ir
+
+exception Error of string
+
+(** Base address of the global data region in simulator memory. *)
+val global_base : int
+
+(** Argument registers, in order (RDI, RSI, RDX, RCX, R8, R9). *)
+val arg_regs : Reg.gpr list
+
+(** IR-level protection passes insert shadow and checker IR code; this
+    oracle lets them tag it so the lowered assembly carries the right
+    provenance (the fault injector and the cycle model distinguish
+    program code from protection code). *)
+type prov_oracle = {
+  instr_prov : fname:string -> Ir.instr -> Instr.provenance;
+  term_prov : fname:string -> label:string -> Ir.terminator -> Instr.provenance;
+  block_prov : fname:string -> label:string -> Instr.provenance option;
+      (** whole-block override, e.g. detector blocks *)
+}
+
+(** Everything tagged [Original]. *)
+val default_oracle : prov_oracle
+
+(** Compile a module (it is verified first).  Globals receive fixed
+    addresses from {!global_base} upward; the result passes
+    {!Ferrum_asm.Prog.validate}.  Raises {!Error} on unsupported shapes
+    (e.g. more than six call arguments). *)
+val compile : ?oracle:prov_oracle -> Ir.modul -> Prog.t
+
+(** Total bytes of global data after alignment, for memory sizing. *)
+val globals_bytes : Ir.modul -> int

@@ -1,0 +1,68 @@
+(* Peephole optimiser over backend output.
+
+   The paper's root-cause analysis (§IV-B2) attributes both IR-level
+   EDDI's coverage loss and the hybrid baseline's extra overhead to the
+   "additional unprotected footprint" of naive -O0 lowering.  This pass
+   lets us test that analysis directly (experiment E9 in DESIGN.md): it
+   removes the most blatant store-to-slot/reload-from-slot traffic, so
+   with it enabled the backend produces less glue — IR-level EDDI's
+   measured coverage should rise and every technique's overhead fall.
+
+   Only flag-neutral rewrites over adjacent instructions inside a block
+   are performed:
+     1. [mov %r, S; mov S, %r]   -> [mov %r, S]            (dead reload)
+     2. [mov %r, S; mov S, %r2]  -> [mov %r, S; mov %r, %r2]
+        (forward the just-stored value; the load becomes a register
+        move, which FERRUM still classifies as SIMD-enabled)
+   where S is an RBP-relative slot and %r is not RSP/RBP. *)
+
+open Ferrum_asm
+
+type stats = { mutable dead_reloads : int; mutable forwarded_loads : int }
+
+let same_slot (a : Instr.mem) (b : Instr.mem) =
+  a.Instr.base = Some Reg.RBP && b.Instr.base = Some Reg.RBP
+  && a.Instr.index = None && b.Instr.index = None
+  && a.Instr.disp = b.Instr.disp
+
+let eligible_reg r = not Reg.(equal_gpr r RSP || equal_gpr r RBP)
+
+let rec rewrite stats (insns : Instr.ins list) : Instr.ins list =
+  match insns with
+  | ({ Instr.op = Instr.Mov (Reg.Q, Instr.Reg r1, Instr.Mem s1); _ } as st)
+    :: { Instr.op = Instr.Mov (Reg.Q, Instr.Mem s2, Instr.Reg r2); prov }
+    :: rest
+    when same_slot s1 s2 && eligible_reg r1 && eligible_reg r2 ->
+    if Reg.equal_gpr r1 r2 then begin
+      stats.dead_reloads <- stats.dead_reloads + 1;
+      st :: rewrite stats rest
+    end
+    else begin
+      stats.forwarded_loads <- stats.forwarded_loads + 1;
+      st
+      :: { Instr.op = Instr.Mov (Reg.Q, Instr.Reg r1, Instr.Reg r2); prov }
+      :: rewrite stats rest
+    end
+  | i :: rest -> i :: rewrite stats rest
+  | [] -> []
+
+(* Repeat until no more rewrites apply (a forwarded move can expose a
+   further pair). *)
+let optimize_block stats (b : Prog.block) =
+  let rec fixpoint insns =
+    let before = (stats.dead_reloads, stats.forwarded_loads) in
+    let insns' = rewrite stats insns in
+    if (stats.dead_reloads, stats.forwarded_loads) = before then insns'
+    else fixpoint insns'
+  in
+  Prog.block b.label (fixpoint b.insns)
+
+let run (p : Prog.t) : Prog.t * stats =
+  let stats = { dead_reloads = 0; forwarded_loads = 0 } in
+  let p' =
+    Prog.map_funcs
+      (fun f -> Prog.func f.Prog.fname (List.map (optimize_block stats) f.Prog.blocks))
+      p
+  in
+  Prog.validate p';
+  (p', stats)

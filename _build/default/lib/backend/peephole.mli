@@ -1,0 +1,17 @@
+(** Peephole optimiser over backend output (experiment E9).
+
+    The paper's §IV-B2 attributes IR-level EDDI's coverage loss and the
+    hybrid baseline's extra overhead to the backend's -O0 lowering glue;
+    this pass removes the most blatant store-to-slot/reload-from-slot
+    traffic so that claim can be tested directly.  Only flag-neutral
+    rewrites over adjacent instructions inside a block are performed
+    (dead reload elimination and store-to-load forwarding of RBP-relative
+    slots). *)
+
+type stats = { mutable dead_reloads : int; mutable forwarded_loads : int }
+
+(** Optimise one block to a fixpoint, accumulating into [stats]. *)
+val optimize_block : stats -> Ferrum_asm.Prog.block -> Ferrum_asm.Prog.block
+
+(** Optimise a whole (validated) program; the result is re-validated. *)
+val run : Ferrum_asm.Prog.t -> Ferrum_asm.Prog.t * stats

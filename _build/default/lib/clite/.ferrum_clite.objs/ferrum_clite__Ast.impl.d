@@ -1,0 +1,1 @@
+lib/clite/ast.ml:

@@ -1,0 +1,1 @@
+lib/clite/clite.ml: Ferrum_ir Lexer Lower Parser

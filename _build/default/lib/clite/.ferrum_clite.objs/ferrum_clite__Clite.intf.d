@@ -1,0 +1,1 @@
+lib/clite/clite.mli: Ferrum_ir

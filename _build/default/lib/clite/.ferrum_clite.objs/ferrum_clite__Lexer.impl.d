@@ -1,0 +1,1 @@
+lib/clite/lexer.ml: Fmt Int64 List String Token

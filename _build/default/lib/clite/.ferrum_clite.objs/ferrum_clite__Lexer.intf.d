@@ -1,0 +1,1 @@
+lib/clite/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/clite/lower.ml: Ast Ferrum_ir Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/clite/lower.mli: Ast Ferrum_ir

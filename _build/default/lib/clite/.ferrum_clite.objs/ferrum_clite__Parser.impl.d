@@ -1,0 +1,1 @@
+lib/clite/parser.ml: Ast Fmt Int64 Lexer List Token

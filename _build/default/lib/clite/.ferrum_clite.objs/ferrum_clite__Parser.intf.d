@@ -1,0 +1,1 @@
+lib/clite/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/clite/token.ml: Int64

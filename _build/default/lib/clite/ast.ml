@@ -1,0 +1,48 @@
+(* Abstract syntax of C-lite.  The only scalar type is [long] (64-bit
+   signed); arrays of long are the only aggregate.  Everything else —
+   pointers, structs, floating point — is out of the language, matching
+   what the workloads need. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr (* short-circuit *)
+
+type unop = Neg | BNot | LNot
+
+type expr =
+  | Int of int64
+  | Var of string
+  | Index of string * expr (* arr[e] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Decl of string * expr option (* long x [= e]; *)
+  | DeclArray of string * int (* long a[N]; *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | ExprStmt of expr (* calls for effect *)
+
+(* Parameter types: scalar long, or long[] (an array address). *)
+type param_ty = Pscalar | Parray
+
+type func = {
+  name : string;
+  params : (string * param_ty) list;
+  returns_value : bool; (* long f(...) vs void f(...) *)
+  body : stmt list;
+}
+
+type global = Gscalar of string | Garray of string * int
+
+type program = { globals : global list; funcs : func list }

@@ -1,0 +1,17 @@
+(* Front door of the C-lite frontend: source text to verified mini-IR.
+   See the interface for the language definition. *)
+
+exception Error of string
+
+let compile (src : string) : Ferrum_ir.Ir.modul =
+  try Lower.lower (Parser.parse src) with
+  | Lexer.Error msg -> raise (Error ("lex error: " ^ msg))
+  | Parser.Error msg -> raise (Error ("parse error: " ^ msg))
+  | Lower.Error msg -> raise (Error ("error: " ^ msg))
+
+let compile_file (path : string) : Ferrum_ir.Ir.modul =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  compile src

@@ -1,0 +1,35 @@
+(** C-lite: a small C-like frontend for the mini-IR.
+
+    The paper's toolchain starts from C source (its Fig. 2 shows the
+    C → LLVM-IR step); this frontend plays that role for the
+    reproduction, so kernels can be written as ordinary text and pushed
+    through compilation, protection and fault injection.
+
+    The language, in brief:
+    - one scalar type, [long] (64-bit signed); arrays of long are the
+      only aggregate ([long a\[N\];] globally or locally);
+    - functions [long f(long x, long v[]) { ... }] or [void f(...)];
+      array parameters receive the array's address;
+    - statements: declarations with optional initialisers, assignments
+      (scalar and indexed), [if]/[else], [while], [for], [return],
+      [break], [continue], expression statements;
+    - expressions: C operator precedence over [|| && | ^ & == != < <= >
+      >= << >> + - * / %], unary [- ~ !], calls, indexing; [&&]/[||]
+      short-circuit; comparisons yield 0/1;
+    - [print(e)] is the builtin observable output (the simulator's
+      [print_i64]);
+    - [//] and [/* ... */] comments.
+
+    Declarations follow C block scoping (a [for]-header declaration
+    scopes to the loop); a value-returning function that falls off the
+    end returns 0.  See [examples/programs/*.c]. *)
+
+exception Error of string
+
+(** Compile source text to a verified {!Ferrum_ir.Ir.modul}.  Raises
+    {!Error} with a located message on lexical, syntactic or semantic
+    problems. *)
+val compile : string -> Ferrum_ir.Ir.modul
+
+(** {!compile} on a file's contents. *)
+val compile_file : string -> Ferrum_ir.Ir.modul

@@ -1,0 +1,120 @@
+(* Hand-written lexer for C-lite.  Supports decimal and 0x literals,
+   //-comments and /* ... */ comments. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let keyword_of = function
+  | "long" -> Some Token.KW_LONG
+  | "void" -> Some Token.KW_VOID
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+(* Tokenise a whole source string. *)
+let tokenize (src : string) : Token.spanned list =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { Token.tok; line = !line } :: !out in
+  let rec go i =
+    if i >= n then emit Token.EOF
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then error "line %d: unterminated comment" !line
+          else if src.[j] = '\n' then (incr line; skip (j + 1))
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else skip (j + 1)
+        in
+        go (skip (i + 2))
+      | '0' when i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') ->
+        let rec scan j =
+          if
+            j < n
+            && (is_digit src.[j]
+               || (src.[j] >= 'a' && src.[j] <= 'f')
+               || (src.[j] >= 'A' && src.[j] <= 'F'))
+          then scan (j + 1)
+          else j
+        in
+        let stop = scan (i + 2) in
+        (match Int64.of_string_opt (String.sub src i (stop - i)) with
+        | Some v -> emit (Token.INT v)
+        | None -> error "line %d: bad hex literal" !line);
+        go stop
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        (match Int64.of_string_opt (String.sub src i (stop - i)) with
+        | Some v -> emit (Token.INT v)
+        | None -> error "line %d: bad integer literal" !line);
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        let word = String.sub src i (stop - i) in
+        (match keyword_of word with
+        | Some kw -> emit kw
+        | None -> emit (Token.IDENT word));
+        go stop
+      | _ ->
+        let two op = emit op; go (i + 2) in
+        let one op = emit op; go (i + 1) in
+        let peek = if i + 1 < n then Some src.[i + 1] else None in
+        (match (c, peek) with
+        | '<', Some '<' -> two Token.SHL
+        | '>', Some '>' -> two Token.SHR
+        | '<', Some '=' -> two Token.LE
+        | '>', Some '=' -> two Token.GE
+        | '=', Some '=' -> two Token.EQ
+        | '!', Some '=' -> two Token.NE
+        | '&', Some '&' -> two Token.ANDAND
+        | '|', Some '|' -> two Token.PIPEPIPE
+        | '(', _ -> one Token.LPAREN
+        | ')', _ -> one Token.RPAREN
+        | '{', _ -> one Token.LBRACE
+        | '}', _ -> one Token.RBRACE
+        | '[', _ -> one Token.LBRACKET
+        | ']', _ -> one Token.RBRACKET
+        | ';', _ -> one Token.SEMI
+        | ',', _ -> one Token.COMMA
+        | '=', _ -> one Token.ASSIGN
+        | '+', _ -> one Token.PLUS
+        | '-', _ -> one Token.MINUS
+        | '*', _ -> one Token.STAR
+        | '/', _ -> one Token.SLASH
+        | '%', _ -> one Token.PERCENT
+        | '&', _ -> one Token.AMP
+        | '|', _ -> one Token.PIPE
+        | '^', _ -> one Token.CARET
+        | '~', _ -> one Token.TILDE
+        | '!', _ -> one Token.BANG
+        | '<', _ -> one Token.LT
+        | '>', _ -> one Token.GT
+        | _ -> error "line %d: unexpected character %C" !line c)
+  in
+  go 0;
+  List.rev !out

@@ -1,0 +1,6 @@
+(** Hand-written lexer for C-lite: decimal and 0x literals, identifiers,
+    keywords, //- and /*-comments.  Tokens carry their source line. *)
+
+exception Error of string
+
+val tokenize : string -> Token.spanned list

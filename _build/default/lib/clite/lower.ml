@@ -1,0 +1,326 @@
+(* Lowering from the C-lite AST to the mini-IR, through the builder.
+
+   Conventions: every scalar is a 64-bit signed long living in an alloca
+   slot; arrays are contiguous long[] areas (allocas when local, globals
+   otherwise); array parameters pass the base address.  Comparisons and
+   logical operators produce 0/1 longs; && and || short-circuit.
+   Declarations follow C block scoping (shadowing allowed, no collision
+   within one block; a for-header declaration scopes to the loop). *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type binding =
+  | Scalar of Ir.value (* pointer to the 8-byte slot *)
+  | Array_direct of Ir.value (* base address (local or global array) *)
+  | Array_slot of Ir.value (* slot holding the base address (parameter) *)
+
+type env = {
+  mutable scopes : (string, binding) Hashtbl.t list; (* innermost first *)
+  returns : (string, bool) Hashtbl.t; (* callee -> returns_value *)
+  mutable loops : (string * string) list; (* (break_l, continue_l) stack *)
+  fb : B.fb;
+}
+
+(* C block scoping: lookup walks outward; a declaration may shadow an
+   outer binding but not collide within its own block. *)
+let lookup env name =
+  let rec go = function
+    | [] -> error "undefined variable '%s'" name
+    | scope :: outer -> (
+      match Hashtbl.find_opt scope name with
+      | Some b -> b
+      | None -> go outer)
+  in
+  go env.scopes
+
+let bind env name b =
+  match env.scopes with
+  | [] -> assert false
+  | scope :: _ ->
+    if Hashtbl.mem scope name then error "redefinition of '%s'" name;
+    Hashtbl.replace scope name b
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let in_scope env f =
+  push_scope env;
+  let r = f () in
+  pop_scope env;
+  r
+
+let array_base env name =
+  match lookup env name with
+  | Array_direct base -> base
+  | Array_slot slot -> B.load env.fb Ir.Ptr slot
+  | Scalar _ -> error "'%s' is not an array" name
+
+(* 0/1 long from an i1. *)
+let bool_to_long env c = B.cast env.fb Ir.Zext_i1_i64 c
+
+(* i1 from a long: e != 0. *)
+let truthy env v = B.icmp env.fb Ir.Ne v (B.i64 0)
+
+let rec lower_expr env (e : Ast.expr) : Ir.value =
+  let fb = env.fb in
+  match e with
+  | Ast.Int v -> B.i64' v
+  | Ast.Var name -> (
+    match lookup env name with
+    | Scalar slot -> B.load fb Ir.I64 slot
+    | Array_direct _ | Array_slot _ ->
+      (* array name decays to its address (for passing to calls) *)
+      array_base env name)
+  | Ast.Index (name, idx) ->
+    let base = array_base env name in
+    B.load fb Ir.I64 (B.gep fb base (lower_expr env idx) ~scale:8)
+  | Ast.Unop (Ast.Neg, e) -> B.sub fb (B.i64 0) (lower_expr env e)
+  | Ast.Unop (Ast.BNot, e) -> B.xor fb (lower_expr env e) (B.i64' (-1L))
+  | Ast.Unop (Ast.LNot, e) ->
+    bool_to_long env (B.icmp fb Ir.Eq (lower_expr env e) (B.i64 0))
+  | Ast.Binop (Ast.LAnd, a, b) -> lower_short_circuit env ~is_and:true a b
+  | Ast.Binop (Ast.LOr, a, b) -> lower_short_circuit env ~is_and:false a b
+  | Ast.Binop (op, a, b) -> (
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    let arith o = B.binop fb o Ir.I64 va vb in
+    let compare p = bool_to_long env (B.icmp fb p va vb) in
+    match op with
+    | Ast.Add -> arith Ir.Add
+    | Ast.Sub -> arith Ir.Sub
+    | Ast.Mul -> arith Ir.Mul
+    | Ast.Div -> arith Ir.Sdiv
+    | Ast.Mod -> arith Ir.Srem
+    | Ast.BAnd -> arith Ir.And
+    | Ast.BOr -> arith Ir.Or
+    | Ast.BXor -> arith Ir.Xor
+    | Ast.Shl -> arith Ir.Shl
+    | Ast.Shr -> arith Ir.Ashr (* C's >> on signed longs *)
+    | Ast.Lt -> compare Ir.Slt
+    | Ast.Le -> compare Ir.Sle
+    | Ast.Gt -> compare Ir.Sgt
+    | Ast.Ge -> compare Ir.Sge
+    | Ast.Eq -> compare Ir.Eq
+    | Ast.Ne -> compare Ir.Ne
+    | Ast.LAnd | Ast.LOr -> assert false)
+  | Ast.Call (callee, args) -> (
+    match lower_call env callee args with
+    | Some v -> v
+    | None -> error "void function '%s' used as a value" callee)
+
+(* && / || with C short-circuit semantics, through a result slot. *)
+and lower_short_circuit env ~is_and a b =
+  let fb = env.fb in
+  let result = B.local_var fb (B.i64 (if is_and then 0 else 1)) in
+  let eval_b = B.fresh_label fb "sc_rhs" in
+  let done_l = B.fresh_label fb "sc_done" in
+  let ca = truthy env (lower_expr env a) in
+  if is_and then B.br fb ca ~ifso:eval_b ~ifnot:done_l
+  else B.br fb ca ~ifso:done_l ~ifnot:eval_b;
+  B.start_block fb eval_b;
+  let cb = truthy env (lower_expr env b) in
+  B.set fb result (bool_to_long env cb);
+  B.jmp fb done_l;
+  B.start_block fb done_l;
+  B.get fb result
+
+and lower_call env callee args : Ir.value option =
+  let fb = env.fb in
+  let argv = List.map (lower_expr env) args in
+  if String.equal callee "print" then begin
+    (match argv with
+    | [ v ] -> B.print_i64 fb v
+    | _ -> error "print takes exactly one argument");
+    None
+  end
+  else
+    match Hashtbl.find_opt env.returns callee with
+    | None -> error "call to undefined function '%s'" callee
+    | Some true -> Some (B.call_v fb callee argv)
+    | Some false ->
+      ignore (B.call fb callee argv);
+      None
+
+let lower_lvalue env (lv : Ast.lvalue) : Ir.value =
+  match lv with
+  | Ast.Lvar name -> (
+    match lookup env name with
+    | Scalar slot -> slot
+    | _ -> error "cannot assign to array '%s'" name)
+  | Ast.Lindex (name, idx) ->
+    let base = array_base env name in
+    B.gep env.fb base (lower_expr env idx) ~scale:8
+
+let rec lower_stmt env (s : Ast.stmt) : unit =
+  let fb = env.fb in
+  match s with
+  | Ast.Decl (name, init) ->
+    let slot = B.alloca fb ~bytes:8 in
+    bind env name (Scalar slot);
+    let v = match init with Some e -> lower_expr env e | None -> B.i64 0 in
+    B.store fb Ir.I64 v slot
+  | Ast.DeclArray (name, n) ->
+    if n <= 0 then error "array '%s' of size %d" name n;
+    let base = B.alloca fb ~bytes:(8 * n) in
+    bind env name (Array_direct base)
+  | Ast.Assign (lv, e) ->
+    let ptr = lower_lvalue env lv in
+    B.store fb Ir.I64 (lower_expr env e) ptr
+  | Ast.ExprStmt e -> (
+    match e with
+    | Ast.Call (callee, args) -> ignore (lower_call env callee args)
+    | _ -> ignore (lower_expr env e))
+  | Ast.Return v -> (
+    match v with
+    | Some e -> B.ret fb (Some (lower_expr env e))
+    | None -> B.ret fb None)
+  | Ast.If (cond, then_, else_) ->
+    let then_l = B.fresh_label fb "then" in
+    let else_l = B.fresh_label fb "else" in
+    let join_l = B.fresh_label fb "join" in
+    let c = truthy env (lower_expr env cond) in
+    B.br fb c ~ifso:then_l ~ifnot:(if else_ = [] then join_l else else_l);
+    B.start_block fb then_l;
+    in_scope env (fun () -> lower_stmts env then_);
+    B.jmp_if_open fb join_l;
+    if else_ <> [] then begin
+      B.start_block fb else_l;
+      in_scope env (fun () -> lower_stmts env else_);
+      B.jmp_if_open fb join_l
+    end;
+    B.start_block fb join_l
+  | Ast.While (cond, body) ->
+    let head = B.fresh_label fb "while_head" in
+    let body_l = B.fresh_label fb "while_body" in
+    let exit_l = B.fresh_label fb "while_exit" in
+    B.jmp fb head;
+    B.start_block fb head;
+    let c = truthy env (lower_expr env cond) in
+    B.br fb c ~ifso:body_l ~ifnot:exit_l;
+    B.start_block fb body_l;
+    env.loops <- (exit_l, head) :: env.loops;
+    in_scope env (fun () -> lower_stmts env body);
+    env.loops <- List.tl env.loops;
+    B.jmp_if_open fb head;
+    B.start_block fb exit_l
+  | Ast.For (init, cond, step, body) ->
+    (* C99: the for-header declaration lives in its own scope *)
+    push_scope env;
+    (match init with Some s -> lower_stmt env s | None -> ());
+    let head = B.fresh_label fb "for_head" in
+    let body_l = B.fresh_label fb "for_body" in
+    let step_l = B.fresh_label fb "for_step" in
+    let exit_l = B.fresh_label fb "for_exit" in
+    B.jmp fb head;
+    B.start_block fb head;
+    (match cond with
+    | Some e ->
+      let c = truthy env (lower_expr env e) in
+      B.br fb c ~ifso:body_l ~ifnot:exit_l
+    | None -> B.jmp fb body_l);
+    B.start_block fb body_l;
+    env.loops <- (exit_l, step_l) :: env.loops;
+    in_scope env (fun () -> lower_stmts env body);
+    env.loops <- List.tl env.loops;
+    B.jmp_if_open fb step_l;
+    B.start_block fb step_l;
+    (match step with Some s -> lower_stmt env s | None -> ());
+    B.jmp fb head;
+    B.start_block fb exit_l;
+    pop_scope env
+  | Ast.Break -> (
+    match env.loops with
+    | (brk, _) :: _ -> B.jmp fb brk
+    | [] -> error "break outside a loop")
+  | Ast.Continue -> (
+    match env.loops with
+    | (_, cont) :: _ -> B.jmp fb cont
+    | [] -> error "continue outside a loop")
+
+and lower_stmts env stmts =
+  (* statements after a break/continue/return in the same block are
+     unreachable; C allows them, so we tolerate and drop them *)
+  List.iter
+    (fun s -> if block_open env then lower_stmt env s)
+    stmts
+
+(* The builder has no public "is a block open" query; probe by trying a
+   harmless sealed-state-only operation is worse, so track via loops of
+   control statements: we instead rely on jmp_if_open semantics by
+   wrapping in exception-free check below. *)
+and block_open env = B.is_open env.fb
+
+(* ------------------------------------------------------------------ *)
+
+let lower_func t returns (f : Ast.func) globals_bind =
+  let params =
+    List.map
+      (fun (_, pty) ->
+        match pty with Ast.Pscalar -> Ir.I64 | Ast.Parray -> Ir.Ptr)
+      f.Ast.params
+  in
+  let ret = if f.Ast.returns_value then Some Ir.I64 else None in
+  ignore
+    (B.func t f.Ast.name ~params ~ret (fun fb args ->
+         let env =
+           { scopes = [ Hashtbl.create 16; globals_bind ]; returns;
+             loops = []; fb }
+         in
+         List.iter2
+           (fun (pname, pty) arg ->
+             let slot = B.alloca fb ~bytes:8 in
+             B.store fb
+               (match pty with Ast.Pscalar -> Ir.I64 | Ast.Parray -> Ir.Ptr)
+               arg slot;
+             bind env pname
+               (match pty with
+               | Ast.Pscalar -> Scalar slot
+               | Ast.Parray -> Array_slot slot))
+           f.Ast.params args;
+         lower_stmts env f.Ast.body;
+         (* close any fall-through path; a value-returning function
+            falling off the end returns 0 (defined where C leaves it
+            undefined) *)
+         let epilogue = B.fresh_label fb "fallthrough" in
+         B.jmp_if_open fb epilogue;
+         B.start_block fb epilogue;
+         B.ret fb (if f.Ast.returns_value then Some (B.i64 0) else None)))
+
+(* Lower a parsed program to a verified IR module. *)
+let lower (p : Ast.program) : Ir.modul =
+  let t = B.create () in
+  let globals_bind : (string, binding) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gscalar name ->
+        if Hashtbl.mem globals_bind name then error "redefinition of '%s'" name;
+        Hashtbl.replace globals_bind name
+          (Scalar (B.global t name ~bytes:8))
+      | Ast.Garray (name, n) ->
+        if n <= 0 then error "array '%s' of size %d" name n;
+        if Hashtbl.mem globals_bind name then error "redefinition of '%s'" name;
+        Hashtbl.replace globals_bind name
+          (Array_direct (B.global t name ~bytes:(8 * n))))
+    p.Ast.globals;
+  let returns : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem returns f.Ast.name then
+        error "redefinition of function '%s'" f.Ast.name;
+      Hashtbl.replace returns f.Ast.name f.Ast.returns_value)
+    p.Ast.funcs;
+  if not (Hashtbl.mem returns "main") then error "no main function";
+  List.iter (fun f -> lower_func t returns f globals_bind) p.Ast.funcs;
+  let m = B.finish t in
+  Ferrum_ir.Verify.run m;
+  m

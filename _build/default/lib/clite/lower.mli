@@ -1,0 +1,11 @@
+(** Lowering from the C-lite AST to the mini-IR.
+
+    Scalars live in 8-byte alloca slots, local arrays in sized allocas,
+    globals in the module data section; array parameters pass base
+    addresses; [&&]/[||] short-circuit through a result slot; [>>] is
+    arithmetic (C on signed longs).  The result is verified before it is
+    returned. *)
+
+exception Error of string
+
+val lower : Ast.program -> Ferrum_ir.Ir.modul

@@ -1,0 +1,400 @@
+(* Recursive-descent parser for C-lite with standard C operator
+   precedence.  Grammar sketch:
+
+     program   := (global | func)*
+     global    := "long" IDENT ("[" INT "]")? ";"
+     func      := ("long" | "void") IDENT "(" params ")" block
+     params    := e | param ("," param)*
+     param     := "long" IDENT ("[" "]")?
+     block     := "{" stmt* "}"
+     stmt      := "long" IDENT ("[" INT "]")? ("=" expr)? ";"
+                | lvalue "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | ifstmt))?
+                | "while" "(" expr ")" block
+                | "for" "(" simple? ";" expr? ";" simple? ")" block
+                | "return" expr? ";" | "break" ";" | "continue" ";"
+                | expr ";"
+     expr      := C precedence over || && | ^ & ==/!= relational
+                  shifts additive multiplicative unary postfix primary *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type st = { mutable toks : Token.spanned list }
+
+let peek st =
+  match st.toks with
+  | [] -> Token.EOF
+  | t :: _ -> t.Token.tok
+
+let line st = match st.toks with [] -> 0 | t :: _ -> t.Token.line
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error "line %d: expected %s, found '%s'" (line st) what
+      (Token.to_string (peek st))
+
+let expect_ident st what =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> error "line %d: expected %s, found '%s'" (line st) what (Token.to_string t)
+
+let expect_int st =
+  match peek st with
+  | Token.INT v ->
+    advance st;
+    v
+  | t -> error "line %d: expected integer, found '%s'" (line st) (Token.to_string t)
+
+(* ---- expressions ---- *)
+
+let rec parse_expr st = parse_lor st
+
+and parse_lor st =
+  let lhs = ref (parse_land st) in
+  while peek st = Token.PIPEPIPE do
+    advance st;
+    lhs := Ast.Binop (Ast.LOr, !lhs, parse_land st)
+  done;
+  !lhs
+
+and parse_land st =
+  let lhs = ref (parse_bor st) in
+  while peek st = Token.ANDAND do
+    advance st;
+    lhs := Ast.Binop (Ast.LAnd, !lhs, parse_bor st)
+  done;
+  !lhs
+
+and parse_bor st =
+  let lhs = ref (parse_bxor st) in
+  while peek st = Token.PIPE do
+    advance st;
+    lhs := Ast.Binop (Ast.BOr, !lhs, parse_bxor st)
+  done;
+  !lhs
+
+and parse_bxor st =
+  let lhs = ref (parse_band st) in
+  while peek st = Token.CARET do
+    advance st;
+    lhs := Ast.Binop (Ast.BXor, !lhs, parse_band st)
+  done;
+  !lhs
+
+and parse_band st =
+  let lhs = ref (parse_equality st) in
+  while peek st = Token.AMP do
+    advance st;
+    lhs := Ast.Binop (Ast.BAnd, !lhs, parse_equality st)
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_rel st) in
+  let rec go () =
+    match peek st with
+    | Token.EQ ->
+      advance st;
+      lhs := Ast.Binop (Ast.Eq, !lhs, parse_rel st);
+      go ()
+    | Token.NE ->
+      advance st;
+      lhs := Ast.Binop (Ast.Ne, !lhs, parse_rel st);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_rel st =
+  let lhs = ref (parse_shift st) in
+  let rec go () =
+    match peek st with
+    | Token.LT -> advance st; lhs := Ast.Binop (Ast.Lt, !lhs, parse_shift st); go ()
+    | Token.LE -> advance st; lhs := Ast.Binop (Ast.Le, !lhs, parse_shift st); go ()
+    | Token.GT -> advance st; lhs := Ast.Binop (Ast.Gt, !lhs, parse_shift st); go ()
+    | Token.GE -> advance st; lhs := Ast.Binop (Ast.Ge, !lhs, parse_shift st); go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_shift st =
+  let lhs = ref (parse_additive st) in
+  let rec go () =
+    match peek st with
+    | Token.SHL -> advance st; lhs := Ast.Binop (Ast.Shl, !lhs, parse_additive st); go ()
+    | Token.SHR -> advance st; lhs := Ast.Binop (Ast.Shr, !lhs, parse_additive st); go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec go () =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_multiplicative st);
+      go ()
+    | Token.MINUS ->
+      advance st;
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_multiplicative st);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | Token.STAR -> advance st; lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary st); go ()
+    | Token.SLASH -> advance st; lhs := Ast.Binop (Ast.Div, !lhs, parse_unary st); go ()
+    | Token.PERCENT -> advance st; lhs := Ast.Binop (Ast.Mod, !lhs, parse_unary st); go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.TILDE ->
+    advance st;
+    Ast.Unop (Ast.BNot, parse_unary st)
+  | Token.BANG ->
+    advance st;
+    Ast.Unop (Ast.LNot, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  match peek st with
+  | Token.INT v ->
+    advance st;
+    Ast.Int v
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN ")";
+    e
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN ")";
+      Ast.Call (name, args)
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET "]";
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | t -> error "line %d: expected expression, found '%s'" (line st) (Token.to_string t)
+
+and parse_args st =
+  if peek st = Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+(* ---- statements ---- *)
+
+(* A "simple" statement (no trailing semicolon): declaration,
+   assignment, or expression — used by for-headers too. *)
+let rec parse_simple st : Ast.stmt =
+  match peek st with
+  | Token.KW_LONG -> (
+    advance st;
+    let name = expect_ident st "variable name" in
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let n = Int64.to_int (expect_int st) in
+      expect st Token.RBRACKET "]";
+      Ast.DeclArray (name, n)
+    | Token.ASSIGN ->
+      advance st;
+      Ast.Decl (name, Some (parse_expr st))
+    | _ -> Ast.Decl (name, None))
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.ASSIGN ->
+      advance st;
+      Ast.Assign (Ast.Lvar name, parse_expr st)
+    | Token.LBRACKET -> (
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET "]";
+      match peek st with
+      | Token.ASSIGN ->
+        advance st;
+        Ast.Assign (Ast.Lindex (name, idx), parse_expr st)
+      | _ ->
+        (* an expression statement beginning with arr[...]: evaluate *)
+        Ast.ExprStmt (Ast.Index (name, idx)))
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN ")";
+      Ast.ExprStmt (Ast.Call (name, args))
+    | t -> error "line %d: unexpected '%s' after identifier" (line st) (Token.to_string t))
+  | _ -> Ast.ExprStmt (parse_expr st)
+
+and parse_stmt st : Ast.stmt =
+  match peek st with
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN "(";
+    let cond = parse_expr st in
+    expect st Token.RPAREN ")";
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = Token.KW_ELSE then begin
+        advance st;
+        if peek st = Token.KW_IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN "(";
+    let cond = parse_expr st in
+    expect st Token.RPAREN ")";
+    Ast.While (cond, parse_block st)
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN "(";
+    let init =
+      if peek st = Token.SEMI then None else Some (parse_simple st)
+    in
+    expect st Token.SEMI ";";
+    let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI ";";
+    let step =
+      if peek st = Token.RPAREN then None else Some (parse_simple st)
+    in
+    expect st Token.RPAREN ")";
+    Ast.For (init, cond, step, parse_block st)
+  | Token.KW_RETURN ->
+    advance st;
+    let v = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI ";";
+    Ast.Return v
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI ";";
+    Ast.Break
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI ";";
+    Ast.Continue
+  | _ ->
+    let s = parse_simple st in
+    expect st Token.SEMI ";";
+    s
+
+and parse_block st : Ast.stmt list =
+  expect st Token.LBRACE "{";
+  let rec go acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---- top level ---- *)
+
+let parse_param st =
+  expect st Token.KW_LONG "'long'";
+  let name = expect_ident st "parameter name" in
+  if peek st = Token.LBRACKET then begin
+    advance st;
+    expect st Token.RBRACKET "]";
+    (name, Ast.Parray)
+  end
+  else (name, Ast.Pscalar)
+
+let parse_params st =
+  if peek st = Token.RPAREN then []
+  else
+    let rec go acc =
+      let p = parse_param st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (p :: acc)
+      end
+      else List.rev (p :: acc)
+    in
+    go []
+
+let parse_program (toks : Token.spanned list) : Ast.program =
+  let st = { toks } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek st with
+    | Token.EOF -> ()
+    | Token.KW_LONG | Token.KW_VOID ->
+      let returns_value = peek st = Token.KW_LONG in
+      advance st;
+      let name = expect_ident st "name" in
+      (match peek st with
+      | Token.LPAREN ->
+        advance st;
+        let params = parse_params st in
+        expect st Token.RPAREN ")";
+        let body = parse_block st in
+        funcs := { Ast.name; params; returns_value; body } :: !funcs;
+        go ()
+      | Token.LBRACKET ->
+        if not returns_value then
+          error "line %d: void array makes no sense" (line st);
+        advance st;
+        let n = Int64.to_int (expect_int st) in
+        expect st Token.RBRACKET "]";
+        expect st Token.SEMI ";";
+        globals := Ast.Garray (name, n) :: !globals;
+        go ()
+      | Token.SEMI ->
+        if not returns_value then
+          error "line %d: void variable makes no sense" (line st);
+        advance st;
+        globals := Ast.Gscalar name :: !globals;
+        go ()
+      | t ->
+        error "line %d: expected '(', '[' or ';', found '%s'" (line st)
+          (Token.to_string t))
+    | t ->
+      error "line %d: expected declaration, found '%s'" (line st)
+        (Token.to_string t)
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse (src : string) : Ast.program =
+  parse_program (Lexer.tokenize src)

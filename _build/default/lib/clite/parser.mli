@@ -1,0 +1,11 @@
+(** Recursive-descent parser for C-lite with C operator precedence (see
+    the grammar sketch in the implementation and the language summary in
+    {!Clite}). *)
+
+exception Error of string
+
+(** Parse a token stream into a program. *)
+val parse_program : Token.spanned list -> Ast.program
+
+(** Lex and parse source text. *)
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/core/asm_protect.ml: Cond Ferrum_asm Fmt Instr Lazy List Printer Prog Reg

@@ -1,0 +1,1 @@
+lib/core/asm_protect.mli: Ferrum_asm Instr Reg

@@ -1,0 +1,1 @@
+lib/core/ferrum_pass.ml: Array Asm_protect Cond Ferrum_asm Fmt Hashtbl Instr List Liveness Prog Reg Spare String

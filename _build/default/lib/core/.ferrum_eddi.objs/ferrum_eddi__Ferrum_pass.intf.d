@@ -1,0 +1,1 @@
+lib/core/ferrum_pass.mli: Ferrum_asm Format Prog

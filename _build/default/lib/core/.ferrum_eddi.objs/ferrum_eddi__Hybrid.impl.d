@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Asm_protect Ferrum_asm Ferrum_backend Ferrum_ir Hashtbl Instr Ir Ir_eddi List Printf Prog Spare Verify

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Ferrum_asm Ferrum_backend Ferrum_ir

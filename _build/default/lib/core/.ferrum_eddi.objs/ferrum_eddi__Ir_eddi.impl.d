@@ -1,0 +1,1 @@
+lib/core/ir_eddi.ml: Ferrum_asm Ferrum_backend Ferrum_ir Hashtbl Instr Ir List Printf Verify

@@ -1,0 +1,1 @@
+lib/core/ir_eddi.mli: Ferrum_backend Ferrum_ir Hashtbl

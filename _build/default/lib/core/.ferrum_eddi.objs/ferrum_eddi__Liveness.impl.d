@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Array Ferrum_asm Hashtbl Instr List Prog Reg Spare

@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Ferrum_asm Instr Prog Reg Spare

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Ferrum_asm Ferrum_backend Ferrum_ir Ferrum_pass Hybrid Ir_eddi List Prog Technique Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ferrum_asm Ferrum_backend Ferrum_ir Ferrum_pass Technique

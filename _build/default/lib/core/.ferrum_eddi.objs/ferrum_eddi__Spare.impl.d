@@ -1,0 +1,1 @@
+lib/core/spare.ml: Ferrum_asm Instr Int List Prog Reg Set

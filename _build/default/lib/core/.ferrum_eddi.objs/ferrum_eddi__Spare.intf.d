@@ -1,0 +1,1 @@
+lib/core/spare.mli: Ferrum_asm Prog Reg Set

@@ -1,0 +1,177 @@
+(* Assembly-level duplication of GENERAL-INSTRUCTIONS (paper §III-B2,
+   Fig. 4): re-execute the instruction into a spare register and compare
+   the two results with a checker branching to [exit_function].
+
+   Three shapes are needed:
+   - re-executable instructions (moves, movslq, lea, setcc, pop-peek):
+     run the duplicate FIRST, with the destination replaced by a spare,
+     so that an original that overwrites one of its own sources (paper
+     Fig. 4's [movslq %ecx, %rcx]) still duplicates correctly;
+   - accumulator instructions (two-operand ALU, shifts, neg/not) whose
+     destination is also an input: copy the destination into the spare,
+     apply the operation to the spare, then run the original;
+   - implicit-destination instructions (cqto, idiv) with bespoke
+     sequences over several spares.
+
+   The caller guarantees that the instruction after the protected one
+   does not read RFLAGS (the checker's [cmp] redefines them); in
+   backend-generated code the only flag readers are the jcc/setcc
+   immediately after a cmp, which has no GPR destination and therefore
+   never receives a checker. *)
+
+open Ferrum_asm
+
+exception Unprotectable of string
+
+let unprotectable fmt = Fmt.kstr (fun s -> raise (Unprotectable s)) fmt
+
+(* The GPR destination of an instruction, if it has exactly one. *)
+let dest_gpr (i : Instr.t) =
+  let gprs =
+    List.filter_map
+      (function Instr.Dgpr (r, s) -> Some (r, s) | _ -> None)
+      (Instr.defs i)
+  in
+  match gprs with [ d ] -> Some d | _ -> None
+
+(* Width at which original and duplicate are compared: 32-bit writes
+   zero-extend on x86, so a full 64-bit compare is both valid and
+   strictest; byte/word writes merge and must be compared at their own
+   width. *)
+let check_width = function
+  | Reg.B -> Reg.B
+  | Reg.W -> Reg.W
+  | Reg.D | Reg.Q -> Reg.Q
+
+let checker ?(target = Prog.exit_function_label) width ~orig ~dup =
+  [ Instr.check (Instr.Cmp (check_width width, dup, Instr.Reg orig));
+    Instr.check (Instr.Jcc (Cond.NE, target)) ]
+
+(* Build the duplicate of a re-executable instruction with its
+   destination replaced by [s]. *)
+let reexec_with_dest (i : Instr.t) s =
+  match i with
+  | Instr.Mov (sz, src, Instr.Reg _) -> Instr.Mov (sz, src, Instr.Reg s)
+  | Instr.Movslq (src, _) -> Instr.Movslq (src, s)
+  | Instr.Movzbq (src, _) -> Instr.Movzbq (src, s)
+  | Instr.Lea (m, _) -> Instr.Lea (m, s)
+  | Instr.Set (c, Instr.Reg _) -> Instr.Set (c, Instr.Reg s)
+  | Instr.MovQ_from_xmm (x, _) -> Instr.MovQ_from_xmm (x, s)
+  | Instr.Pextrq (lane, x, _) -> Instr.Pextrq (lane, x, s)
+  | _ -> unprotectable "reexec_with_dest: %s" (Printer.string_of_instr i)
+
+(* How many spare registers [protect] needs for an instruction. *)
+let spares_needed (i : Instr.t) =
+  match i with
+  | Instr.Idiv _ -> 4
+  | Instr.Pop _ -> 0 (* verified against the still-intact stack slot *)
+  | _ -> ( match dest_gpr i with Some _ -> 1 | None -> 0)
+
+(* A comparison the protection owes after the duplicate has executed:
+   original register vs the duplicate value (a spare register, or for
+   pop the still-intact memory slot just above the stack pointer). *)
+type owed_check = { orig : Reg.gpr; dup : Instr.operand; width : Reg.size }
+
+(* Duplicate one Original instruction, returning the replacement
+   sequence WITHOUT checkers plus the comparisons owed.  [spares] must
+   contain at least [spares_needed i] registers, none of which the
+   instruction mentions.  FERRUM batches the owed comparisons through
+   SIMD; the hybrid baseline materialises them immediately. *)
+let protect_parts ~spares (ins : Instr.ins) :
+    Instr.ins list * owed_check list =
+  let i = ins.op in
+  (match List.find_opt (fun s -> List.mem s (Instr.gprs_mentioned i)) spares with
+  | Some s ->
+    unprotectable "spare %s mentioned by %s" (Reg.gpr_name s Reg.Q)
+      (Printer.string_of_instr i)
+  | None -> ());
+  let s0 =
+    lazy (match spares with s :: _ -> s | [] -> unprotectable "no spare")
+  in
+  let copy a b =
+    Instr.instrumentation (Instr.Mov (Reg.Q, Instr.Reg a, Instr.Reg b))
+  in
+  match i with
+  (* Re-executable: duplicate first (Fig. 4). *)
+  | Instr.Mov (_, _, Instr.Reg d)
+  | Instr.Set (_, Instr.Reg d)
+  | Instr.Movslq (_, d) | Instr.Movzbq (_, d) | Instr.Lea (_, d)
+  | Instr.MovQ_from_xmm (_, d) | Instr.Pextrq (_, _, d) ->
+    let width =
+      match i with
+      | Instr.Mov (w, _, _) -> w
+      | Instr.Set _ -> Reg.B
+      | _ -> Reg.Q
+    in
+    let s0 = Lazy.force s0 in
+    ([ Instr.dup (reexec_with_dest i s0); ins ],
+     [ { orig = d; dup = Instr.Reg s0; width } ])
+  (* Accumulator shapes: copy, apply to the copy, then the original. *)
+  | Instr.Alu (op, sz, src, Instr.Reg d) ->
+    let s0 = Lazy.force s0 in
+    let src' =
+      match src with
+      | Instr.Reg r when Reg.equal_gpr r d -> Instr.Reg s0
+      | _ -> src
+    in
+    ([ copy d s0; Instr.dup (Instr.Alu (op, sz, src', Instr.Reg s0)); ins ],
+     [ { orig = d; dup = Instr.Reg s0; width = sz } ])
+  | Instr.Shift (k, sz, amt, Instr.Reg d) ->
+    let s0 = Lazy.force s0 in
+    ([ copy d s0; Instr.dup (Instr.Shift (k, sz, amt, Instr.Reg s0)); ins ],
+     [ { orig = d; dup = Instr.Reg s0; width = sz } ])
+  | Instr.Neg (sz, Instr.Reg d) ->
+    let s0 = Lazy.force s0 in
+    ([ copy d s0; Instr.dup (Instr.Neg (sz, Instr.Reg s0)); ins ],
+     [ { orig = d; dup = Instr.Reg s0; width = sz } ])
+  | Instr.Not (sz, Instr.Reg d) ->
+    let s0 = Lazy.force s0 in
+    ([ copy d s0; Instr.dup (Instr.Not (sz, Instr.Reg s0)); ins ],
+     [ { orig = d; dup = Instr.Reg s0; width = sz } ])
+  (* Pop: after the pop the popped slot still holds the true value just
+     below the new stack top; compare the register against it.  Needs no
+     spare register at all. *)
+  | Instr.Pop d ->
+    ([ ins ],
+     [ { orig = d; dup = Instr.Mem (Instr.mem ~base:Reg.RSP (-8));
+         width = Reg.Q } ])
+  (* Cqto: recompute the sign extension and compare RDX. *)
+  | Instr.Cqto ->
+    let s0 = Lazy.force s0 in
+    ([ ins; copy Reg.RDX s0; Instr.dup Instr.Cqto ],
+     [ { orig = Reg.RDX; dup = Instr.Reg s0; width = Reg.Q } ])
+  (* Idiv: save the inputs, divide, save the results, restore the
+     inputs, divide again, compare quotient and remainder. *)
+  | Instr.Idiv (sz, src) -> (
+    match spares with
+    | s0 :: s1 :: s2 :: s3 :: _ ->
+      (match src with
+      | Instr.Reg (Reg.RAX | Reg.RDX) ->
+        unprotectable "idiv with RAX/RDX divisor"
+      | _ -> ());
+      ([ copy Reg.RAX s0; copy Reg.RDX s1; ins; copy Reg.RAX s2;
+         copy Reg.RDX s3; copy s0 Reg.RAX; copy s1 Reg.RDX;
+         Instr.dup (Instr.Idiv (sz, src)) ],
+       [ { orig = Reg.RAX; dup = Instr.Reg s2; width = Reg.Q };
+         { orig = Reg.RDX; dup = Instr.Reg s3; width = Reg.Q } ])
+    | _ -> unprotectable "idiv needs 4 spare registers")
+  | _ ->
+    unprotectable "protect: no GPR destination in %s"
+      (Printer.string_of_instr i)
+
+(* Fig. 4 protection with immediate checkers, as the hybrid baseline
+   deploys it. *)
+let protect ?target ~spares (ins : Instr.ins) : Instr.ins list =
+  let seq, owed = protect_parts ~spares ins in
+  seq
+  @ List.concat_map
+      (fun { orig; dup; width } -> checker ?target width ~orig ~dup)
+      owed
+
+(* True when [protect] applies to the instruction. *)
+let protectable (i : Instr.t) =
+  match i with
+  | Instr.Cqto -> true
+  | Instr.Idiv _ -> true
+  | Instr.Pop _ -> true
+  | _ -> dest_gpr i <> None

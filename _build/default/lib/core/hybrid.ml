@@ -1,0 +1,206 @@
+(* HYBRID-ASSEMBLY-LEVEL-EDDI (paper §IV-A1, second baseline).
+
+   A replication of plain assembly-level EDDI assembled from the
+   literature: every protectable assembly instruction is immediately
+   duplicated and checked with the Fig. 4 scheme (no SIMD), while
+   comparison and branch instructions are protected at IR level with
+   signature-style checks (paper Table I: branch/comparison = IR),
+   because those are the two categories the paper's prior work found
+   hard to protect natively in assembly.
+
+   The IR part does two things:
+   - every icmp is re-executed and the two results compared immediately
+     (catches flag corruption in the lowered compare feeding a setcc);
+   - every conditional branch is routed through per-edge verification
+     blocks that re-test the condition value from memory and detect a
+     wrong-direction branch (catches flag corruption in the lowered
+     compare feeding the jcc). *)
+
+open Ferrum_asm
+open Ferrum_ir
+
+(* ------------------------------------------------------------------ *)
+(* IR signature pass.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type irstate = {
+  mutable next_vreg : int;
+  mutable next_label : int;
+  tables : Ir_eddi.prov_tables;
+  fname : string;
+  detect_label : string;
+  mutable finished : Ir.block list; (* reverse *)
+  mutable cur_label : string;
+  mutable cur_body : Ir.instr list; (* reverse *)
+  mutable edges : Ir.block list; (* verification blocks, reverse *)
+}
+
+let fresh_vreg st =
+  let v = st.next_vreg in
+  st.next_vreg <- v + 1;
+  v
+
+let fresh_label st hint =
+  let n = st.next_label in
+  st.next_label <- n + 1;
+  Printf.sprintf "%s_sig_%s%d" st.fname hint n
+
+let emit st i = st.cur_body <- i :: st.cur_body
+
+let finish_block st term =
+  st.finished <-
+    Ir.{ label = st.cur_label; body = List.rev st.cur_body; term }
+    :: st.finished;
+  st.cur_body <- []
+
+(* Duplicate an icmp and branch to the detector if the two disagree. *)
+let protect_icmp st (i : Ir.instr) =
+  match i with
+  | Ir.Icmp { dst; pred; ty; a; b } ->
+    emit st i;
+    let s = fresh_vreg st in
+    Hashtbl.replace st.tables.Ir_eddi.shadows (st.fname, s) ();
+    emit st (Ir.Icmp { dst = s; pred; ty; a; b });
+    let m = fresh_vreg st in
+    Hashtbl.replace st.tables.Ir_eddi.checks (st.fname, m) ();
+    emit st
+      (Ir.Icmp { dst = m; pred = Ir.Ne; ty = Ir.I1; a = Ir.Vreg dst;
+                 b = Ir.Vreg s });
+    let cont = fresh_label st "cont" in
+    finish_block st
+      (Ir.Br { cond = Ir.Vreg m; ifso = st.detect_label; ifnot = cont });
+    st.cur_label <- cont
+  | _ -> assert false
+
+(* Route a conditional branch through edge blocks that re-verify the
+   condition's stored value against the direction actually taken. *)
+let protect_branch st cond ifso ifnot =
+  let edge_so = fresh_label st "so" in
+  let edge_not = fresh_label st "not" in
+  Hashtbl.replace st.tables.Ir_eddi.detect_labels edge_so ();
+  Hashtbl.replace st.tables.Ir_eddi.detect_labels edge_not ();
+  st.edges <-
+    Ir.{ label = edge_so; body = [];
+         term = Ir.Br { cond; ifso; ifnot = st.detect_label } }
+    :: Ir.{ label = edge_not; body = [];
+            term = Ir.Br { cond; ifso = st.detect_label; ifnot } }
+    :: st.edges;
+  Ir.Br { cond; ifso = edge_so; ifnot = edge_not }
+
+let max_vreg (f : Ir.func) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      List.fold_left
+        (fun acc i -> match Ir.def i with Some d -> max acc d | None -> acc)
+        acc b.body)
+    (List.fold_left (fun acc (r, _) -> max acc r) (-1) f.params)
+    f.blocks
+
+let signature_pass_func tables (f : Ir.func) : Ir.func =
+  let st =
+    {
+      next_vreg = max_vreg f + 1;
+      next_label = 0;
+      tables;
+      fname = f.name;
+      detect_label = f.name ^ "_sig_detect";
+      finished = [];
+      cur_label = "";
+      cur_body = [];
+      edges = [];
+    }
+  in
+  Hashtbl.replace tables.Ir_eddi.detect_labels st.detect_label ();
+  List.iter
+    (fun (b : Ir.block) ->
+      st.cur_label <- b.label;
+      st.cur_body <- [];
+      List.iter
+        (fun i ->
+          match i with Ir.Icmp _ -> protect_icmp st i | _ -> emit st i)
+        b.body;
+      let term =
+        match b.term with
+        | Ir.Br { cond = Ir.Vreg _ as cond; ifso; ifnot } ->
+          protect_branch st cond ifso ifnot
+        | t -> t
+      in
+      finish_block st term)
+    f.blocks;
+  let detect_block =
+    Ir.
+      {
+        label = st.detect_label;
+        body =
+          [ Ir.Call { dst = None; callee = "__ferrum_detect"; args = [] } ];
+        term = Ir.Jmp st.detect_label;
+      }
+  in
+  { f with
+    blocks = List.rev st.finished @ List.rev st.edges @ [ detect_block ] }
+
+let signature_pass (m : Ir.modul) :
+    Ir.modul * Ferrum_backend.Backend.prov_oracle =
+  let tables = Ir_eddi.fresh_tables () in
+  let m' = { m with funcs = List.map (signature_pass_func tables) m.funcs } in
+  Verify.run m';
+  (m', Ir_eddi.oracle_of_tables tables)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly duplication pass (Fig. 4 for everything protectable).      *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable protected_count : int;
+  mutable skipped : int; (* protectable but no safe insertion point *)
+}
+
+let duplicate_func stats (f : Prog.func) : Prog.func =
+  let sp = Spare.analyze_func f in
+  let protect_one spares next (ins : Instr.ins) =
+    let flag_hazard =
+      match next with
+      | Some (n : Instr.ins) -> Instr.reads_flags n.op
+      | None -> false
+    in
+    if
+      ins.Instr.prov = Instr.Original
+      && Asm_protect.protectable ins.op
+      && (not flag_hazard)
+      && List.length spares >= Asm_protect.spares_needed ins.op
+    then begin
+      stats.protected_count <- stats.protected_count + 1;
+      Asm_protect.protect ~spares ins
+    end
+    else begin
+      (* IR-inserted signature code (non-Original) is deliberately left
+         alone and does not count as a skip *)
+      if ins.Instr.prov = Instr.Original && Asm_protect.protectable ins.op
+      then stats.skipped <- stats.skipped + 1;
+      [ ins ]
+    end
+  in
+  let blocks =
+    List.map
+      (fun (b : Prog.block) ->
+        let rec go = function
+          | [] -> []
+          | [ ins ] -> protect_one sp.Spare.spare_gprs None ins
+          | ins :: (next :: _ as rest) ->
+            protect_one sp.Spare.spare_gprs (Some next) ins @ go rest
+        in
+        Prog.block b.label (go b.insns))
+      f.blocks
+  in
+  Prog.func f.fname blocks
+
+(* Full hybrid pipeline: IR signature pass, lowering, then duplication
+   of every protectable assembly instruction. *)
+let protect ?(optimize = false) (m : Ir.modul) : Prog.t * stats =
+  let stats = { protected_count = 0; skipped = 0 } in
+  let m', oracle = signature_pass m in
+  let p = Ferrum_backend.Backend.compile ~oracle m' in
+  let p = if optimize then fst (Ferrum_backend.Peephole.run p) else p in
+  let p' = Prog.map_funcs (duplicate_func stats) p in
+  Prog.validate p';
+  (p', stats)

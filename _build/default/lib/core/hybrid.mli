@@ -1,0 +1,31 @@
+(** HYBRID-ASSEMBLY-LEVEL-EDDI (paper §IV-A1, the second baseline).
+
+    Plain assembly-level EDDI as replicated from the literature: every
+    protectable assembly instruction is immediately duplicated and
+    checked with the Fig. 4 scheme (no SIMD), while comparisons and
+    branches are protected at IR level with signature-style checks
+    (paper Table I: branch/comparison = IR) — every icmp is re-executed
+    and compared on the spot, and every conditional branch is routed
+    through per-edge verification blocks that re-test the stored
+    condition against the direction actually taken. *)
+
+(** Transform statistics of the assembly duplication pass. *)
+type stats = {
+  mutable protected_count : int;
+  mutable skipped : int;
+      (** protectable original instructions left alone (no safe
+          insertion point or not enough spares) — 0 on the benchmark
+          suite *)
+}
+
+(** The IR signature pass alone (icmp re-execution + branch direction
+    checks); returns the re-verified module and the provenance oracle
+    for lowering. *)
+val signature_pass : Ferrum_ir.Ir.modul ->
+  Ferrum_ir.Ir.modul * Ferrum_backend.Backend.prov_oracle
+
+(** Full hybrid pipeline: signature pass, lowering (optionally through
+    the peephole), then Fig. 4 duplication of every protectable original
+    instruction. *)
+val protect : ?optimize:bool -> Ferrum_ir.Ir.modul ->
+  Ferrum_asm.Prog.t * stats

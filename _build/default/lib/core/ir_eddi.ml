@@ -1,0 +1,237 @@
+(* IR-LEVEL-EDDI (paper §II-C, Fig. 2; first baseline of §IV-A1).
+
+   Classic EDDI in the SWIFT lineage: every duplicable IR instruction
+   (load, binop, icmp, gep, cast) gets a shadow copy computing over
+   shadow operands, and the original is compared against the shadow at
+   synchronisation points — stores (value and address), conditional
+   branches (condition value), calls (arguments) and returns — with a
+   mismatch transferring control to a detector block.
+
+   Memory is not duplicated (the fault model assumes ECC), so shadow
+   loads re-read the same location.  Faults that land in instructions the
+   backend introduces later (operand reloads, branch-condition
+   materialisation, store/call data movement) are invisible to this pass;
+   that is precisely the coverage gap the paper measures. *)
+
+open Ferrum_ir
+
+let detect_builtin = "__ferrum_detect"
+
+(* Provenance bookkeeping: which vregs are shadows (duplicates) and
+   which are checker comparisons, per function; consumed by the backend
+   oracle so lowered assembly carries the right tags. *)
+type prov_tables = {
+  shadows : (string * int, unit) Hashtbl.t; (* (fname, vreg) *)
+  checks : (string * int, unit) Hashtbl.t;
+  detect_labels : (string, unit) Hashtbl.t;
+}
+
+let fresh_tables () =
+  {
+    shadows = Hashtbl.create 256;
+    checks = Hashtbl.create 128;
+    detect_labels = Hashtbl.create 8;
+  }
+
+let oracle_of_tables (tb : prov_tables) : Ferrum_backend.Backend.prov_oracle =
+  let open Ferrum_asm in
+  {
+    Ferrum_backend.Backend.instr_prov =
+      (fun ~fname i ->
+        match Ir.def i with
+        | Some d when Hashtbl.mem tb.shadows (fname, d) -> Instr.Dup
+        | Some d when Hashtbl.mem tb.checks (fname, d) -> Instr.Check
+        | _ -> Instr.Original);
+    term_prov =
+      (fun ~fname ~label:_ t ->
+        match t with
+        | Ir.Br { cond = Ir.Vreg c; _ } when Hashtbl.mem tb.checks (fname, c)
+          -> Instr.Check
+        | _ -> Instr.Original);
+    block_prov =
+      (fun ~fname:_ ~label ->
+        if Hashtbl.mem tb.detect_labels label then Some Instr.Check else None);
+  }
+
+type state = {
+  mutable next_vreg : int;
+  mutable next_label : int;
+  shadow : (int, int) Hashtbl.t;
+  tables : prov_tables;
+  fname : string;
+  detect_label : string;
+  (* block assembly state *)
+  mutable finished : Ir.block list; (* reverse *)
+  mutable cur_label : string;
+  mutable cur_body : Ir.instr list; (* reverse *)
+}
+
+let fresh_vreg st =
+  let v = st.next_vreg in
+  st.next_vreg <- v + 1;
+  v
+
+let fresh_label st =
+  let n = st.next_label in
+  st.next_label <- n + 1;
+  Printf.sprintf "%s_eddichk%d" st.fname n
+
+let max_vreg (f : Ir.func) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      List.fold_left
+        (fun acc i -> match Ir.def i with Some d -> max acc d | None -> acc)
+        acc b.body)
+    (List.fold_left (fun acc (r, _) -> max acc r) (-1) f.params)
+    f.blocks
+
+let shadow_value st = function
+  | Ir.Vreg r as v -> (
+    match Hashtbl.find_opt st.shadow r with
+    | Some s -> Ir.Vreg s
+    | None -> v)
+  | v -> v
+
+let emit st i = st.cur_body <- i :: st.cur_body
+
+let finish_block st term =
+  st.finished <-
+    Ir.{ label = st.cur_label; body = List.rev st.cur_body; term }
+    :: st.finished;
+  st.cur_body <- []
+
+(* Compare [v] against its shadow (if any) and detect on mismatch; cuts
+   the current block. *)
+let check_value st ty v =
+  match v with
+  | Ir.Vreg r when Hashtbl.mem st.shadow r ->
+    let m = fresh_vreg st in
+    Hashtbl.replace st.tables.checks (st.fname, m) ();
+    emit st
+      (Ir.Icmp { dst = m; pred = Ir.Ne; ty; a = v; b = shadow_value st v });
+    let cont = fresh_label st in
+    finish_block st
+      (Ir.Br { cond = Ir.Vreg m; ifso = st.detect_label; ifnot = cont });
+    st.cur_label <- cont
+  | _ -> ()
+
+let register_shadow st dst s =
+  Hashtbl.replace st.shadow dst s;
+  Hashtbl.replace st.tables.shadows (st.fname, s) ()
+
+(* Type of a value for checking purposes; looked up from a per-function
+   type table prepared before rewriting. *)
+let duplicate_instr st types i =
+  match i with
+  | Ir.Load { dst; ty; ptr } ->
+    let s = fresh_vreg st in
+    register_shadow st dst s;
+    emit st i;
+    emit st (Ir.Load { dst = s; ty; ptr = shadow_value st ptr })
+  | Ir.Binop { dst; op; ty; a; b } ->
+    let s = fresh_vreg st in
+    register_shadow st dst s;
+    emit st i;
+    emit st
+      (Ir.Binop
+         { dst = s; op; ty; a = shadow_value st a; b = shadow_value st b })
+  | Ir.Icmp { dst; pred; ty; a; b } ->
+    let s = fresh_vreg st in
+    register_shadow st dst s;
+    emit st i;
+    emit st
+      (Ir.Icmp
+         { dst = s; pred; ty; a = shadow_value st a; b = shadow_value st b })
+  | Ir.Gep { dst; base; index; scale } ->
+    let s = fresh_vreg st in
+    register_shadow st dst s;
+    emit st i;
+    emit st
+      (Ir.Gep
+         { dst = s; base = shadow_value st base;
+           index = shadow_value st index; scale })
+  | Ir.Cast { dst; kind; v } ->
+    let s = fresh_vreg st in
+    register_shadow st dst s;
+    emit st i;
+    emit st (Ir.Cast { dst = s; kind; v = shadow_value st v })
+  | Ir.Store { ty; v; ptr } ->
+    check_value st ty v;
+    check_value st Ir.Ptr ptr;
+    emit st i
+  | Ir.Call { args; _ } ->
+    List.iter (fun a -> check_value st (types a) a) args;
+    emit st i
+  | Ir.Alloca _ -> emit st i
+
+let value_type_table (f : Ir.func) =
+  let types : (int, Ir.ty) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (r, t) -> Hashtbl.replace types r t) f.params;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          match (Ir.def i, i) with
+          | Some d, Ir.Load { ty; _ } -> Hashtbl.replace types d ty
+          | Some d, Ir.Binop { ty; _ } -> Hashtbl.replace types d ty
+          | Some d, Ir.Icmp _ -> Hashtbl.replace types d Ir.I1
+          | Some d, (Ir.Alloca _ | Ir.Gep _) -> Hashtbl.replace types d Ir.Ptr
+          | Some d, Ir.Cast { kind = Ir.Trunc_i64_i32; _ } ->
+            Hashtbl.replace types d Ir.I32
+          | Some d, Ir.Cast _ -> Hashtbl.replace types d Ir.I64
+          | Some d, Ir.Call _ -> Hashtbl.replace types d Ir.I64
+          | _ -> ())
+        b.body)
+    f.blocks;
+  fun (v : Ir.value) ->
+    match v with
+    | Ir.Vreg r -> (
+      match Hashtbl.find_opt types r with Some t -> t | None -> Ir.I64)
+    | Ir.Const (t, _) -> t
+    | Ir.Global _ -> Ir.Ptr
+
+let protect_func tables (f : Ir.func) : Ir.func =
+  let st =
+    {
+      next_vreg = max_vreg f + 1;
+      next_label = 0;
+      shadow = Hashtbl.create 64;
+      tables;
+      fname = f.name;
+      detect_label = f.name ^ "_eddi_detect";
+      finished = [];
+      cur_label = "";
+      cur_body = [];
+    }
+  in
+  Hashtbl.replace tables.detect_labels st.detect_label ();
+  let types = value_type_table f in
+  List.iter
+    (fun (b : Ir.block) ->
+      st.cur_label <- b.label;
+      st.cur_body <- [];
+      List.iter (duplicate_instr st types) b.body;
+      (match b.term with
+      | Ir.Br { cond; _ } -> check_value st Ir.I1 cond
+      | Ir.Ret (Some v) -> check_value st (types v) v
+      | Ir.Ret None | Ir.Jmp _ -> ());
+      finish_block st b.term)
+    f.blocks;
+  let detect_block =
+    Ir.
+      {
+        label = st.detect_label;
+        body = [ Ir.Call { dst = None; callee = detect_builtin; args = [] } ];
+        term = Ir.Jmp st.detect_label;
+      }
+  in
+  { f with blocks = List.rev st.finished @ [ detect_block ] }
+
+(* Apply IR-level EDDI to every function of a module.  Returns the
+   protected module and a backend oracle that tags the lowered shadow
+   and checker code with its provenance. *)
+let protect (m : Ir.modul) : Ir.modul * Ferrum_backend.Backend.prov_oracle =
+  let tables = fresh_tables () in
+  let m' = { m with funcs = List.map (protect_func tables) m.funcs } in
+  Verify.run m';
+  (m', oracle_of_tables tables)

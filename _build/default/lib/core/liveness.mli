@@ -1,0 +1,32 @@
+(** Backward liveness analysis over assembly functions.
+
+    The paper invokes liveness when arguing FERRUM's register reuse is
+    safe (§III-B2).  [analyze] computes per-instruction live-in GPR sets
+    with the classic backward data-flow over the block CFG; FERRUM's
+    requisition path (with [use_liveness]) clobbers provably-dead
+    registers without the Fig. 7 push/pop.
+
+    Conservatism: [call] reads every register (protected callees may
+    touch anything), so nothing is dead across a call; partial (8/16-bit)
+    writes do not kill; unknown positions report live. *)
+
+open Ferrum_asm
+
+(** Registers an instruction reads, including address components and the
+    read half of read-modify-write destinations. *)
+val reads : Instr.t -> Spare.GSet.t
+
+(** Registers an instruction fully defines (64/32-bit writes). *)
+val writes : Instr.t -> Spare.GSet.t
+
+type t
+
+val analyze : Prog.func -> t
+
+(** [dead_at t ~label ~k r]: is [r] dead immediately before instruction
+    [k] of block [label] (safe to clobber)?  Unknown positions are
+    live. *)
+val dead_at : t -> label:string -> k:int -> Reg.gpr -> bool
+
+(** Dead registers at a position, in {!Spare.preference} order. *)
+val dead_regs_at : t -> label:string -> k:int -> Reg.gpr list

@@ -1,0 +1,56 @@
+(* End-to-end drivers: compile a module unprotected or under any of the
+   three techniques, with transform timing for the paper's compile-time
+   measurement (§IV-B3). *)
+
+open Ferrum_asm
+
+type result = {
+  technique : Technique.t option; (* None = unprotected baseline *)
+  program : Prog.t;
+  transform_seconds : float; (* time spent in the protection transform *)
+}
+
+(* Compile, optionally running the backend peephole optimiser
+   (experiment E9: how much of the cross-layer story is -O0 glue). *)
+let compile_raw ?(optimize = false) ?oracle (m : Ferrum_ir.Ir.modul) : Prog.t
+    =
+  let p = Ferrum_backend.Backend.compile ?oracle m in
+  if optimize then fst (Ferrum_backend.Peephole.run p) else p
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Protect [m] with [technique].  The timed section covers only the
+   protection transform itself (for IR-level techniques, the IR pass;
+   for FERRUM, the assembly pass), matching how the paper reports
+   FERRUM's execution time. *)
+let protect ?(ferrum_config = Ferrum_pass.default_config) ?(optimize = false)
+    technique (m : Ferrum_ir.Ir.modul) : result =
+  match technique with
+  | Technique.Ir_level_eddi ->
+    let (m', oracle), secs = timed (fun () -> Ir_eddi.protect m) in
+    {
+      technique = Some technique;
+      program = compile_raw ~optimize ~oracle m';
+      transform_seconds = secs;
+    }
+  | Technique.Hybrid_assembly_eddi ->
+    let (p, _stats), secs = timed (fun () -> Hybrid.protect ~optimize m) in
+    { technique = Some technique; program = p; transform_seconds = secs }
+  | Technique.Ferrum ->
+    let base = compile_raw ~optimize m in
+    let (p, _stats), secs =
+      timed (fun () -> Ferrum_pass.protect ~config:ferrum_config base)
+    in
+    { technique = Some technique; program = p; transform_seconds = secs }
+
+let raw ?(optimize = false) (m : Ferrum_ir.Ir.modul) : result =
+  { technique = None; program = compile_raw ~optimize m;
+    transform_seconds = 0.0 }
+
+(* All four configurations of a module: raw + the three techniques. *)
+let all_configurations ?ferrum_config ?optimize m =
+  raw ?optimize m
+  :: List.map (fun t -> protect ?ferrum_config ?optimize t m) Technique.all

@@ -1,0 +1,37 @@
+(** End-to-end drivers: compile a module unprotected or under any of the
+    three techniques, with transform timing for the paper's compile-time
+    measurement (§IV-B3). *)
+
+type result = {
+  technique : Technique.t option;  (** [None] = unprotected baseline *)
+  program : Ferrum_asm.Prog.t;
+  transform_seconds : float;  (** time spent in the protection transform *)
+}
+
+(** Compile only; [optimize] enables the backend peephole (E9). *)
+val compile_raw :
+  ?optimize:bool ->
+  ?oracle:Ferrum_backend.Backend.prov_oracle ->
+  Ferrum_ir.Ir.modul ->
+  Ferrum_asm.Prog.t
+
+(** Protect with one technique.  The timed section covers the protection
+    transform itself: the IR pass for IR-level techniques, the assembly
+    pass for FERRUM — matching how the paper reports FERRUM's execution
+    time. *)
+val protect :
+  ?ferrum_config:Ferrum_pass.config ->
+  ?optimize:bool ->
+  Technique.t ->
+  Ferrum_ir.Ir.modul ->
+  result
+
+(** The unprotected configuration. *)
+val raw : ?optimize:bool -> Ferrum_ir.Ir.modul -> result
+
+(** Raw followed by each technique, in {!Technique.all} order. *)
+val all_configurations :
+  ?ferrum_config:Ferrum_pass.config ->
+  ?optimize:bool ->
+  Ferrum_ir.Ir.modul ->
+  result list

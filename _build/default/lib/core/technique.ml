@@ -1,0 +1,60 @@
+(* The three protection techniques evaluated in the paper, and the
+   capability matrix of paper Table I: at which level (if any) each
+   technique covers each assembly instruction category. *)
+
+type t = Ir_level_eddi | Hybrid_assembly_eddi | Ferrum
+
+let all = [ Ir_level_eddi; Hybrid_assembly_eddi; Ferrum ]
+
+let name = function
+  | Ir_level_eddi -> "IR-LEVEL-EDDI"
+  | Hybrid_assembly_eddi -> "HYBRID-ASSEMBLY-LEVEL-EDDI"
+  | Ferrum -> "FERRUM"
+
+let short_name = function
+  | Ir_level_eddi -> "ir-eddi"
+  | Hybrid_assembly_eddi -> "hybrid"
+  | Ferrum -> "ferrum"
+
+let of_short_name = function
+  | "ir-eddi" -> Some Ir_level_eddi
+  | "hybrid" -> Some Hybrid_assembly_eddi
+  | "ferrum" -> Some Ferrum
+  | _ -> None
+
+(* Implementation level of a protection facility (Table I cells). *)
+type level =
+  | IR (* implemented at IR level *)
+  | AS1 (* assembly level, no SIMD *)
+  | AS2 (* assembly level with SIMD *)
+  | Uncovered (* "/" in the paper: faults there escape the technique *)
+
+let level_name = function
+  | IR -> "IR"
+  | AS1 -> "AS1"
+  | AS2 -> "AS2"
+  | Uncovered -> "/"
+
+(* Instruction categories of Table I's columns.  "Mapping" is the
+   backend's data movement between stack slots and registers (operand
+   reloads and result spills); it only exists below the IR. *)
+type category = Basic | Store | Branch | CallCat | Mapping | Comparison
+
+let categories = [ Basic; Store; Branch; CallCat; Mapping; Comparison ]
+
+let category_name = function
+  | Basic -> "basic"
+  | Store -> "store"
+  | Branch -> "branch"
+  | CallCat -> "call"
+  | Mapping -> "mapping"
+  | Comparison -> "comparison"
+
+(* Paper Table I. *)
+let coverage t c =
+  match (t, c) with
+  | Ir_level_eddi, Basic -> IR
+  | Ir_level_eddi, _ -> Uncovered
+  | Hybrid_assembly_eddi, (Branch | Comparison) -> IR
+  | Hybrid_assembly_eddi, _ -> AS1
+  | Ferrum, _ -> AS2

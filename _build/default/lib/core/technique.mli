@@ -1,0 +1,33 @@
+(** The three protection techniques the paper evaluates, and the
+    capability matrix of its Table I. *)
+
+type t = Ir_level_eddi | Hybrid_assembly_eddi | Ferrum
+
+val all : t list
+
+(** Paper name, e.g. "HYBRID-ASSEMBLY-LEVEL-EDDI". *)
+val name : t -> string
+
+(** CLI-friendly name: "ir-eddi", "hybrid" or "ferrum". *)
+val short_name : t -> string
+
+val of_short_name : string -> t option
+
+(** Implementation level of a protection facility (Table I cells). *)
+type level =
+  | IR  (** implemented at IR level *)
+  | AS1  (** assembly level, no SIMD *)
+  | AS2  (** assembly level with SIMD *)
+  | Uncovered  (** "/" in the paper: faults there escape the technique *)
+
+val level_name : level -> string
+
+(** Table I's columns.  "Mapping" is the backend's data movement between
+    stack slots and registers; it only exists below the IR. *)
+type category = Basic | Store | Branch | CallCat | Mapping | Comparison
+
+val categories : category list
+val category_name : category -> string
+
+(** Paper Table I: at which level [t] covers faults in category [c]. *)
+val coverage : t -> category -> level

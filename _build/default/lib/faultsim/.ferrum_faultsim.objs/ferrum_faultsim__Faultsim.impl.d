@@ -1,0 +1,1 @@
+lib/faultsim/faultsim.ml: Array Cond Ferrum_asm Ferrum_machine Fmt Instr Int64 List Printf Reg Rng

@@ -1,0 +1,1 @@
+lib/faultsim/faultsim.mli: Ferrum_machine Format Rng

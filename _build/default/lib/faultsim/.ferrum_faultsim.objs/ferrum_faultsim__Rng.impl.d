@@ -1,0 +1,1 @@
+lib/faultsim/rng.ml: Int64

@@ -1,0 +1,243 @@
+(* Assembly-level fault injection (paper §II-B, §IV-A2).
+
+   Fault model: a single bit flip in the destination of one dynamically
+   executed instruction — a general-purpose register, a 64-bit SIMD
+   lane, or one of the RFLAGS bits the instruction defines — applied
+   immediately after write-back.  Memory and caches are assumed
+   ECC-protected and are not injection targets.
+
+   Site scope: by default only [Original]-provenance instructions are
+   sampled (the campaign measures protection of the program itself); the
+   [All_sites] scope includes duplicates, checkers and instrumentation
+   (experiment E8 in DESIGN.md). *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+
+type scope = Original_only | All_sites
+
+(* Outcome of one injected run, classified against the golden run. *)
+type classification =
+  | Benign (* normal exit, output identical *)
+  | Sdc (* normal exit, output differs: silent data corruption *)
+  | Detected (* a checker fired *)
+  | Crash (* trap: wild access, divide error, wild control *)
+  | Timeout (* fuel exhausted (e.g. corrupted loop bound) *)
+
+let classification_name = function
+  | Benign -> "benign"
+  | Sdc -> "sdc"
+  | Detected -> "detected"
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+
+type counts = {
+  samples : int;
+  benign : int;
+  sdc : int;
+  detected : int;
+  crash : int;
+  timeout : int;
+}
+
+let zero_counts =
+  { samples = 0; benign = 0; sdc = 0; detected = 0; crash = 0; timeout = 0 }
+
+let add_count c = function
+  | Benign -> { c with samples = c.samples + 1; benign = c.benign + 1 }
+  | Sdc -> { c with samples = c.samples + 1; sdc = c.sdc + 1 }
+  | Detected -> { c with samples = c.samples + 1; detected = c.detected + 1 }
+  | Crash -> { c with samples = c.samples + 1; crash = c.crash + 1 }
+  | Timeout -> { c with samples = c.samples + 1; timeout = c.timeout + 1 }
+
+let sdc_probability c =
+  if c.samples = 0 then 0.0 else float_of_int c.sdc /. float_of_int c.samples
+
+(* 95% normal-approximation confidence half-interval on a proportion. *)
+let confidence95 c =
+  if c.samples = 0 then 0.0
+  else
+    let p = sdc_probability c in
+    1.96 *. sqrt (p *. (1.0 -. p) /. float_of_int c.samples)
+
+let pp_counts ppf c =
+  Fmt.pf ppf "n=%d benign=%d sdc=%d detected=%d crash=%d timeout=%d"
+    c.samples c.benign c.sdc c.detected c.crash c.timeout
+
+(* ------------------------------------------------------------------ *)
+(* Site eligibility.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per static instruction: is it a sampling-eligible injection site? *)
+let eligibility (img : Machine.image) scope =
+  Array.mapi
+    (fun i (ins : Instr.ins) ->
+      let prov_ok =
+        match scope with
+        | All_sites -> true
+        | Original_only -> ins.prov = Instr.Original
+      in
+      prov_ok && img.Machine.dests.(i) <> [])
+    img.Machine.code
+
+(* A profiled program ready for injection. *)
+type target = {
+  img : Machine.image;
+  eligible : bool array;
+  golden_output : int64 list;
+  golden_steps : int;
+  golden_cycles : float;
+  eligible_steps : int; (* dynamic count of eligible write-backs *)
+  fuel : int;
+}
+
+exception Golden_failure of string
+
+(* Profile the fault-free run: output, step count, and the number of
+   eligible dynamic injection sites. *)
+let prepare ?(scope = Original_only) (img : Machine.image) : target =
+  let eligible = eligibility img scope in
+  let count = ref 0 in
+  let on_step _st idx = if eligible.(idx) then incr count in
+  let outcome, st = Machine.run_fresh ~on_step img in
+  match outcome with
+  | Machine.Exit out ->
+    {
+      img;
+      eligible;
+      golden_output = out;
+      golden_steps = st.Machine.steps;
+      golden_cycles = st.Machine.cycles;
+      eligible_steps = !count;
+      fuel = (st.Machine.steps * 3) + 100_000;
+    }
+  | o ->
+    raise
+      (Golden_failure (Fmt.str "golden run did not exit: %a" Machine.pp_outcome o))
+
+(* ------------------------------------------------------------------ *)
+(* One injection.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Description of a single fault, for logging and tests. *)
+type fault = {
+  dyn_index : int; (* which eligible dynamic write-back *)
+  static_index : int; (* filled during the run *)
+  dest_desc : string;
+  bit : int; (* first flipped bit *)
+}
+
+(* Draw [n] distinct values below [bound]. *)
+let distinct_below rng ~n ~bound =
+  let n = min n bound in
+  let rec go acc =
+    if List.length acc >= n then acc
+    else
+      let v = Rng.int rng bound in
+      if List.mem v acc then go acc else go (v :: acc)
+  in
+  go []
+
+(* Flip [bits] distinct bits of the destination — the paper's model uses
+   single flips; [bits > 1] reproduces its multiple-bit-upset future
+   work (DESIGN.md E11). *)
+let flip_dest ?(bits = 1) rng st (dest : Instr.dest) =
+  match dest with
+  | Instr.Dgpr (r, s) ->
+    let positions = distinct_below rng ~n:bits ~bound:(Reg.size_bits s) in
+    List.iter (fun bit -> Machine.flip_gpr st r s ~bit) positions;
+    (Printf.sprintf "%%%s" (Reg.gpr_name r s), List.hd positions)
+  | Instr.Dsimd (x, lanes) ->
+    let lane = List.nth lanes (Rng.int rng (List.length lanes)) in
+    let positions = distinct_below rng ~n:bits ~bound:64 in
+    List.iter (fun bit -> Machine.flip_simd_lane st x ~lane ~bit) positions;
+    (Printf.sprintf "%%%s[%d]" (Reg.xmm_name x) lane, List.hd positions)
+  | Instr.Dflags flags ->
+    let picks = distinct_below rng ~n:bits ~bound:(List.length flags) in
+    List.iter (fun i -> Machine.flip_flag st (List.nth flags i)) picks;
+    let f = List.nth flags (List.hd picks) in
+    let name =
+      match f with
+      | Cond.ZF -> "ZF" | Cond.SF -> "SF" | Cond.CF -> "CF" | Cond.OF -> "OF"
+    in
+    (Printf.sprintf "flags.%s" name, 0)
+
+(* Run the target once, flipping one bit at the [dyn_index]-th eligible
+   write-back.  Returns the classification and the fault description. *)
+let inject ?(fault_bits = 1) (t : target) rng ~dyn_index :
+    classification * fault =
+  let st = Machine.fresh_state t.img in
+  let seen = ref 0 in
+  let fault = ref None in
+  let on_step mstate idx =
+    if t.eligible.(idx) then begin
+      if !seen = dyn_index then begin
+        let dests = t.img.Machine.dests.(idx) in
+        let d = List.nth dests (Rng.int rng (List.length dests)) in
+        let dest_desc, bit = flip_dest ~bits:fault_bits rng mstate d in
+        fault := Some { dyn_index; static_index = idx; dest_desc; bit }
+      end;
+      incr seen
+    end
+  in
+  let outcome = Machine.run ~fuel:t.fuel ~on_step t.img st in
+  let cls =
+    match outcome with
+    | Machine.Exit out ->
+      if
+        List.compare_lengths out t.golden_output = 0
+        && List.for_all2 Int64.equal out t.golden_output
+      then Benign
+      else Sdc
+    | Machine.Detected -> Detected
+    | Machine.Crash _ -> Crash
+    | Machine.Timeout -> Timeout
+  in
+  let fault =
+    match !fault with
+    | Some f -> f
+    | None ->
+      (* the run ended before the chosen site was reached (possible only
+         if dyn_index is out of range) *)
+      { dyn_index; static_index = -1; dest_desc = "unreached"; bit = -1 }
+  in
+  (cls, fault)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type campaign_result = {
+  counts : counts;
+  target : target;
+  faults : (classification * fault) list; (* newest first *)
+}
+
+(* Sample [samples] single-fault runs with the given seed. *)
+let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
+    ~samples img =
+  let t = prepare ~scope img in
+  if t.eligible_steps = 0 then
+    invalid_arg "Faultsim.campaign: no eligible injection sites";
+  let rng = Rng.create ~seed in
+  let rec go n counts faults =
+    if n = 0 then { counts; target = t; faults }
+    else
+      let sample_rng = Rng.split rng in
+      let dyn_index = Rng.int sample_rng t.eligible_steps in
+      let cls, fault = inject ~fault_bits t sample_rng ~dyn_index in
+      go (n - 1) (add_count counts cls) ((cls, fault) :: faults)
+  in
+  go samples zero_counts []
+
+(* SDC coverage of a protected program relative to the raw baseline
+   (paper §IV-A3): (SDC_raw - SDC_prot) / SDC_raw. *)
+let sdc_coverage ~raw ~protected_ =
+  let p_raw = sdc_probability raw in
+  if p_raw <= 0.0 then 1.0
+  else max 0.0 ((p_raw -. sdc_probability protected_) /. p_raw)
+
+(* Runtime performance overhead (paper §IV-A3) from golden cycles:
+   (T_prot - T_raw) / T_raw. *)
+let overhead ~raw_cycles ~prot_cycles =
+  if raw_cycles <= 0.0 then 0.0 else (prot_cycles -. raw_cycles) /. raw_cycles

@@ -1,0 +1,99 @@
+(** Assembly-level fault injection (paper §II-B, §IV-A2).
+
+    Fault model: a single bit flip (or, for the E11 extension, several
+    distinct bits) in the destination of one dynamically executed
+    instruction — a general-purpose register, a 64-bit SIMD lane, or one
+    of the RFLAGS bits the instruction defines — applied immediately
+    after write-back.  Memory and caches are assumed ECC-protected and
+    are never targets.  One fault per run; campaigns sample dynamic
+    sites uniformly, as the paper does with 1000 runs per benchmark. *)
+
+module Machine = Ferrum_machine.Machine
+
+(** Which instructions are sampling-eligible: by default only
+    [Original]-provenance ones (protection of the program itself);
+    [All_sites] also targets duplicates, checkers and instrumentation
+    (DESIGN.md experiment E8). *)
+type scope = Original_only | All_sites
+
+(** Outcome of an injected run, classified against the golden run. *)
+type classification =
+  | Benign  (** normal exit, output identical *)
+  | Sdc  (** normal exit, output differs: silent data corruption *)
+  | Detected  (** a checker fired *)
+  | Crash  (** trap: wild access, divide error, wild control *)
+  | Timeout  (** fuel exhausted (e.g. corrupted loop bound) *)
+
+val classification_name : classification -> string
+
+type counts = {
+  samples : int;
+  benign : int;
+  sdc : int;
+  detected : int;
+  crash : int;
+  timeout : int;
+}
+
+val zero_counts : counts
+val add_count : counts -> classification -> counts
+
+(** Fraction of samples that were SDC. *)
+val sdc_probability : counts -> float
+
+(** 95% normal-approximation half-interval on the SDC proportion. *)
+val confidence95 : counts -> float
+
+val pp_counts : Format.formatter -> counts -> unit
+
+(** Per static instruction: is it a sampling-eligible site? *)
+val eligibility : Machine.image -> scope -> bool array
+
+(** A profiled program ready for injection. *)
+type target = {
+  img : Machine.image;
+  eligible : bool array;
+  golden_output : int64 list;
+  golden_steps : int;
+  golden_cycles : float;
+  eligible_steps : int;  (** dynamic count of eligible write-backs *)
+  fuel : int;  (** injected-run budget: 3x golden + slack *)
+}
+
+exception Golden_failure of string
+
+(** Profile the fault-free run.  Raises {!Golden_failure} if it does not
+    exit normally. *)
+val prepare : ?scope:scope -> Machine.image -> target
+
+(** Description of one injected fault. *)
+type fault = {
+  dyn_index : int;  (** which eligible dynamic write-back *)
+  static_index : int;
+  dest_desc : string;  (** e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  bit : int;  (** first flipped bit *)
+}
+
+(** Run once, flipping [fault_bits] (default 1) distinct bits of one
+    destination of the [dyn_index]-th eligible write-back. *)
+val inject :
+  ?fault_bits:int -> target -> Rng.t -> dyn_index:int ->
+  classification * fault
+
+type campaign_result = {
+  counts : counts;
+  target : target;
+  faults : (classification * fault) list;  (** newest first *)
+}
+
+(** Sample [samples] single-fault runs; bit-reproducible per seed. *)
+val campaign :
+  ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> samples:int ->
+  Machine.image -> campaign_result
+
+(** SDC coverage relative to the raw baseline (paper §IV-A3):
+    [(p_raw - p_prot) / p_raw], clamped to [0; 1]. *)
+val sdc_coverage : raw:counts -> protected_:counts -> float
+
+(** Runtime overhead (paper §IV-A3): [(prot - raw) / raw]. *)
+val overhead : raw_cycles:float -> prot_cycles:float -> float

@@ -1,0 +1,29 @@
+(* Deterministic splitmix64 PRNG.  All randomness in fault-injection
+   campaigns flows through one of these, seeded explicitly, so every
+   experiment in EXPERIMENTS.md is reproducible bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0"
+  else
+    (* keep 62 bits so the value fits OCaml's 63-bit native int *)
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    v mod bound
+
+(* Derive an independent stream, for per-sample reproducibility. *)
+let split t = create ~seed:(next_int64 t)

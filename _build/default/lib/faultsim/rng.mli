@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 PRNG.  All randomness in fault-injection
+    campaigns flows through one of these, seeded explicitly, so every
+    recorded experiment is reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Uniform integer in [0, bound); raises on non-positive bounds. *)
+val int : t -> int -> int
+
+(** Derive an independent stream (per-sample reproducibility). *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Int64 Ir List Printf

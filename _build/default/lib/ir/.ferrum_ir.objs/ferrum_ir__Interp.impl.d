@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Bytes Char Fmt Hashtbl Int64 Ir List Option String

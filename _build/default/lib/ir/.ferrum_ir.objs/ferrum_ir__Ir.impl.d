@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Fmt Fun Hashtbl Int Ir List Map Set String

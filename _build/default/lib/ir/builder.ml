@@ -1,0 +1,230 @@
+(* Imperative builder for {!Ir} modules.  Workloads and tests use it to
+   write kernels in a compact SSA-with-allocas style; [local_var] /
+   [for_up] capture the clang -O0 idiom of a counter in an alloca. *)
+
+type t = {
+  mutable funcs : Ir.func list; (* reverse order *)
+  mutable globals : (string * int) list;
+  mutable main : string;
+}
+
+let create () = { funcs = []; globals = []; main = "main" }
+
+let global t name ~bytes =
+  if List.mem_assoc name t.globals then
+    invalid_arg ("Builder.global: duplicate " ^ name);
+  t.globals <- (name, bytes) :: t.globals;
+  Ir.Global name
+
+let finish (t : t) : Ir.modul =
+  let funcs = List.rev t.funcs
+  and globals = List.rev t.globals
+  and main = t.main in
+  { Ir.funcs; globals; main }
+
+(* ------------------------------------------------------------------ *)
+(* Function builder.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type fb = {
+  fname : string;
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable done_blocks : Ir.block list; (* reverse order *)
+  mutable cur_label : string option;
+  mutable cur_body : Ir.instr list; (* reverse order *)
+}
+
+let fresh_vreg fb =
+  let v = fb.next_vreg in
+  fb.next_vreg <- v + 1;
+  v
+
+(* Labels are globally unique ("<func>_<hint><n>") so that flattened
+   assembly programs need no label mangling downstream. *)
+let fresh_label fb hint =
+  let n = fb.next_label in
+  fb.next_label <- n + 1;
+  Printf.sprintf "%s_%s%d" fb.fname hint n
+
+let emit fb i = fb.cur_body <- i :: fb.cur_body
+
+let seal fb term =
+  match fb.cur_label with
+  | None -> invalid_arg "Builder: terminator with no open block"
+  | Some label ->
+    fb.done_blocks <-
+      Ir.{ label; body = List.rev fb.cur_body; term } :: fb.done_blocks;
+    fb.cur_label <- None;
+    fb.cur_body <- []
+
+(* Open a new block.  The previous block must have been terminated. *)
+let start_block fb label =
+  (match fb.cur_label with
+  | Some open_l ->
+    invalid_arg
+      (Printf.sprintf "Builder: block %s still open when starting %s" open_l
+         label)
+  | None -> ());
+  fb.cur_label <- Some label
+
+let i64 v = Ir.Const (Ir.I64, Int64.of_int v)
+let i64' v = Ir.Const (Ir.I64, v)
+let i32 v = Ir.Const (Ir.I32, Int64.of_int v)
+
+let alloca fb ~bytes =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Alloca { dst; bytes });
+  Ir.Vreg dst
+
+let load fb ty ptr =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Load { dst; ty; ptr });
+  Ir.Vreg dst
+
+let store fb ty v ptr = emit fb (Ir.Store { ty; v; ptr })
+
+let binop fb op ty a b =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Binop { dst; op; ty; a; b });
+  Ir.Vreg dst
+
+let add fb a b = binop fb Ir.Add Ir.I64 a b
+let sub fb a b = binop fb Ir.Sub Ir.I64 a b
+let mul fb a b = binop fb Ir.Mul Ir.I64 a b
+let sdiv fb a b = binop fb Ir.Sdiv Ir.I64 a b
+let srem fb a b = binop fb Ir.Srem Ir.I64 a b
+let ashr fb a n = binop fb Ir.Ashr Ir.I64 a (i64 n)
+let shl fb a n = binop fb Ir.Shl Ir.I64 a (i64 n)
+let xor fb a b = binop fb Ir.Xor Ir.I64 a b
+let and_ fb a b = binop fb Ir.And Ir.I64 a b
+
+let icmp fb pred a b =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Icmp { dst; pred; ty = Ir.I64; a; b });
+  Ir.Vreg dst
+
+let gep fb base index ~scale =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Gep { dst; base; index; scale });
+  Ir.Vreg dst
+
+let cast fb kind v =
+  let dst = fresh_vreg fb in
+  emit fb (Ir.Cast { dst; kind; v });
+  Ir.Vreg dst
+
+let call fb ?ret callee args =
+  match ret with
+  | Some _ ->
+    let dst = fresh_vreg fb in
+    emit fb (Ir.Call { dst = Some dst; callee; args });
+    Some (Ir.Vreg dst)
+  | None ->
+    emit fb (Ir.Call { dst = None; callee; args });
+    None
+
+let call_v fb callee args =
+  match call fb ~ret:Ir.I64 callee args with
+  | Some v -> v
+  | None -> assert false
+
+let print_i64 fb v = ignore (call fb "print_i64" [ v ])
+
+let br fb cond ~ifso ~ifnot = seal fb (Ir.Br { cond; ifso; ifnot })
+let jmp fb l = seal fb (Ir.Jmp l)
+let ret fb v = seal fb (Ir.Ret v)
+
+(* Jump only when the current block is still open; lets an [if_] branch
+   end with an early [ret]. *)
+let jmp_if_open fb l =
+  match fb.cur_label with Some _ -> jmp fb l | None -> ()
+
+(* True while a block is open (no terminator emitted yet). *)
+let is_open fb = fb.cur_label <> None
+
+(* A stack-allocated mutable i64 variable, as clang -O0 would produce. *)
+type var = { slot : Ir.value }
+
+let local_var fb init =
+  let slot = alloca fb ~bytes:8 in
+  store fb Ir.I64 init slot;
+  { slot }
+
+let get fb v = load fb Ir.I64 v.slot
+let set fb v x = store fb Ir.I64 x v.slot
+
+(* Counted loop: for (i = from; i < to; i++) body, all state in memory. *)
+let for_up fb ~from ~to_ ~hint body =
+  let head = fresh_label fb (hint ^ "_head") in
+  let body_l = fresh_label fb (hint ^ "_body") in
+  let exit_l = fresh_label fb (hint ^ "_exit") in
+  let iv = local_var fb from in
+  jmp fb head;
+  start_block fb head;
+  let i = get fb iv in
+  let c = icmp fb Ir.Slt i to_ in
+  br fb c ~ifso:body_l ~ifnot:exit_l;
+  start_block fb body_l;
+  let i = get fb iv in
+  body i;
+  let i' = get fb iv in
+  set fb iv (add fb i' (i64 1));
+  jmp fb head;
+  start_block fb exit_l
+
+(* While loop with an arbitrary condition computed each iteration. *)
+let while_ fb ~hint cond body =
+  let head = fresh_label fb (hint ^ "_head") in
+  let body_l = fresh_label fb (hint ^ "_body") in
+  let exit_l = fresh_label fb (hint ^ "_exit") in
+  jmp fb head;
+  start_block fb head;
+  let c = cond () in
+  br fb c ~ifso:body_l ~ifnot:exit_l;
+  start_block fb body_l;
+  body ();
+  jmp fb head;
+  start_block fb exit_l
+
+(* if (cond) then-branch [else else-branch], continuing in a join block. *)
+let if_ fb ~hint cond ~then_ ?else_ () =
+  let then_l = fresh_label fb (hint ^ "_then") in
+  let join_l = fresh_label fb (hint ^ "_join") in
+  let else_l =
+    match else_ with Some _ -> fresh_label fb (hint ^ "_else") | None -> join_l
+  in
+  br fb cond ~ifso:then_l ~ifnot:else_l;
+  start_block fb then_l;
+  then_ ();
+  jmp_if_open fb join_l;
+  (match else_ with
+  | Some f ->
+    start_block fb else_l;
+    f ();
+    jmp_if_open fb join_l
+  | None -> ());
+  start_block fb join_l
+
+let func t name ~params ~ret build =
+  let fb =
+    {
+      fname = name;
+      next_vreg = 0;
+      next_label = 0;
+      done_blocks = [];
+      cur_label = None;
+      cur_body = [];
+    }
+  in
+  let param_regs = List.map (fun ty -> (fresh_vreg fb, ty)) params in
+  start_block fb name;
+  build fb (List.map (fun (r, _) -> Ir.Vreg r) param_regs);
+  (match fb.cur_label with
+  | Some _ -> seal fb (Ir.Ret None)
+  | None -> ());
+  let f =
+    Ir.{ name; params = param_regs; ret; blocks = List.rev fb.done_blocks }
+  in
+  t.funcs <- f :: t.funcs;
+  f

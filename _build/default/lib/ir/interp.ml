@@ -1,0 +1,218 @@
+(* Reference interpreter for the mini IR.  It shares no code with the
+   backend or the machine simulator, which makes it a useful oracle:
+   every workload's compiled execution is differentially tested against
+   interpretation (see test/test_differential.ml). *)
+
+exception Runtime_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type result = { output : int64 list; steps : int }
+
+type ctx = {
+  modul : Ir.modul;
+  mem : Bytes.t;
+  mutable brk : int; (* bump allocator for allocas *)
+  global_addr : (string, int) Hashtbl.t;
+  mutable out_rev : int64 list;
+  mutable steps : int;
+  fuel : int;
+}
+
+let mask32 = 0xFFFFFFFFL
+
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+
+let eval_binop op ty a b =
+  let wrap v = if ty = Ir.I32 then Int64.logand v mask32 else v in
+  let sa = if ty = Ir.I32 then sext32 a else a in
+  let sb = if ty = Ir.I32 then sext32 b else b in
+  match op with
+  | Ir.Add -> wrap (Int64.add sa sb)
+  | Ir.Sub -> wrap (Int64.sub sa sb)
+  | Ir.Mul -> wrap (Int64.mul sa sb)
+  | Ir.Sdiv ->
+    if Int64.equal sb 0L then fail "sdiv by zero" else wrap (Int64.div sa sb)
+  | Ir.Srem ->
+    if Int64.equal sb 0L then fail "srem by zero" else wrap (Int64.rem sa sb)
+  | Ir.And -> wrap (Int64.logand sa sb)
+  | Ir.Or -> wrap (Int64.logor sa sb)
+  | Ir.Xor -> wrap (Int64.logxor sa sb)
+  | Ir.Shl -> wrap (Int64.shift_left sa (Int64.to_int sb land (if ty = Ir.I32 then 31 else 63)))
+  | Ir.Ashr -> wrap (Int64.shift_right sa (Int64.to_int sb land (if ty = Ir.I32 then 31 else 63)))
+  | Ir.Lshr ->
+    let ua = if ty = Ir.I32 then Int64.logand a mask32 else a in
+    wrap (Int64.shift_right_logical ua (Int64.to_int sb land (if ty = Ir.I32 then 31 else 63)))
+
+let eval_icmp pred ty a b =
+  let sa = if ty = Ir.I32 then sext32 a else a in
+  let sb = if ty = Ir.I32 then sext32 b else b in
+  let ua = if ty = Ir.I32 then Int64.logand a mask32 else a in
+  let ub = if ty = Ir.I32 then Int64.logand b mask32 else b in
+  let s = Int64.compare sa sb and u = Int64.unsigned_compare ua ub in
+  let r =
+    match pred with
+    | Ir.Eq -> s = 0
+    | Ir.Ne -> s <> 0
+    | Ir.Slt -> s < 0
+    | Ir.Sle -> s <= 0
+    | Ir.Sgt -> s > 0
+    | Ir.Sge -> s >= 0
+    | Ir.Ult -> u < 0
+    | Ir.Ule -> u <= 0
+    | Ir.Ugt -> u > 0
+    | Ir.Uge -> u >= 0
+  in
+  if r then 1L else 0L
+
+let check_addr ctx addr bytes =
+  let a = Int64.to_int addr in
+  if a < 0 || a + bytes > Bytes.length ctx.mem then
+    fail "memory access at 0x%Lx" addr
+  else a
+
+let load_mem ctx ty addr =
+  match ty with
+  | Ir.I1 -> Int64.of_int (Char.code (Bytes.get ctx.mem (check_addr ctx addr 1)))
+  | Ir.I32 ->
+    Int64.logand
+      (Int64.of_int32 (Bytes.get_int32_le ctx.mem (check_addr ctx addr 4)))
+      mask32
+  | Ir.I64 | Ir.Ptr -> Bytes.get_int64_le ctx.mem (check_addr ctx addr 8)
+
+let store_mem ctx ty v addr =
+  match ty with
+  | Ir.I1 ->
+    Bytes.set ctx.mem (check_addr ctx addr 1)
+      (Char.chr (Int64.to_int (Int64.logand v 1L)))
+  | Ir.I32 -> Bytes.set_int32_le ctx.mem (check_addr ctx addr 4) (Int64.to_int32 v)
+  | Ir.I64 | Ir.Ptr -> Bytes.set_int64_le ctx.mem (check_addr ctx addr 8) v
+
+(* Execute one function call; [env] maps vreg number to value. *)
+let rec exec_func ctx (f : Ir.func) (args : int64 list) : int64 option =
+  let max_vreg =
+    List.fold_left
+      (fun acc (b : Ir.block) ->
+        List.fold_left
+          (fun acc i -> match Ir.def i with Some d -> max acc d | None -> acc)
+          acc b.body)
+      (List.fold_left (fun acc (r, _) -> max acc r) 0 f.params)
+      f.blocks
+  in
+  let env = Array.make (max_vreg + 1) 0L in
+  (try List.iter2 (fun (r, _) v -> env.(r) <- v) f.params args
+   with Invalid_argument _ -> fail "@%s: arity mismatch" f.name);
+  let block_tbl = Hashtbl.create 16 in
+  let frame_base = ctx.brk in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace block_tbl b.label b) f.blocks;
+  (* Allocas are frame slots with fixed addresses for the whole call,
+     mirroring the backend's static frame layout (a C local declared in
+     a loop body still has one address per activation). *)
+  let alloca_addr : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Alloca { dst; bytes } ->
+            Hashtbl.replace alloca_addr dst ctx.brk;
+            ctx.brk <- ctx.brk + ((bytes + 7) / 8 * 8);
+            if ctx.brk > Bytes.length ctx.mem then fail "out of memory"
+          | _ -> ())
+        b.body)
+    f.blocks;
+  let eval = function
+    | Ir.Vreg r -> env.(r)
+    | Ir.Const (_, v) -> v
+    | Ir.Global g -> (
+      match Hashtbl.find_opt ctx.global_addr g with
+      | Some a -> Int64.of_int a
+      | None -> fail "unknown global @%s" g)
+  in
+  let rec run_block (b : Ir.block) : int64 option =
+    List.iter
+      (fun i ->
+        ctx.steps <- ctx.steps + 1;
+        if ctx.steps > ctx.fuel then fail "fuel exhausted";
+        match i with
+        | Ir.Alloca { dst; _ } ->
+          env.(dst) <- Int64.of_int (Hashtbl.find alloca_addr dst)
+        | Ir.Load { dst; ty; ptr } -> env.(dst) <- load_mem ctx ty (eval ptr)
+        | Ir.Store { ty; v; ptr } -> store_mem ctx ty (eval v) (eval ptr)
+        | Ir.Binop { dst; op; ty; a; b } ->
+          env.(dst) <- eval_binop op ty (eval a) (eval b)
+        | Ir.Icmp { dst; pred; ty; a; b } ->
+          env.(dst) <- eval_icmp pred ty (eval a) (eval b)
+        | Ir.Gep { dst; base; index; scale } ->
+          env.(dst) <-
+            Int64.add (eval base) (Int64.mul (eval index) (Int64.of_int scale))
+        | Ir.Cast { dst; kind; v } ->
+          env.(dst) <-
+            (match kind with
+            | Ir.Sext_i32_i64 -> sext32 (eval v)
+            | Ir.Trunc_i64_i32 -> Int64.logand (eval v) mask32
+            | Ir.Zext_i1_i64 -> Int64.logand (eval v) 1L)
+        | Ir.Call { dst; callee; args } ->
+          let argv = List.map eval args in
+          if String.equal callee "print_i64" then (
+            match argv with
+            | [ v ] -> ctx.out_rev <- v :: ctx.out_rev
+            | _ -> fail "print_i64 arity")
+          else if String.equal callee "__ferrum_detect" then
+            (* protected code never reaches the detector on fault-free
+               runs; interpreting one is a transform bug *)
+            fail "detector reached during fault-free interpretation"
+          else
+            let g =
+              match Ir.find_func ctx.modul callee with
+              | Some g -> g
+              | None -> fail "unknown function @%s" callee
+            in
+            let r = exec_func ctx g argv in
+            (match (dst, r) with
+            | Some d, Some v -> env.(d) <- v
+            | Some _, None -> fail "@%s returned void" callee
+            | None, _ -> ()))
+      b.body;
+    ctx.steps <- ctx.steps + 1;
+    match b.term with
+    | Ir.Jmp l -> run_block (Hashtbl.find block_tbl l)
+    | Ir.Br { cond; ifso; ifnot } ->
+      let l = if Int64.equal (eval cond) 0L then ifnot else ifso in
+      run_block (Hashtbl.find block_tbl l)
+    | Ir.Ret v ->
+      let r = Option.map eval v in
+      (* allocas are function-scoped: release the frame *)
+      ctx.brk <- frame_base;
+      r
+  in
+  match f.blocks with
+  | [] -> fail "@%s has no blocks" f.name
+  | entry :: _ -> run_block entry
+
+(* Interpret a module's main function; returns the observable output. *)
+let run ?(fuel = 20_000_000) ?(mem_size = 1 lsl 20) (m : Ir.modul) =
+  let ctx =
+    {
+      modul = m;
+      mem = Bytes.make mem_size '\000';
+      brk = 8; (* keep address 0 unmapped-ish *)
+      global_addr = Hashtbl.create 16;
+      out_rev = [];
+      steps = 0;
+      fuel;
+    }
+  in
+  List.iter
+    (fun (g, bytes) ->
+      Hashtbl.replace ctx.global_addr g ctx.brk;
+      ctx.brk <- ctx.brk + ((bytes + 7) / 8 * 8))
+    m.globals;
+  if ctx.brk > mem_size then fail "globals exceed memory";
+  let main =
+    match Ir.find_func m m.main with
+    | Some f -> f
+    | None -> fail "no main"
+  in
+  ignore (exec_func ctx main []);
+  { output = List.rev ctx.out_rev; steps = ctx.steps }

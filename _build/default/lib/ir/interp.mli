@@ -1,0 +1,18 @@
+(** Reference interpreter for the mini IR.
+
+    Shares no code with the backend or the machine simulator, which
+    makes it a useful oracle: every workload's compiled execution is
+    differentially tested against interpretation.  Alloca addresses are
+    fixed per activation, mirroring the backend's static frames. *)
+
+exception Runtime_error of string
+
+type result = {
+  output : int64 list;  (** values passed to [print_i64], in order *)
+  steps : int;  (** IR instructions executed *)
+}
+
+(** Interpret the module's main function.  Raises {!Runtime_error} on
+    division by zero, out-of-bounds access, fuel exhaustion, or if a
+    detector builtin is reached. *)
+val run : ?fuel:int -> ?mem_size:int -> Ir.modul -> result

@@ -1,0 +1,210 @@
+(* IR verifier: structural well-formedness, single-assignment, typing,
+   and dominance of definitions over uses.  Run by the backend and the
+   protection passes before and after transformation. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+module SMap = Map.Make (String)
+module ISet = Set.Make (Int)
+
+(* Compute the dominator sets of a function's CFG with the classic
+   iterative data-flow algorithm; blocks are small enough that the
+   quadratic behaviour is irrelevant. *)
+let dominators (f : Ir.func) =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace index b.label i) blocks;
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt index l with
+          | Some j -> preds.(j) <- i :: preds.(j)
+          | None -> fail "%s: branch to unknown block %s" f.name l)
+        (Ir.successors b.term))
+    blocks;
+  let all = ISet.of_list (List.init n Fun.id) in
+  let dom = Array.make n all in
+  if n > 0 then dom.(0) <- ISet.singleton 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter =
+        match preds.(i) with
+        | [] -> ISet.singleton i (* unreachable: dominated only by itself *)
+        | p :: ps ->
+          List.fold_left (fun acc q -> ISet.inter acc dom.(q)) dom.(p) ps
+      in
+      let d = ISet.add i inter in
+      if not (ISet.equal d dom.(i)) then begin
+        dom.(i) <- d;
+        changed := true
+      end
+    done
+  done;
+  (index, dom)
+
+let value_ty globals types = function
+  | Ir.Const (t, _) -> t
+  | Ir.Global g ->
+    if not (List.mem_assoc g globals) then fail "use of unknown global @%s" g;
+    Ir.Ptr
+  | Ir.Vreg r -> (
+    match Hashtbl.find_opt types r with
+    | Some t -> t
+    | None -> fail "use of undefined vreg %%%d" r)
+
+let check_func (m : Ir.modul) (f : Ir.func) =
+  let types : (int, Ir.ty) Hashtbl.t = Hashtbl.create 64 in
+  let define r t =
+    if Hashtbl.mem types r then
+      fail "%s: vreg %%%d assigned more than once" f.name r;
+    Hashtbl.replace types r t
+  in
+  List.iter (fun (r, t) -> define r t) f.params;
+  (* First pass: definitions and types. *)
+  let instr_ty i =
+    match i with
+    | Ir.Alloca _ -> Some Ir.Ptr
+    | Ir.Load { ty; _ } -> Some ty
+    | Ir.Store _ -> None
+    | Ir.Binop { ty; _ } ->
+      if ty <> Ir.I32 && ty <> Ir.I64 then fail "%s: binop on %s" f.name (Ir.ty_name ty);
+      Some ty
+    | Ir.Icmp _ -> Some Ir.I1
+    | Ir.Gep _ -> Some Ir.Ptr
+    | Ir.Cast { kind; _ } ->
+      Some
+        (match kind with
+        | Ir.Sext_i32_i64 -> Ir.I64
+        | Ir.Trunc_i64_i32 -> Ir.I32
+        | Ir.Zext_i1_i64 -> Ir.I64)
+    | Ir.Call _ -> Some Ir.I64
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          match (Ir.def i, instr_ty i) with
+          | Some d, Some t -> define d t
+          | Some _, None | None, Some _ -> ()
+          | None, None -> ())
+        b.body)
+    f.blocks;
+  (* Second pass: operand typing. *)
+  let expect what want v =
+    let got = value_ty m.Ir.globals types v in
+    if got <> want then
+      fail "%s: %s expects %s, got %s" f.name what (Ir.ty_name want)
+        (Ir.ty_name got)
+  in
+  let check_instr i =
+    match i with
+    | Ir.Alloca { bytes; _ } ->
+      if bytes <= 0 then fail "%s: alloca of %d bytes" f.name bytes
+    | Ir.Load { ptr; _ } -> expect "load" Ir.Ptr ptr
+    | Ir.Store { ty; v; ptr } ->
+      expect "store value" ty v;
+      expect "store" Ir.Ptr ptr
+    | Ir.Binop { ty; a; b; _ } ->
+      expect "binop lhs" ty a;
+      expect "binop rhs" ty b
+    | Ir.Icmp { ty; a; b; _ } ->
+      expect "icmp lhs" ty a;
+      expect "icmp rhs" ty b
+    | Ir.Gep { base; index; scale; _ } ->
+      expect "gep base" Ir.Ptr base;
+      expect "gep index" Ir.I64 index;
+      if not (List.mem scale [ 1; 2; 4; 8 ]) then
+        fail "%s: gep scale %d" f.name scale
+    | Ir.Cast { kind; v; _ } ->
+      expect "cast operand"
+        (match kind with
+        | Ir.Sext_i32_i64 -> Ir.I32
+        | Ir.Trunc_i64_i32 -> Ir.I64
+        | Ir.Zext_i1_i64 -> Ir.I1)
+        v
+    | Ir.Call { callee; args; _ } ->
+      if
+        (not (String.equal callee "print_i64"))
+        && (not (String.equal callee "__ferrum_detect"))
+        && Ir.find_func m callee = None
+      then fail "%s: call to unknown @%s" f.name callee;
+      List.iter
+        (fun a ->
+          match value_ty m.Ir.globals types a with
+          | Ir.I64 | Ir.Ptr -> ()
+          | t -> fail "%s: call argument of type %s" f.name (Ir.ty_name t))
+        args
+  in
+  let check_term t =
+    match t with
+    | Ir.Br { cond; _ } -> expect "br condition" Ir.I1 cond
+    | Ir.Jmp _ -> ()
+    | Ir.Ret None ->
+      if f.ret <> None then fail "%s: ret void from non-void" f.name
+    | Ir.Ret (Some v) -> (
+      match f.ret with
+      | None -> fail "%s: ret value from void function" f.name
+      | Some t -> expect "ret" t v)
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter check_instr b.body;
+      check_term b.term)
+    f.blocks;
+  (* Third pass: dominance of defs over uses. *)
+  let index, dom = dominators f in
+  let def_site : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* params are defined at entry *)
+  List.iter (fun (r, _) -> Hashtbl.replace def_site r (0, -1)) f.params;
+  List.iteri
+    (fun bi (b : Ir.block) ->
+      List.iteri
+        (fun ii i ->
+          match Ir.def i with
+          | Some d -> Hashtbl.replace def_site d (bi, ii)
+          | None -> ())
+        b.body)
+    f.blocks;
+  let check_use bi ii v =
+    match v with
+    | Ir.Vreg r -> (
+      match Hashtbl.find_opt def_site r with
+      | None -> fail "%s: use of undefined %%%d" f.name r
+      | Some (dbi, dii) ->
+        let ok =
+          if dbi = bi then dii < ii
+          else ISet.mem dbi dom.(bi)
+        in
+        if not ok then
+          fail "%s: %%%d used before its definition dominates the use" f.name r)
+    | Ir.Const _ | Ir.Global _ -> ()
+  in
+  List.iteri
+    (fun bi (b : Ir.block) ->
+      List.iteri
+        (fun ii i -> List.iter (check_use bi ii) (Ir.uses i))
+        b.body;
+      List.iter (check_use bi max_int) (Ir.uses_of_term b.term))
+    f.blocks;
+  ignore index
+
+(* Verify a whole module; raises [Invalid] with a diagnostic otherwise. *)
+let run (m : Ir.modul) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (g, n) ->
+      if Hashtbl.mem seen g then fail "duplicate global @%s" g;
+      Hashtbl.replace seen g ();
+      if n <= 0 then fail "global @%s of size %d" g n)
+    m.globals;
+  (match Ir.find_func m m.main with
+  | None -> fail "no main function @%s" m.main
+  | Some _ -> ());
+  List.iter (check_func m) m.funcs

@@ -1,0 +1,10 @@
+(** IR verifier: structural well-formedness, single-assignment, operand
+    typing, known globals/callees, and dominance of definitions over
+    uses (computed with the classic iterative dominator algorithm).
+    Run by the backend and by every protection pass before and after
+    transformation. *)
+
+exception Invalid of string
+
+(** Verify a whole module; raises {!Invalid} with a diagnostic. *)
+val run : Ir.modul -> unit

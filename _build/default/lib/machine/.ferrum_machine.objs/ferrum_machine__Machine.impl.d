@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bytes Char Cond Cost Ferrum_asm Fmt Hashtbl Instr Int64 List Prog Reg String

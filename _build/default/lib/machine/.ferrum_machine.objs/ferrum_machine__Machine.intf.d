@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Bytes Cond Cost Ferrum_asm Format Instr Prog Reg

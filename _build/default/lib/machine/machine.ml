@@ -1,0 +1,548 @@
+(* Deterministic x86-64 subset simulator.
+
+   The simulator executes flattened {!Ferrum_asm.Prog.t} programs over an
+   architectural state (16 GPRs, 16 SIMD registers of 8 x 64-bit lanes —
+   ZMM width — ZF/SF/CF/OF, byte-addressable little-endian memory).  It reports one
+   of four outcomes, matching the fault-injection literature's
+   classification: normal exit with observable output, detection (control
+   reached [exit_function] or [__ferrum_detect]), crash (memory trap,
+   divide error, wild control transfer, stack overflow) or timeout.
+
+   A per-step observer hook exposes the static index of the instruction
+   that just retired; the fault injector uses it to flip one bit of one
+   architectural destination right after write-back. *)
+
+open Ferrum_asm
+
+type outcome =
+  | Exit of int64 list (* program output, oldest first *)
+  | Detected
+  | Crash of string
+  | Timeout
+
+let equal_outcome a b =
+  match (a, b) with
+  | Exit x, Exit y -> List.for_all2 Int64.equal x y && List.compare_lengths x y = 0
+  | Detected, Detected | Timeout, Timeout -> true
+  | Crash _, Crash _ -> true
+  | _ -> false
+
+let pp_outcome ppf = function
+  | Exit out -> Fmt.pf ppf "exit [%a]" Fmt.(list ~sep:(any "; ") int64) out
+  | Detected -> Fmt.string ppf "detected"
+  | Crash msg -> Fmt.pf ppf "crash (%s)" msg
+  | Timeout -> Fmt.string ppf "timeout"
+
+(* Pre-resolved control-flow target of an instruction. *)
+type link =
+  | L_none
+  | L_target of int (* jmp/jcc destination *)
+  | L_call of int (* callee entry index *)
+  | L_detect (* transfer to the detector *)
+  | L_print (* builtin print_i64 *)
+
+type image = {
+  code : Instr.ins array;
+  links : link array;
+  costs : float array;
+  dests : Instr.dest list array; (* injectable destinations per index *)
+  entry_ip : int;
+  halt_ip : int; (* sentinel return address of the entry function *)
+  mem_size : int;
+}
+
+exception Trap of string
+
+exception Halt of outcome
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Loading: flatten blocks, resolve labels and calls.                  *)
+(* ------------------------------------------------------------------ *)
+
+let load ?(cost_model = Cost.default) ?(mem_size = 1 lsl 20) (p : Prog.t) =
+  Prog.validate p;
+  let code = ref [] and n = ref 0 in
+  let label_ix = Hashtbl.create 64 in
+  let func_ix = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Prog.func) ->
+      Hashtbl.replace func_ix f.fname !n;
+      List.iter
+        (fun (b : Prog.block) ->
+          if Hashtbl.mem label_ix b.label then
+            Prog.ill_formed "duplicate label across program: %s" b.label;
+          Hashtbl.replace label_ix b.label !n;
+          List.iter
+            (fun i ->
+              code := i :: !code;
+              incr n)
+            b.insns)
+        f.blocks)
+    p.funcs;
+  let code = Array.of_list (List.rev !code) in
+  let len = Array.length code in
+  let resolve_label l =
+    if String.equal l Prog.exit_function_label then L_detect
+    else
+      match Hashtbl.find_opt label_ix l with
+      | Some i -> L_target i
+      | None -> Prog.ill_formed "unresolved label %s" l
+  in
+  let links =
+    Array.map
+      (fun (i : Instr.ins) ->
+        match i.op with
+        | Instr.Jmp l | Instr.Jcc (_, l) -> resolve_label l
+        | Instr.Call f ->
+          if String.equal f Prog.builtin_print then L_print
+          else if String.equal f Prog.builtin_detect then L_detect
+          else (
+            match Hashtbl.find_opt func_ix f with
+            | Some i -> L_call i
+            | None -> Prog.ill_formed "unresolved call %s" f)
+        | _ -> L_none)
+      code
+  in
+  let costs = Array.map (Cost.cost cost_model) code in
+  let dests = Array.map (fun (i : Instr.ins) -> Instr.defs i.op) code in
+  let entry_ip =
+    match Hashtbl.find_opt func_ix p.entry with
+    | Some i -> i
+    | None -> Prog.ill_formed "no entry %s" p.entry
+  in
+  { code; links; costs; dests; entry_ip; halt_ip = len + 1; mem_size }
+
+(* ------------------------------------------------------------------ *)
+(* Architectural state.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  gpr : int64 array; (* 16 *)
+  simd : int64 array; (* 16 registers x 8 lanes (ZMM width) *)
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable off : bool; (* OF *)
+  mem : Bytes.t;
+  mutable ip : int;
+  mutable cycles : float;
+  mutable steps : int;
+  mutable out_rev : int64 list;
+}
+
+let fresh_state (img : image) =
+  let st =
+    {
+      gpr = Array.make 16 0L;
+      simd = Array.make 128 0L; (* 16 registers x 8 lanes (ZMM width) *)
+      zf = false;
+      sf = false;
+      cf = false;
+      off = false;
+      mem = Bytes.make img.mem_size '\000';
+      ip = img.entry_ip;
+      cycles = 0.0;
+      steps = 0;
+      out_rev = [];
+    }
+  in
+  (* Stack grows down from the top of memory; push the sentinel return
+     address so that [ret] from the entry function halts cleanly. *)
+  let sp = img.mem_size - 16 in
+  Bytes.set_int64_le st.mem sp (Int64.of_int img.halt_ip);
+  st.gpr.(Reg.gpr_index Reg.RSP) <- Int64.of_int sp;
+  st
+
+let output st = List.rev st.out_rev
+
+(* ------------------------------------------------------------------ *)
+(* Register / memory access helpers.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mask_of_size = function
+  | Reg.B -> 0xFFL
+  | Reg.W -> 0xFFFFL
+  | Reg.D -> 0xFFFFFFFFL
+  | Reg.Q -> -1L
+
+let sign_extend v = function
+  | Reg.B -> Int64.shift_right (Int64.shift_left v 56) 56
+  | Reg.W -> Int64.shift_right (Int64.shift_left v 48) 48
+  | Reg.D -> Int64.shift_right (Int64.shift_left v 32) 32
+  | Reg.Q -> v
+
+let read_gpr st r s =
+  Int64.logand st.gpr.(Reg.gpr_index r) (mask_of_size s)
+
+(* x86 semantics: 32-bit writes zero the upper half, 8/16-bit writes
+   merge into the old value. *)
+let write_gpr st r s v =
+  let i = Reg.gpr_index r in
+  match s with
+  | Reg.Q -> st.gpr.(i) <- v
+  | Reg.D -> st.gpr.(i) <- Int64.logand v 0xFFFFFFFFL
+  | Reg.W ->
+    st.gpr.(i) <-
+      Int64.logor
+        (Int64.logand st.gpr.(i) (Int64.lognot 0xFFFFL))
+        (Int64.logand v 0xFFFFL)
+  | Reg.B ->
+    st.gpr.(i) <-
+      Int64.logor
+        (Int64.logand st.gpr.(i) (Int64.lognot 0xFFL))
+        (Int64.logand v 0xFFL)
+
+let effective_address st (m : Instr.mem) =
+  let base =
+    match m.base with Some r -> st.gpr.(Reg.gpr_index r) | None -> 0L
+  in
+  let index =
+    match m.index with
+    | Some r -> Int64.mul st.gpr.(Reg.gpr_index r) (Int64.of_int m.scale)
+    | None -> 0L
+  in
+  Int64.add (Int64.add base index) (Int64.of_int m.disp)
+
+let check_addr st addr bytes =
+  let a = Int64.to_int addr in
+  if
+    Int64.compare addr 0L < 0
+    || Int64.compare addr (Int64.of_int (Bytes.length st.mem)) >= 0
+    || a + bytes > Bytes.length st.mem || a < 0
+  then trap "memory access at 0x%Lx" addr
+  else a
+
+let read_mem st addr s =
+  match s with
+  | Reg.B -> Int64.of_int (Char.code (Bytes.get st.mem (check_addr st addr 1)))
+  | Reg.W -> Int64.of_int (Bytes.get_uint16_le st.mem (check_addr st addr 2))
+  | Reg.D ->
+    Int64.logand
+      (Int64.of_int32 (Bytes.get_int32_le st.mem (check_addr st addr 4)))
+      0xFFFFFFFFL
+  | Reg.Q -> Bytes.get_int64_le st.mem (check_addr st addr 8)
+
+let write_mem st addr s v =
+  match s with
+  | Reg.B -> Bytes.set st.mem (check_addr st addr 1) (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | Reg.W -> Bytes.set_uint16_le st.mem (check_addr st addr 2) (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Reg.D -> Bytes.set_int32_le st.mem (check_addr st addr 4) (Int64.to_int32 v)
+  | Reg.Q -> Bytes.set_int64_le st.mem (check_addr st addr 8) v
+
+let read_operand st s = function
+  | Instr.Imm i -> Int64.logand i (mask_of_size s)
+  | Instr.Reg r -> read_gpr st r s
+  | Instr.Mem m -> read_mem st (effective_address st m) s
+
+let write_operand st s v = function
+  | Instr.Imm _ -> trap "write to immediate"
+  | Instr.Reg r -> write_gpr st r s v
+  | Instr.Mem m -> write_mem st (effective_address st m) s v
+
+(* ------------------------------------------------------------------ *)
+(* Flags.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let set_flags_logic st s res =
+  let res = Int64.logand res (mask_of_size s) in
+  st.zf <- Int64.equal res 0L;
+  st.sf <- Int64.compare (sign_extend res s) 0L < 0;
+  st.cf <- false;
+  st.off <- false
+
+let sign_bit v s = Int64.compare (sign_extend v s) 0L < 0
+
+let set_flags_add st s a b res =
+  let m = mask_of_size s in
+  let a = Int64.logand a m and b = Int64.logand b m in
+  let res = Int64.logand res m in
+  st.zf <- Int64.equal res 0L;
+  st.sf <- sign_bit res s;
+  (* carry: unsigned result wrapped *)
+  st.cf <- Int64.unsigned_compare res a < 0 || (Int64.unsigned_compare res b < 0);
+  st.off <- sign_bit a s = sign_bit b s && sign_bit res s <> sign_bit a s
+
+let set_flags_sub st s a b res =
+  let m = mask_of_size s in
+  let a = Int64.logand a m and b = Int64.logand b m in
+  let res = Int64.logand res m in
+  st.zf <- Int64.equal res 0L;
+  st.sf <- sign_bit res s;
+  st.cf <- Int64.unsigned_compare a b < 0;
+  st.off <- sign_bit a s <> sign_bit b s && sign_bit res s <> sign_bit a s
+
+let eval_cond st c = Cond.eval c ~zf:st.zf ~sf:st.sf ~cf:st.cf ~of_:st.off
+
+(* ------------------------------------------------------------------ *)
+(* Stack helpers.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rsp_i = Reg.gpr_index Reg.RSP
+
+let push st v =
+  let sp = Int64.sub st.gpr.(rsp_i) 8L in
+  st.gpr.(rsp_i) <- sp;
+  write_mem st sp Reg.Q v
+
+let pop st =
+  let sp = st.gpr.(rsp_i) in
+  let v = read_mem st sp Reg.Q in
+  st.gpr.(rsp_i) <- Int64.add sp 8L;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* One execution step.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simd_lane st x lane = st.simd.((x * 8) + lane)
+
+let set_simd_lane st x lane v = st.simd.((x * 8) + lane) <- v
+
+let exec_alu st op s src dst =
+  let a = read_operand st s dst and b = read_operand st s src in
+  let res =
+    match op with
+    | Instr.Add -> Int64.add a b
+    | Instr.Sub -> Int64.sub a b
+    | Instr.Imul -> Int64.mul (sign_extend a s) (sign_extend b s)
+    | Instr.And -> Int64.logand a b
+    | Instr.Or -> Int64.logor a b
+    | Instr.Xor -> Int64.logxor a b
+  in
+  (match op with
+  | Instr.Add -> set_flags_add st s a b res
+  | Instr.Sub -> set_flags_sub st s a b res
+  | Instr.Imul | Instr.And | Instr.Or | Instr.Xor -> set_flags_logic st s res);
+  write_operand st s res dst
+
+let exec_shift st k s amt dst =
+  let a = read_operand st s dst in
+  let n =
+    match amt with
+    | Instr.Amt_imm n -> n
+    | Instr.Amt_cl -> Int64.to_int (read_gpr st Reg.RCX Reg.B)
+  in
+  let n = n land (if s = Reg.Q then 63 else 31) in
+  let res =
+    match k with
+    | Instr.Shl -> Int64.shift_left a n
+    | Instr.Sar -> Int64.shift_right (sign_extend a s) n
+    | Instr.Shr -> Int64.shift_right_logical (Int64.logand a (mask_of_size s)) n
+  in
+  set_flags_logic st s res;
+  write_operand st s res dst
+
+let step (img : image) (st : state) =
+  let ip = st.ip in
+  let ins = img.code.(ip) in
+  st.cycles <- st.cycles +. img.costs.(ip);
+  st.steps <- st.steps + 1;
+  st.ip <- ip + 1;
+  (match ins.op with
+  | Instr.Mov (s, src, dst) -> write_operand st s (read_operand st s src) dst
+  | Instr.Movslq (src, r) ->
+    write_gpr st r Reg.Q (sign_extend (read_operand st Reg.D src) Reg.D)
+  | Instr.Movzbq (src, r) -> write_gpr st r Reg.Q (read_operand st Reg.B src)
+  | Instr.Lea (m, r) -> write_gpr st r Reg.Q (effective_address st m)
+  | Instr.Alu (op, s, src, dst) -> exec_alu st op s src dst
+  | Instr.Shift (k, s, amt, dst) -> exec_shift st k s amt dst
+  | Instr.Neg (s, dst) ->
+    let a = read_operand st s dst in
+    let res = Int64.neg a in
+    set_flags_sub st s 0L a res;
+    write_operand st s res dst
+  | Instr.Not (s, dst) ->
+    write_operand st s (Int64.lognot (read_operand st s dst)) dst
+  | Instr.Cmp (s, src, dst) ->
+    let a = read_operand st s dst and b = read_operand st s src in
+    set_flags_sub st s a b (Int64.sub a b)
+  | Instr.Test (s, src, dst) ->
+    let a = read_operand st s dst and b = read_operand st s src in
+    set_flags_logic st s (Int64.logand a b)
+  | Instr.Set (c, dst) ->
+    write_operand st Reg.B (if eval_cond st c then 1L else 0L) dst
+  | Instr.Jmp _ -> (
+    match img.links.(ip) with
+    | L_target t -> st.ip <- t
+    | L_detect -> raise (Halt Detected)
+    | _ -> trap "bad jmp link")
+  | Instr.Jcc (c, _) ->
+    if eval_cond st c then (
+      match img.links.(ip) with
+      | L_target t -> st.ip <- t
+      | L_detect -> raise (Halt Detected)
+      | _ -> trap "bad jcc link")
+  | Instr.Call _ -> (
+    match img.links.(ip) with
+    | L_call entry ->
+      push st (Int64.of_int st.ip);
+      st.ip <- entry
+    | L_print -> st.out_rev <- st.gpr.(Reg.gpr_index Reg.RDI) :: st.out_rev
+    | L_detect -> raise (Halt Detected)
+    | _ -> trap "bad call link")
+  | Instr.Ret ->
+    let ra = Int64.to_int (pop st) in
+    if ra = img.halt_ip then raise (Halt (Exit (output st)))
+    else if ra < 0 || ra >= Array.length img.code then
+      trap "wild return to %d" ra
+    else st.ip <- ra
+  | Instr.Push src -> push st (read_operand st Reg.Q src)
+  | Instr.Pop r -> write_gpr st r Reg.Q (pop st)
+  | Instr.Cqto ->
+    let a = st.gpr.(Reg.gpr_index Reg.RAX) in
+    st.gpr.(Reg.gpr_index Reg.RDX) <- Int64.shift_right a 63
+  | Instr.Idiv (s, src) ->
+    if s <> Reg.Q then trap "idiv: only 64-bit division is supported";
+    let d = read_operand st s src in
+    if Int64.equal d 0L then trap "divide by zero";
+    let rax = st.gpr.(Reg.gpr_index Reg.RAX) in
+    let rdx = st.gpr.(Reg.gpr_index Reg.RDX) in
+    (* The backend always sign-extends with cqto first; anything else
+       denotes a corrupted RDX and raises the divide-error trap, as the
+       quotient would not fit in 64 bits. *)
+    if not (Int64.equal rdx (Int64.shift_right rax 63)) then
+      trap "divide overflow"
+    else begin
+      st.gpr.(Reg.gpr_index Reg.RAX) <- Int64.div rax d;
+      st.gpr.(Reg.gpr_index Reg.RDX) <- Int64.rem rax d
+    end
+  | Instr.MovQ_to_xmm (src, x) ->
+    set_simd_lane st x 0 (read_operand st Reg.Q src);
+    set_simd_lane st x 1 0L
+  | Instr.MovQ_from_xmm (x, r) -> write_gpr st r Reg.Q (simd_lane st x 0)
+  | Instr.Pinsrq (lane, src, x) ->
+    let v =
+      match src with
+      | Instr.Psrc_reg r -> read_gpr st r Reg.Q
+      | Instr.Psrc_mem m -> read_mem st (effective_address st m) Reg.Q
+    in
+    set_simd_lane st x lane v
+  | Instr.Pextrq (lane, x, r) -> write_gpr st r Reg.Q (simd_lane st x lane)
+  | Instr.Vinserti128 (half, s, a, d) ->
+    let lo0, lo1 =
+      if half = 0 then (simd_lane st s 0, simd_lane st s 1)
+      else (simd_lane st a 0, simd_lane st a 1)
+    in
+    let hi0, hi1 =
+      if half = 1 then (simd_lane st s 0, simd_lane st s 1)
+      else (simd_lane st a 2, simd_lane st a 3)
+    in
+    set_simd_lane st d 0 lo0;
+    set_simd_lane st d 1 lo1;
+    set_simd_lane st d 2 hi0;
+    set_simd_lane st d 3 hi1
+  | Instr.Vpxor (a, b, d) ->
+    for lane = 0 to 3 do
+      set_simd_lane st d lane
+        (Int64.logxor (simd_lane st a lane) (simd_lane st b lane))
+    done
+  | Instr.Vptest (a, b) ->
+    let and_zero = ref true and andn_zero = ref true in
+    for lane = 0 to 3 do
+      let va = simd_lane st a lane and vb = simd_lane st b lane in
+      if not (Int64.equal (Int64.logand vb va) 0L) then and_zero := false;
+      if not (Int64.equal (Int64.logand vb (Int64.lognot va)) 0L) then
+        andn_zero := false
+    done;
+    st.zf <- !and_zero;
+    st.cf <- !andn_zero;
+    st.sf <- false;
+    st.off <- false
+  | Instr.Vinserti64x4 (half, src, a, d) ->
+    (* read everything first: src/a may alias d *)
+    let src_lanes = Array.init 4 (simd_lane st src) in
+    let a_lanes = Array.init 8 (simd_lane st a) in
+    for lane = 0 to 7 do
+      let v =
+        if half = 0 && lane < 4 then src_lanes.(lane)
+        else if half = 1 && lane >= 4 then src_lanes.(lane - 4)
+        else a_lanes.(lane)
+      in
+      set_simd_lane st d lane v
+    done
+  | Instr.Vpxorq512 (a, b, d) ->
+    for lane = 0 to 7 do
+      set_simd_lane st d lane
+        (Int64.logxor (simd_lane st a lane) (simd_lane st b lane))
+    done
+  | Instr.Vptestmq512 (a, b) ->
+    let and_zero = ref true and andn_zero = ref true in
+    for lane = 0 to 7 do
+      let va = simd_lane st a lane and vb = simd_lane st b lane in
+      if not (Int64.equal (Int64.logand vb va) 0L) then and_zero := false;
+      if not (Int64.equal (Int64.logand vb (Int64.lognot va)) 0L) then
+        andn_zero := false
+    done;
+    st.zf <- !and_zero;
+    st.cf <- !andn_zero;
+    st.sf <- false;
+    st.off <- false);
+  ip
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection mutators: flip one bit of a written destination.    *)
+(* ------------------------------------------------------------------ *)
+
+let flip_gpr st r s ~bit =
+  let bit = bit mod Reg.size_bits s in
+  let i = Reg.gpr_index r in
+  st.gpr.(i) <- Int64.logxor st.gpr.(i) (Int64.shift_left 1L bit)
+
+let flip_simd_lane st x ~lane ~bit =
+  let bit = bit land 63 in
+  let i = (x * 8) + lane in
+  st.simd.(i) <- Int64.logxor st.simd.(i) (Int64.shift_left 1L bit)
+
+let flip_flag st = function
+  | Cond.ZF -> st.zf <- not st.zf
+  | Cond.SF -> st.sf <- not st.sf
+  | Cond.CF -> st.cf <- not st.cf
+  | Cond.OF -> st.off <- not st.off
+
+(* ------------------------------------------------------------------ *)
+(* Runner.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_fuel = 50_000_000
+
+(* Run to completion.  [on_step] receives the state and the static index
+   of the instruction that just retired (its destinations are in
+   [img.dests]); mutations it performs are visible to the next step. *)
+let run ?(fuel = default_fuel) ?on_step (img : image) (st : state) =
+  let len = Array.length img.code in
+  try
+    (match on_step with
+    | None ->
+      while st.steps < fuel do
+        if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
+        ignore (step img st)
+      done
+    | Some f ->
+      while st.steps < fuel do
+        if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
+        let idx = step img st in
+        f st idx
+      done);
+    Timeout
+  with
+  | Halt o -> o
+  | Trap msg -> Crash msg
+
+(* Convenience wrapper: load-free execution of an image from scratch. *)
+let run_fresh ?fuel ?on_step img =
+  let st = fresh_state img in
+  let outcome = run ?fuel ?on_step img st in
+  (outcome, st)
+
+(* Golden (fault-free) execution summary used by campaigns and benches. *)
+type golden = {
+  outcome : outcome;
+  dyn_instructions : int;
+  cycles : float;
+}
+
+let golden ?fuel img =
+  let outcome, st = run_fresh ?fuel img in
+  { outcome; dyn_instructions = st.steps; cycles = st.cycles }

@@ -1,0 +1,102 @@
+(** Deterministic x86-64 subset simulator.
+
+    Executes flattened {!Ferrum_asm.Prog.t} programs over an
+    architectural state — 16 GPRs, 16 SIMD registers of 8 64-bit lanes
+    (ZMM width), the ZF/SF/CF/OF flags, and byte-addressable
+    little-endian memory with the stack at the top.  Outcomes follow the
+    fault-injection literature's classification; a per-step observer
+    exposes each retired instruction so the injector can flip bits at
+    write-back. *)
+
+open Ferrum_asm
+
+type outcome =
+  | Exit of int64 list  (** normal exit; the observable output, in order *)
+  | Detected  (** control reached [exit_function] or [__ferrum_detect] *)
+  | Crash of string  (** memory trap, divide error, wild control transfer *)
+  | Timeout  (** fuel exhausted *)
+
+(** Equality up to crash messages. *)
+val equal_outcome : outcome -> outcome -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Pre-resolved control-flow target of an instruction. *)
+type link =
+  | L_none
+  | L_target of int
+  | L_call of int
+  | L_detect
+  | L_print
+
+(** A loaded program: flattened code with resolved branches, per-index
+    costs under the chosen model, and per-index injectable
+    destinations. *)
+type image = {
+  code : Instr.ins array;
+  links : link array;
+  costs : float array;
+  dests : Instr.dest list array;
+  entry_ip : int;
+  halt_ip : int;  (** sentinel return address of the entry function *)
+  mem_size : int;
+}
+
+exception Trap of string
+
+exception Halt of outcome
+
+(** Flatten, validate and link a program.  Default memory size is 1 MiB;
+    the stack starts at its top, global data sits near the bottom
+    (see {!Ferrum_backend.Backend.global_base}). *)
+val load : ?cost_model:Cost.model -> ?mem_size:int -> Prog.t -> image
+
+(** Architectural state.  [simd] is indexed [reg * 8 + lane]. *)
+type state = {
+  gpr : int64 array;
+  simd : int64 array;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable off : bool;
+  mem : Bytes.t;
+  mutable ip : int;
+  mutable cycles : float;
+  mutable steps : int;
+  mutable out_rev : int64 list;
+}
+
+(** Zeroed registers and memory, stack pointer initialised, the halt
+    sentinel pushed. *)
+val fresh_state : image -> state
+
+(** The output collected so far, oldest first. *)
+val output : state -> int64 list
+
+(** {1 Fault-injection mutators}
+
+    Flip one bit of an architectural destination; used by
+    {!Ferrum_faultsim} right after the targeted write-back. *)
+
+val flip_gpr : state -> Reg.gpr -> Reg.size -> bit:int -> unit
+val flip_simd_lane : state -> Reg.simd -> lane:int -> bit:int -> unit
+val flip_flag : state -> Cond.flag -> unit
+
+(** {1 Execution} *)
+
+val default_fuel : int
+
+(** Run to halt, trap or fuel exhaustion.  [on_step] receives the state
+    and the static index of the instruction that just retired (its
+    destinations are in [image.dests]); mutations it performs are
+    visible to the next step. *)
+val run : ?fuel:int -> ?on_step:(state -> int -> unit) -> image -> state -> outcome
+
+(** Run from a fresh state; returns the outcome and the final state. *)
+val run_fresh :
+  ?fuel:int -> ?on_step:(state -> int -> unit) -> image -> outcome * state
+
+(** Fault-free execution summary used by campaigns and benches. *)
+type golden = { outcome : outcome; dyn_instructions : int; cycles : float }
+
+val golden : ?fuel:int -> image -> golden

@@ -1,0 +1,1 @@
+lib/report/ablation.ml: Ascii Experiments Ferrum_eddi Ferrum_faultsim Ferrum_machine Ferrum_workloads Fmt List Option Printf

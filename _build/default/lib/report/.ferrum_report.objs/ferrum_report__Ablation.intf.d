@@ -1,0 +1,1 @@
+lib/report/ablation.mli: Ferrum_eddi Ferrum_machine

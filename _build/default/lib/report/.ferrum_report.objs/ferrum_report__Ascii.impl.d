@@ -1,0 +1,1 @@
+lib/report/ascii.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Ferrum_asm Ferrum_eddi Ferrum_faultsim Ferrum_machine Ferrum_workloads Fmt List

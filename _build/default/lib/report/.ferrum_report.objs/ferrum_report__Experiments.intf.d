@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Ferrum_workloads

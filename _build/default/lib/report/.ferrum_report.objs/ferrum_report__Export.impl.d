@@ -1,0 +1,1 @@
+lib/report/export.ml: Buffer Experiments Ferrum_eddi Ferrum_faultsim List Printf String

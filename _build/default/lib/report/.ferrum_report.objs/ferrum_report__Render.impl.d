@@ -1,0 +1,1 @@
+lib/report/render.ml: Ascii Experiments Ferrum_eddi Ferrum_faultsim List Printf

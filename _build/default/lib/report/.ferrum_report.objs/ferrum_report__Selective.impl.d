@@ -1,0 +1,1 @@
+lib/report/selective.ml: Array Ascii Ferrum_asm Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Ferrum_workloads Hashtbl List Option Printf Prog

@@ -1,0 +1,1 @@
+lib/report/selective.mli: Ferrum_asm Ferrum_faultsim Ferrum_ir Ferrum_machine Hashtbl

@@ -1,0 +1,66 @@
+(** Experiment drivers: run the benchmark suite through the four
+    configurations and collect everything the paper's evaluation section
+    reports — SDC coverage under fault injection (Fig. 10), cycle-model
+    runtime overhead (Fig. 11) and transform time (§IV-B3).  All
+    campaigns are seeded and reproducible. *)
+
+module Machine = Ferrum_machine.Machine
+module Cost = Ferrum_machine.Cost
+module F = Ferrum_faultsim.Faultsim
+module Technique = Ferrum_eddi.Technique
+module Pipeline = Ferrum_eddi.Pipeline
+module Catalog = Ferrum_workloads.Catalog
+
+type tech_result = {
+  technique : Technique.t;
+  static_instructions : int;
+  dyn_instructions : int;
+  cycles : float;
+  overhead : float;  (** cycle-model runtime overhead (Fig. 11) *)
+  dyn_overhead : float;  (** raw dynamic-instruction overhead *)
+  counts : F.counts option;  (** [None] when the campaign was skipped *)
+  coverage : float option;  (** SDC coverage (Fig. 10) *)
+  transform_seconds : float;  (** median-of-repetitions transform time *)
+}
+
+type bench_result = {
+  name : string;
+  suite : string;
+  domain : string;
+  static_raw : int;
+  dyn_raw : int;
+  cycles_raw : float;
+  raw_counts : F.counts option;
+  techniques : tech_result list;
+}
+
+type options = {
+  samples : int;  (** fault injections per configuration; 0 = skip *)
+  seed : int64;
+  scope : F.scope;
+  cost_model : Cost.model;
+  ferrum_config : Ferrum_eddi.Ferrum_pass.config;
+  benchmarks : string list option;  (** [None] = the whole suite *)
+}
+
+(** 400 samples, seed 2024, original-site scope, default cost model and
+    FERRUM config, all benchmarks. *)
+val default_options : options
+
+val selected_entries : options -> Catalog.entry list
+
+(** Median wall-clock of a protection transform over repetitions. *)
+val transform_time :
+  Technique.t ->
+  ?ferrum_config:Ferrum_eddi.Ferrum_pass.config ->
+  Ferrum_ir.Ir.modul ->
+  float
+
+val run_entry : options -> Catalog.entry -> bench_result
+val run : ?options:options -> unit -> bench_result list
+
+(** The record for one technique within a benchmark's results. *)
+val find_tech : bench_result -> Technique.t -> tech_result
+
+(** Arithmetic mean over benchmarks of a per-benchmark metric. *)
+val mean_over : bench_result list -> (bench_result -> float) -> float

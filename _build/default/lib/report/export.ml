@@ -1,0 +1,62 @@
+(* Machine-readable export of experiment results (CSV), so the recorded
+   runs can be post-processed outside OCaml (spreadsheets, plotting). *)
+
+module F = Ferrum_faultsim.Faultsim
+module Technique = Ferrum_eddi.Technique
+open Experiments
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row cells = String.concat "," (List.map escape cells) ^ "\n"
+
+let counts_cells = function
+  | Some (c : F.counts) ->
+    [ string_of_int c.F.samples; string_of_int c.F.benign;
+      string_of_int c.F.sdc; string_of_int c.F.detected;
+      string_of_int c.F.crash; string_of_int c.F.timeout ]
+  | None -> [ ""; ""; ""; ""; ""; "" ]
+
+(* One line per (benchmark, configuration), raw included. *)
+let csv (results : bench_result list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (row
+       [ "benchmark"; "suite"; "domain"; "config"; "static_instructions";
+         "dynamic_instructions"; "cycles"; "overhead"; "dyn_overhead";
+         "coverage"; "transform_seconds"; "samples"; "benign"; "sdc";
+         "detected"; "crash"; "timeout" ]);
+  List.iter
+    (fun (b : bench_result) ->
+      Buffer.add_string buf
+        (row
+           ([ b.name; b.suite; b.domain; "raw"; string_of_int b.static_raw;
+              string_of_int b.dyn_raw; Printf.sprintf "%.1f" b.cycles_raw;
+              "0"; "0"; ""; "0" ]
+           @ counts_cells b.raw_counts));
+      List.iter
+        (fun (t : tech_result) ->
+          Buffer.add_string buf
+            (row
+               ([ b.name; b.suite; b.domain;
+                  Technique.short_name t.technique;
+                  string_of_int t.static_instructions;
+                  string_of_int t.dyn_instructions;
+                  Printf.sprintf "%.1f" t.cycles;
+                  Printf.sprintf "%.6f" t.overhead;
+                  Printf.sprintf "%.6f" t.dyn_overhead;
+                  (match t.coverage with
+                  | Some c -> Printf.sprintf "%.6f" c
+                  | None -> "");
+                  Printf.sprintf "%.6f" t.transform_seconds ]
+               @ counts_cells t.counts)))
+        b.techniques)
+    results;
+  Buffer.contents buf
+
+let write_csv path results =
+  let oc = open_out path in
+  output_string oc (csv results);
+  close_out oc

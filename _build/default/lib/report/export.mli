@@ -1,0 +1,7 @@
+(** Machine-readable export of experiment results: one CSV line per
+    (benchmark, configuration) with sizes, cycles, overheads, coverage,
+    transform time and raw outcome counts. *)
+
+val csv : Experiments.bench_result list -> string
+
+val write_csv : string -> Experiments.bench_result list -> unit

@@ -1,0 +1,26 @@
+(** Renderers for each artefact of the paper's evaluation section.
+    Every function returns a ready-to-print string; bench/main.exe
+    stitches them into the full report recorded in EXPERIMENTS.md. *)
+
+(** Table I: the technique capability matrix (static). *)
+val table1 : unit -> string
+
+(** Table II: benchmark details, plus measured sizes. *)
+val table2 : Experiments.bench_result list -> string
+
+(** Figure 10: SDC coverage per benchmark and technique, with the
+    cross-benchmark average row. *)
+val fig10 : Experiments.bench_result list -> string
+
+(** Figure 11: cycle-model runtime overhead per benchmark/technique. *)
+val fig11 : Experiments.bench_result list -> string
+
+(** §IV-B3: FERRUM transform time per benchmark, with the
+    per-instruction rate showing the linear relationship. *)
+val exec_time : Experiments.bench_result list -> string
+
+(** Raw fault-injection outcome counts with confidence intervals. *)
+val outcome_table : Experiments.bench_result list -> string
+
+(** Headline metrics side by side with the paper's numbers. *)
+val summary : Experiments.bench_result list -> string

@@ -1,0 +1,1 @@
+lib/workloads/backprop.ml: Ferrum_ir List Wutil

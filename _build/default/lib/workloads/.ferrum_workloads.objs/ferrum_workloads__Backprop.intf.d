@@ -1,0 +1,1 @@
+lib/workloads/backprop.mli: Ferrum_ir

@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Ferrum_ir Wutil

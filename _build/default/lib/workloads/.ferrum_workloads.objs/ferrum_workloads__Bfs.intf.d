@@ -1,0 +1,1 @@
+lib/workloads/bfs.mli: Ferrum_ir

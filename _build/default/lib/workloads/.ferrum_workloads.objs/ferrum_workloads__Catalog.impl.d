@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Backprop Bfs Ferrum_ir Kmeans Knn List Lud Needle Particlefilter Pathfinder String

@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Ferrum_ir Wutil

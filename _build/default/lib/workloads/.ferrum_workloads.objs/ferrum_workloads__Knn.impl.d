@@ -1,0 +1,1 @@
+lib/workloads/knn.ml: Ferrum_ir Wutil

@@ -1,0 +1,1 @@
+lib/workloads/knn.mli: Ferrum_ir

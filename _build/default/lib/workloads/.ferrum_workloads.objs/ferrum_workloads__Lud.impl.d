@@ -1,0 +1,1 @@
+lib/workloads/lud.ml: Ferrum_ir Wutil

@@ -1,0 +1,1 @@
+lib/workloads/lud.mli: Ferrum_ir

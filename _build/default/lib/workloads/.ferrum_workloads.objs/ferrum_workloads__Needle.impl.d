@@ -1,0 +1,1 @@
+lib/workloads/needle.ml: Ferrum_ir Wutil

@@ -1,0 +1,1 @@
+lib/workloads/needle.mli: Ferrum_ir

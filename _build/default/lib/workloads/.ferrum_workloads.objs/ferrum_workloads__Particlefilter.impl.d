@@ -1,0 +1,1 @@
+lib/workloads/particlefilter.ml: Ferrum_ir Wutil

@@ -1,0 +1,1 @@
+lib/workloads/particlefilter.mli: Ferrum_ir

@@ -1,0 +1,1 @@
+lib/workloads/pathfinder.ml: Ferrum_ir Wutil

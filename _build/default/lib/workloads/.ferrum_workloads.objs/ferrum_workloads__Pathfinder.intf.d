@@ -1,0 +1,1 @@
+lib/workloads/pathfinder.mli: Ferrum_ir

@@ -1,0 +1,1 @@
+lib/workloads/wutil.ml: Ferrum_ir

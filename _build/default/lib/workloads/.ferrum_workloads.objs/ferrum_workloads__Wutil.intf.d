@@ -1,0 +1,1 @@
+lib/workloads/wutil.mli: Ferrum_ir

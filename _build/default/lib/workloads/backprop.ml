@@ -1,0 +1,128 @@
+(* Backprop (Rodinia, machine learning): one hidden layer perceptron
+   trained with fixed-point (Q8) gradient steps on pseudo-random data.
+   Mirrors the Rodinia kernel's structure: dense forward passes over
+   weight matrices, error back-propagation, and weight updates. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n_in = 8
+let n_hid = 6
+let n_out = 4
+let epochs = 3
+let q = 8 (* fixed-point shift *)
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x9a3cf2d1L;
+  let w1 = B.global t "w1" ~bytes:(8 * n_in * n_hid) in
+  let w2 = B.global t "w2" ~bytes:(8 * n_hid * n_out) in
+  let x = B.global t "x" ~bytes:(8 * n_in) in
+  let hidden = B.global t "hidden" ~bytes:(8 * n_hid) in
+  let out = B.global t "out" ~bytes:(8 * n_out) in
+  let target = B.global t "target" ~bytes:(8 * n_out) in
+  let delta_out = B.global t "delta_out" ~bytes:(8 * n_out) in
+  let delta_hid = B.global t "delta_hid" ~bytes:(8 * n_hid) in
+
+  (* squashing function: x / (1 + |x|/2^q), a division-based sigmoid
+     stand-in keeping everything in integers *)
+  ignore
+    (B.func t "squash" ~params:[ Ir.I64 ] ~ret:(Some Ir.I64) (fun fb args ->
+         let v = List.nth args 0 in
+         let denom = B.add fb (B.i64 (1 lsl q)) (abs_ fb v) in
+         let scaled = B.shl fb v q in
+         B.ret fb (Some (B.sdiv fb scaled denom))));
+
+  ignore
+    (B.func t "forward" ~params:[] ~ret:None (fun fb _ ->
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_hid) ~hint:"fh" (fun j ->
+             let acc = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_in) ~hint:"fi"
+               (fun i ->
+                 let wij = get2 fb w1 ~cols:n_hid i j in
+                 let xi = get fb x i in
+                 let prod = B.ashr fb (B.mul fb wij xi) q in
+                 B.set fb acc (B.add fb (B.get fb acc) prod));
+             let h = B.call_v fb "squash" [ B.get fb acc ] in
+             set fb hidden j h);
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"fo" (fun k ->
+             let acc = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_hid) ~hint:"fh2"
+               (fun j ->
+                 let wjk = get2 fb w2 ~cols:n_out j k in
+                 let hj = get fb hidden j in
+                 B.set fb acc
+                   (B.add fb (B.get fb acc) (B.ashr fb (B.mul fb wjk hj) q)));
+             set fb out k (B.call_v fb "squash" [ B.get fb acc ]));
+         B.ret fb None));
+
+  ignore
+    (B.func t "backward" ~params:[] ~ret:None (fun fb _ ->
+         (* output deltas *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"bo" (fun k ->
+             let err = B.sub fb (get fb target k) (get fb out k) in
+             set fb delta_out k err);
+         (* hidden deltas *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_hid) ~hint:"bh" (fun j ->
+             let acc = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"bh2"
+               (fun k ->
+                 let wjk = get2 fb w2 ~cols:n_out j k in
+                 let dk = get fb delta_out k in
+                 B.set fb acc
+                   (B.add fb (B.get fb acc) (B.ashr fb (B.mul fb wjk dk) q)));
+             set fb delta_hid j (B.get fb acc));
+         (* weight updates, learning rate 1/8 in fixed point *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_hid) ~hint:"u2" (fun j ->
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"u2k"
+               (fun k ->
+                 let dw =
+                   B.ashr fb (B.mul fb (get fb delta_out k) (get fb hidden j))
+                     (q + 3)
+                 in
+                 set2 fb w2 ~cols:n_out j k
+                   (B.add fb (get2 fb w2 ~cols:n_out j k) dw)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_in) ~hint:"u1" (fun i ->
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_hid) ~hint:"u1j"
+               (fun j ->
+                 let dw =
+                   B.ashr fb (B.mul fb (get fb delta_hid j) (get fb x i))
+                     (q + 3)
+                 in
+                 set2 fb w1 ~cols:n_hid i j
+                   (B.add fb (get2 fb w1 ~cols:n_hid i j) dw)));
+         B.ret fb None));
+
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         (* initialise weights and input in [-128, 127] (about +-0.5 Q8) *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_in * n_hid)) ~hint:"iw1"
+           (fun i -> set fb w1 i (B.sub fb (rand_below fb 256) (B.i64 128)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_hid * n_out)) ~hint:"iw2"
+           (fun i -> set fb w2 i (B.sub fb (rand_below fb 256) (B.i64 128)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_in) ~hint:"ix" (fun i ->
+             set fb x i (B.sub fb (rand_below fb 512) (B.i64 256)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"it" (fun k ->
+             set fb target k (B.sub fb (rand_below fb 256) (B.i64 128)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 epochs) ~hint:"ep" (fun _ ->
+             ignore (B.call fb "forward" []);
+             ignore (B.call fb "backward" []));
+         (* observable output: final network outputs and weight digest *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_out) ~hint:"po" (fun k ->
+             B.print_i64 fb (get fb out k));
+         let sum = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_in * n_hid)) ~hint:"s1"
+           (fun i ->
+             B.set fb sum
+               (B.xor fb (B.get fb sum)
+                  (B.add fb (get fb w1 i) (B.mul fb i (B.i64 31)))));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_hid * n_out)) ~hint:"s2"
+           (fun i ->
+             B.set fb sum
+               (B.xor fb (B.get fb sum)
+                  (B.add fb (get fb w2 i) (B.mul fb i (B.i64 17)))));
+         B.print_i64 fb (B.get fb sum);
+         B.ret fb None));
+  B.finish t

@@ -1,0 +1,67 @@
+(* BFS (Rodinia, graph algorithm): breadth-first search over a
+   pseudo-random directed graph with fixed out-degree, using an explicit
+   frontier queue and a distance array, as the Rodinia kernel does. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n_nodes = 96
+let degree = 4
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x51f15eedL;
+  let edges = B.global t "edges" ~bytes:(8 * n_nodes * degree) in
+  let dist = B.global t "dist" ~bytes:(8 * n_nodes) in
+  let queue = B.global t "queue" ~bytes:(8 * n_nodes * 2) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         (* graph generation: node i points to i+1 (mod n) plus random
+            targets, guaranteeing connectivity *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_nodes) ~hint:"gen"
+           (fun i ->
+             set2 fb edges ~cols:degree i (B.i64 0)
+               (B.srem fb (B.add fb i (B.i64 1)) (B.i64 n_nodes));
+             B.for_up fb ~from:(B.i64 1) ~to_:(B.i64 degree) ~hint:"gend"
+               (fun d ->
+                 set2 fb edges ~cols:degree i d (rand_below fb n_nodes)));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_nodes) ~hint:"init"
+           (fun i -> set fb dist i (B.i64 (-1)));
+         (* BFS from node 0 *)
+         set fb dist (B.i64 0) (B.i64 0);
+         set fb queue (B.i64 0) (B.i64 0);
+         let head = B.local_var fb (B.i64 0) in
+         let tail = B.local_var fb (B.i64 1) in
+         B.while_ fb ~hint:"bfs"
+           (fun () -> B.icmp fb Ir.Slt (B.get fb head) (B.get fb tail))
+           (fun () ->
+             let u = get fb queue (B.get fb head) in
+             B.set fb head (B.add fb (B.get fb head) (B.i64 1));
+             let du = get fb dist u in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 degree) ~hint:"nbr"
+               (fun d ->
+                 let v = get2 fb edges ~cols:degree u d in
+                 let dv = get fb dist v in
+                 let unvisited = B.icmp fb Ir.Slt dv (B.i64 0) in
+                 B.if_ fb ~hint:"visit" unvisited
+                   ~then_:(fun () ->
+                     set fb dist v (B.add fb du (B.i64 1));
+                     set fb queue (B.get fb tail) v;
+                     B.set fb tail (B.add fb (B.get fb tail) (B.i64 1)))
+                   ()));
+         (* output: distance histogram digest and eccentricity *)
+         let sum = B.local_var fb (B.i64 0) in
+         let ecc = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_nodes) ~hint:"out"
+           (fun i ->
+             let d = get fb dist i in
+             B.set fb sum
+               (B.add fb (B.get fb sum) (B.mul fb d (B.add fb i (B.i64 1))));
+             B.set fb ecc (max_ fb (B.get fb ecc) d));
+         B.print_i64 fb (B.get fb sum);
+         B.print_i64 fb (B.get fb ecc);
+         B.print_i64 fb (B.get fb tail);
+         B.ret fb None));
+  B.finish t

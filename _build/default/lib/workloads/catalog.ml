@@ -1,0 +1,37 @@
+(* The benchmark catalogue: the eight Rodinia kernels of paper Table II,
+   re-implemented against the mini-IR builder (see DESIGN.md §2 for the
+   substitution rationale). *)
+
+type entry = {
+  name : string;
+  suite : string;
+  domain : string; (* Table II's "Domain" column *)
+  build : unit -> Ferrum_ir.Ir.modul;
+}
+
+let all =
+  [
+    { name = "Backprop"; suite = "Rodinia"; domain = "Machine Learning";
+      build = Backprop.modul };
+    { name = "BFS"; suite = "Rodinia"; domain = "Graph Algorithm";
+      build = Bfs.modul };
+    { name = "Pathfinder"; suite = "Rodinia"; domain = "Dynamic Programming";
+      build = Pathfinder.modul };
+    { name = "LUD"; suite = "Rodinia"; domain = "Linear Algebra";
+      build = Lud.modul };
+    { name = "Needle"; suite = "Rodinia"; domain = "Dynamic Programming";
+      build = Needle.modul };
+    { name = "kNN"; suite = "Rodinia"; domain = "Machine Learning";
+      build = Knn.modul };
+    { name = "kmeans"; suite = "Rodinia"; domain = "Data Mining";
+      build = Kmeans.modul };
+    { name = "Particlefilter"; suite = "Rodinia"; domain = "Noise estimator";
+      build = Particlefilter.modul };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun e -> e.name) all

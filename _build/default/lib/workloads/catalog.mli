@@ -1,0 +1,20 @@
+(** The benchmark catalogue: the eight Rodinia kernels of paper Table
+    II, re-implemented against the mini-IR builder with deterministic
+    in-IR pseudo-random inputs (DESIGN.md §2 documents the
+    substitution). *)
+
+type entry = {
+  name : string;
+  suite : string;
+  domain : string;  (** Table II's "Domain" column *)
+  build : unit -> Ferrum_ir.Ir.modul;  (** fresh, verified, deterministic *)
+}
+
+(** Backprop, BFS, Pathfinder, LUD, Needle, kNN, kmeans,
+    Particlefilter — the paper's Table II order. *)
+val all : entry list
+
+(** Case-insensitive lookup by name. *)
+val find : string -> entry option
+
+val names : string list

@@ -1,0 +1,97 @@
+(* kmeans (Rodinia, data mining): Lloyd iterations over 2-d integer
+   points — assignment to the nearest centroid by squared distance, then
+   centroid recomputation with integer division by cluster size. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n_points = 48
+let n_clusters = 4
+let dims = 2
+let iterations = 4
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x6b6d65616eL;
+  let pts = B.global t "pts" ~bytes:(8 * n_points * dims) in
+  let centroid = B.global t "centroid" ~bytes:(8 * n_clusters * dims) in
+  let member = B.global t "member" ~bytes:(8 * n_points) in
+  let accum = B.global t "accum" ~bytes:(8 * n_clusters * dims) in
+  let count = B.global t "count" ~bytes:(8 * n_clusters) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_points * dims))
+           ~hint:"gen" (fun i -> set fb pts i (rand_below fb 1024));
+         (* initial centroids: first K points *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_clusters * dims))
+           ~hint:"ic" (fun i -> set fb centroid i (get fb pts i));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 iterations) ~hint:"iter"
+           (fun _ ->
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_clusters * dims))
+               ~hint:"za" (fun i -> set fb accum i (B.i64 0));
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_clusters) ~hint:"zc"
+               (fun c -> set fb count c (B.i64 0));
+             (* assignment step *)
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_points) ~hint:"as"
+               (fun i ->
+                 let best = B.local_var fb (B.i64 0) in
+                 let best_d = B.local_var fb (B.i64 max_int) in
+                 B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_clusters)
+                   ~hint:"cl" (fun c ->
+                     let acc = B.local_var fb (B.i64 0) in
+                     B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dims)
+                       ~hint:"dim" (fun d ->
+                         let diff =
+                           B.sub fb
+                             (get2 fb pts ~cols:dims i d)
+                             (get2 fb centroid ~cols:dims c d)
+                         in
+                         B.set fb acc
+                           (B.add fb (B.get fb acc) (B.mul fb diff diff)));
+                     let closer =
+                       B.icmp fb Ir.Slt (B.get fb acc) (B.get fb best_d)
+                     in
+                     B.if_ fb ~hint:"closer" closer
+                       ~then_:(fun () ->
+                         B.set fb best_d (B.get fb acc);
+                         B.set fb best c)
+                       ());
+                 set fb member i (B.get fb best);
+                 let c = B.get fb best in
+                 set fb count c (B.add fb (get fb count c) (B.i64 1));
+                 B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dims) ~hint:"upd"
+                   (fun d ->
+                     set2 fb accum ~cols:dims c d
+                       (B.add fb
+                          (get2 fb accum ~cols:dims c d)
+                          (get2 fb pts ~cols:dims i d))));
+             (* update step: mean with integer division, empty clusters
+                keep their centroid *)
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_clusters) ~hint:"up"
+               (fun c ->
+                 let nonempty =
+                   B.icmp fb Ir.Sgt (get fb count c) (B.i64 0)
+                 in
+                 B.if_ fb ~hint:"nonempty" nonempty
+                   ~then_:(fun () ->
+                     B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dims)
+                       ~hint:"mean" (fun d ->
+                         set2 fb centroid ~cols:dims c d
+                           (B.sdiv fb
+                              (get2 fb accum ~cols:dims c d)
+                              (get fb count c))))
+                   ()));
+         (* output: centroids, sizes and membership digest *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_clusters * dims))
+           ~hint:"oc" (fun i -> B.print_i64 fb (get fb centroid i));
+         let digest = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_points) ~hint:"om"
+           (fun i ->
+             B.set fb digest
+               (B.add fb (B.get fb digest)
+                  (B.mul fb (get fb member i) (B.add fb i (B.i64 1)))));
+         B.print_i64 fb (B.get fb digest);
+         B.ret fb None));
+  B.finish t

@@ -1,0 +1,66 @@
+(* kNN (Rodinia "nn", machine learning): brute-force k-nearest-neighbour
+   search — squared Euclidean distances from a query to a point set,
+   followed by k rounds of selection, as in Rodinia's hurricane search. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n_points = 56
+let dims = 4
+let k = 5
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x6b6e6eL;
+  let pts = B.global t "pts" ~bytes:(8 * n_points * dims) in
+  let query = B.global t "query" ~bytes:(8 * dims) in
+  let dist = B.global t "dist" ~bytes:(8 * n_points) in
+  let taken = B.global t "taken" ~bytes:(8 * n_points) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n_points * dims))
+           ~hint:"gen" (fun i -> set fb pts i (rand_below fb 1000));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dims) ~hint:"gq" (fun d ->
+             set fb query d (rand_below fb 1000));
+         (* distance kernel *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_points) ~hint:"dist"
+           (fun i ->
+             let acc = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dims) ~hint:"dim"
+               (fun d ->
+                 let diff =
+                   B.sub fb (get2 fb pts ~cols:dims i d) (get fb query d)
+                 in
+                 B.set fb acc (B.add fb (B.get fb acc) (B.mul fb diff diff)));
+             set fb dist i (B.get fb acc);
+             set fb taken i (B.i64 0));
+         (* k selection rounds *)
+         let digest = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 k) ~hint:"sel" (fun round ->
+             let best = B.local_var fb (B.i64 (-1)) in
+             let best_d = B.local_var fb (B.i64 max_int) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_points) ~hint:"scan"
+               (fun i ->
+                 let free = B.icmp fb Ir.Eq (get fb taken i) (B.i64 0) in
+                 B.if_ fb ~hint:"free" free
+                   ~then_:(fun () ->
+                     let d = get fb dist i in
+                     let closer = B.icmp fb Ir.Slt d (B.get fb best_d) in
+                     B.if_ fb ~hint:"closer" closer
+                       ~then_:(fun () ->
+                         B.set fb best_d d;
+                         B.set fb best i)
+                       ())
+                   ());
+             set fb taken (B.get fb best) (B.i64 1);
+             B.set fb digest
+               (B.add fb (B.get fb digest)
+                  (B.add fb
+                     (B.mul fb (B.get fb best) (B.add fb round (B.i64 1)))
+                     (B.get fb best_d)));
+             B.print_i64 fb (B.get fb best));
+         B.print_i64 fb (B.get fb digest);
+         B.ret fb None));
+  B.finish t

@@ -1,0 +1,59 @@
+(* LUD (Rodinia, linear algebra): in-place LU decomposition of a
+   diagonally dominant fixed-point (Q8) matrix, Doolittle style, the
+   same triple loop nest as the Rodinia kernel. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n = 10
+let q = 8
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x1ddeadL;
+  let a = B.global t "mat" ~bytes:(8 * n * n) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         (* diagonally dominant: off-diagonal in [-64,63], diagonal large *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n) ~hint:"gi" (fun i ->
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n) ~hint:"gj" (fun j ->
+                 let diag = B.icmp fb Ir.Eq i j in
+                 B.if_ fb ~hint:"diag" diag
+                   ~then_:(fun () ->
+                     set2 fb a ~cols:n i j
+                       (B.add fb (B.i64 (n * 64 * 2)) (rand_below fb 128)))
+                   ~else_:(fun () ->
+                     set2 fb a ~cols:n i j
+                       (B.sub fb (rand_below fb 128) (B.i64 64)))
+                   ()));
+         (* Doolittle elimination *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n) ~hint:"k" (fun k ->
+             let pivot = get2 fb a ~cols:n k k in
+             B.for_up fb ~from:(B.add fb k (B.i64 1)) ~to_:(B.i64 n)
+               ~hint:"i" (fun i ->
+                 let lik =
+                   B.sdiv fb (B.shl fb (get2 fb a ~cols:n i k) q) pivot
+                 in
+                 set2 fb a ~cols:n i k lik;
+                 B.for_up fb ~from:(B.add fb k (B.i64 1)) ~to_:(B.i64 n)
+                   ~hint:"j" (fun j ->
+                     let upd =
+                       B.ashr fb (B.mul fb lik (get2 fb a ~cols:n k j)) q
+                     in
+                     set2 fb a ~cols:n i j
+                       (B.sub fb (get2 fb a ~cols:n i j) upd))));
+         (* output: trace of U and full-matrix digest *)
+         let trace = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n) ~hint:"tr" (fun i ->
+             B.set fb trace (B.add fb (B.get fb trace) (get2 fb a ~cols:n i i)));
+         B.print_i64 fb (B.get fb trace);
+         let sum = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (n * n)) ~hint:"dg" (fun i ->
+             B.set fb sum
+               (B.xor fb (B.get fb sum)
+                  (B.mul fb (get fb a i) (B.add fb i (B.i64 7)))));
+         B.print_i64 fb (B.get fb sum);
+         B.ret fb None));
+  B.finish t

@@ -1,0 +1,71 @@
+(* Needle (Rodinia, dynamic programming): Needleman-Wunsch global
+   sequence alignment over a pseudo-random 4-letter alphabet, filling
+   the full (L+1)^2 score matrix with the classic match/gap recurrence. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let len = 26
+let match_score = 3
+let mismatch_penalty = -1
+let gap_penalty = -2
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x6e65656cL;
+  let dim = len + 1 in
+  let seq_a = B.global t "seq_a" ~bytes:(8 * len) in
+  let seq_b = B.global t "seq_b" ~bytes:(8 * len) in
+  let score = B.global t "score" ~bytes:(8 * dim * dim) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 len) ~hint:"gen" (fun i ->
+             set fb seq_a i (rand_below fb 4);
+             set fb seq_b i (rand_below fb 4));
+         (* boundary: cumulative gap penalties *)
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dim) ~hint:"b0" (fun i ->
+             set2 fb score ~cols:dim i (B.i64 0)
+               (B.mul fb i (B.i64 gap_penalty));
+             set2 fb score ~cols:dim (B.i64 0) i
+               (B.mul fb i (B.i64 gap_penalty)));
+         B.for_up fb ~from:(B.i64 1) ~to_:(B.i64 dim) ~hint:"i" (fun i ->
+             B.for_up fb ~from:(B.i64 1) ~to_:(B.i64 dim) ~hint:"j" (fun j ->
+                 let ai = get fb seq_a (B.sub fb i (B.i64 1)) in
+                 let bj = get fb seq_b (B.sub fb j (B.i64 1)) in
+                 let same = B.icmp fb Ir.Eq ai bj in
+                 let sub_score = B.local_var fb (B.i64 mismatch_penalty) in
+                 B.if_ fb ~hint:"match" same
+                   ~then_:(fun () -> B.set fb sub_score (B.i64 match_score))
+                   ();
+                 let diag =
+                   B.add fb
+                     (get2 fb score ~cols:dim (B.sub fb i (B.i64 1))
+                        (B.sub fb j (B.i64 1)))
+                     (B.get fb sub_score)
+                 in
+                 let up =
+                   B.add fb
+                     (get2 fb score ~cols:dim (B.sub fb i (B.i64 1)) j)
+                     (B.i64 gap_penalty)
+                 in
+                 let left =
+                   B.add fb
+                     (get2 fb score ~cols:dim i (B.sub fb j (B.i64 1)))
+                     (B.i64 gap_penalty)
+                 in
+                 set2 fb score ~cols:dim i j
+                   (max_ fb diag (max_ fb up left))));
+         (* output: alignment score and last row/column digest *)
+         B.print_i64 fb (get2 fb score ~cols:dim (B.i64 len) (B.i64 len));
+         let sum = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 dim) ~hint:"out" (fun i ->
+             B.set fb sum
+               (B.add fb (B.get fb sum)
+                  (B.mul fb
+                     (get2 fb score ~cols:dim (B.i64 len) i)
+                     (B.add fb i (B.i64 1)))));
+         B.print_i64 fb (B.get fb sum);
+         B.ret fb None));
+  B.finish t

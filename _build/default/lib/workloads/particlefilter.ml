@@ -1,0 +1,96 @@
+(* Particlefilter (Rodinia, noise estimation): a 1-d particle filter
+   tracking a drifting target — propagation with pseudo-random noise,
+   likelihood weighting, and systematic resampling over the cumulative
+   weight distribution, the same phases as the Rodinia kernel. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let n_particles = 40
+let steps = 6
+let scale = 1024 (* weight fixed-point scale *)
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x9a47f3c5L;
+  let x = B.global t "x" ~bytes:(8 * n_particles) in
+  let w = B.global t "w" ~bytes:(8 * n_particles) in
+  let cdf = B.global t "cdf" ~bytes:(8 * n_particles) in
+  let x_new = B.global t "x_new" ~bytes:(8 * n_particles) in
+  let truth = B.global t "truth" ~bytes:8 in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         B.store fb Ir.I64 (B.i64 500) truth;
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles) ~hint:"init"
+           (fun i -> set fb x i (B.add fb (B.i64 480) (rand_below fb 40)));
+         let estimate_digest = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 steps) ~hint:"step"
+           (fun s ->
+             (* the target drifts deterministically *)
+             let tr = B.load fb Ir.I64 truth in
+             let tr' = B.add fb tr (B.sub fb (rand_below fb 21) (B.i64 10)) in
+             B.store fb Ir.I64 tr' truth;
+             (* propagate particles with noise *)
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"prop" (fun i ->
+                 set fb x i
+                   (B.add fb (get fb x i)
+                      (B.sub fb (rand_below fb 31) (B.i64 15))));
+             (* likelihood weights: scale / (1 + |x - obs|) *)
+             let obs = B.load fb Ir.I64 truth in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"wgt" (fun i ->
+                 let d = abs_ fb (B.sub fb (get fb x i) obs) in
+                 set fb w i
+                   (B.sdiv fb (B.i64 scale) (B.add fb (B.i64 1) d)));
+             (* cumulative distribution *)
+             let run = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"cdf" (fun i ->
+                 B.set fb run (B.add fb (B.get fb run) (get fb w i));
+                 set fb cdf i (B.get fb run));
+             (* systematic resampling *)
+             let total = B.get fb run in
+             let u0 = B.srem fb (rand_below fb scale) total in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"rs" (fun j ->
+                 let u =
+                   B.srem fb
+                     (B.add fb u0
+                        (B.sdiv fb (B.mul fb j total) (B.i64 n_particles)))
+                     total
+                 in
+                 let pick = B.local_var fb (B.i64 (n_particles - 1)) in
+                 let found = B.local_var fb (B.i64 0) in
+                 B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+                   ~hint:"find" (fun i ->
+                     let not_found =
+                       B.icmp fb Ir.Eq (B.get fb found) (B.i64 0)
+                     in
+                     B.if_ fb ~hint:"nf" not_found
+                       ~then_:(fun () ->
+                         let ge = B.icmp fb Ir.Sgt (get fb cdf i) u in
+                         B.if_ fb ~hint:"hit" ge
+                           ~then_:(fun () ->
+                             B.set fb pick i;
+                             B.set fb found (B.i64 1))
+                           ())
+                       ());
+                 set fb x_new j (get fb x (B.get fb pick)));
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"copy" (fun i -> set fb x i (get fb x_new i));
+             (* state estimate: particle mean *)
+             let sum = B.local_var fb (B.i64 0) in
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 n_particles)
+               ~hint:"est" (fun i ->
+                 B.set fb sum (B.add fb (B.get fb sum) (get fb x i)));
+             let est = B.sdiv fb (B.get fb sum) (B.i64 n_particles) in
+             B.set fb estimate_digest
+               (B.add fb (B.get fb estimate_digest)
+                  (B.mul fb est (B.add fb s (B.i64 1)))));
+         B.print_i64 fb (B.get fb estimate_digest);
+         B.print_i64 fb (B.load fb Ir.I64 truth);
+         B.ret fb None));
+  B.finish t

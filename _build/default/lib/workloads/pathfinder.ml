@@ -1,0 +1,57 @@
+(* Pathfinder (Rodinia, dynamic programming): find the minimum-cost path
+   through a weighted grid, row by row, each cell extending the cheapest
+   of its three upper neighbours — the exact recurrence of the Rodinia
+   kernel, with double-buffered rows. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+open Wutil
+
+let rows = 24
+let cols = 32
+
+let modul () =
+  let t = B.create () in
+  add_lcg t ~seed:0x70a7f1deL;
+  let wall = B.global t "wall" ~bytes:(8 * rows * cols) in
+  let src = B.global t "srcrow" ~bytes:(8 * cols) in
+  let dst = B.global t "dstrow" ~bytes:(8 * cols) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         ignore (B.call fb "lcg_seed" []);
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 (rows * cols)) ~hint:"gen"
+           (fun i -> set fb wall i (rand_below fb 10));
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 cols) ~hint:"init" (fun c ->
+             set fb src c (get fb wall c));
+         B.for_up fb ~from:(B.i64 1) ~to_:(B.i64 rows) ~hint:"row" (fun r ->
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 cols) ~hint:"col"
+               (fun c ->
+                 let best = B.local_var fb (get fb src c) in
+                 let has_left = B.icmp fb Ir.Sgt c (B.i64 0) in
+                 B.if_ fb ~hint:"left" has_left
+                   ~then_:(fun () ->
+                     let l = get fb src (B.sub fb c (B.i64 1)) in
+                     B.set fb best (min_ fb (B.get fb best) l))
+                   ();
+                 let has_right = B.icmp fb Ir.Slt c (B.i64 (cols - 1)) in
+                 B.if_ fb ~hint:"right" has_right
+                   ~then_:(fun () ->
+                     let rv = get fb src (B.add fb c (B.i64 1)) in
+                     B.set fb best (min_ fb (B.get fb best) rv))
+                   ();
+                 set fb dst c
+                   (B.add fb (B.get fb best) (get2 fb wall ~cols r c)));
+             (* swap buffers by copying, as the serial Rodinia code does *)
+             B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 cols) ~hint:"swap"
+               (fun c -> set fb src c (get fb dst c)));
+         (* output: cheapest path cost and final-row digest *)
+         let best = B.local_var fb (get fb src (B.i64 0)) in
+         let sum = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 cols) ~hint:"out" (fun c ->
+             let v = get fb src c in
+             B.set fb best (min_ fb (B.get fb best) v);
+             B.set fb sum (B.add fb (B.get fb sum) (B.mul fb v (B.add fb c (B.i64 3)))));
+         B.print_i64 fb (B.get fb best);
+         B.print_i64 fb (B.get fb sum);
+         B.ret fb None));
+  B.finish t

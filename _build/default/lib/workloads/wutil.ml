@@ -1,0 +1,65 @@
+(* Shared workload scaffolding: a deterministic in-IR LCG used by every
+   kernel to generate its inputs (no external data loader — the paper's
+   Rodinia inputs are replaced by self-contained pseudo-random data with
+   the same structural role), plus small array helpers over the builder. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+
+let lcg_mul = 6364136223846793005L
+let lcg_inc = 1442695040888963407L
+
+(* Add the module-level PRNG: a global cell and @lcg_next which steps it
+   and returns a non-negative 31-bit value. *)
+let add_lcg t ~seed =
+  let state = B.global t "rng_state" ~bytes:8 in
+  ignore
+    (B.func t "lcg_seed" ~params:[] ~ret:None (fun fb _ ->
+         B.store fb Ir.I64 (B.i64' seed) state;
+         B.ret fb None));
+  ignore
+    (B.func t "lcg_next" ~params:[] ~ret:(Some Ir.I64) (fun fb _ ->
+         let s = B.load fb Ir.I64 state in
+         let s2 =
+           B.add fb (B.binop fb Ir.Mul Ir.I64 s (B.i64' lcg_mul)) (B.i64' lcg_inc)
+         in
+         B.store fb Ir.I64 s2 state;
+         let r = B.binop fb Ir.Lshr Ir.I64 s2 (B.i64 33) in
+         B.ret fb (Some r)))
+
+(* Next pseudo-random value in [0, n). *)
+let rand_below fb n =
+  let v = B.call_v fb "lcg_next" [] in
+  B.srem fb v (B.i64 n)
+
+(* a[i] where a holds i64 elements. *)
+let get fb arr i = B.load fb Ir.I64 (B.gep fb arr i ~scale:8)
+
+let set fb arr i v = B.store fb Ir.I64 v (B.gep fb arr i ~scale:8)
+
+(* a[i][j] for a row-major matrix with [cols] columns. *)
+let get2 fb arr ~cols i j =
+  get fb arr (B.add fb (B.mul fb i (B.i64 cols)) j)
+
+let set2 fb arr ~cols i j v =
+  set fb arr (B.add fb (B.mul fb i (B.i64 cols)) j) v
+
+(* Minimum of two values, through memory as clang -O0 would. *)
+let min_ fb a b =
+  let m = B.local_var fb a in
+  let c = B.icmp fb Ir.Slt b a in
+  B.if_ fb ~hint:"min" c ~then_:(fun () -> B.set fb m b) ();
+  B.get fb m
+
+let max_ fb a b =
+  let m = B.local_var fb a in
+  let c = B.icmp fb Ir.Sgt b a in
+  B.if_ fb ~hint:"max" c ~then_:(fun () -> B.set fb m b) ();
+  B.get fb m
+
+(* |a| *)
+let abs_ fb a =
+  let m = B.local_var fb a in
+  let c = B.icmp fb Ir.Slt a (B.i64 0) in
+  B.if_ fb ~hint:"abs" c ~then_:(fun () -> B.set fb m (B.sub fb (B.i64 0) a)) ();
+  B.get fb m

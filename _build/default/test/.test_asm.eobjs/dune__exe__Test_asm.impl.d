@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Cond Ferrum_asm Ferrum_eddi Ferrum_workloads Instr List Parser Printer Prog QCheck QCheck_alcotest Reg Stats Tgen

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Cond Ferrum_asm Ferrum_backend Ferrum_ir Ferrum_machine Ferrum_workloads Instr List Option Prog QCheck QCheck_alcotest Reg Tgen

@@ -1,0 +1,1 @@
+test/test_clite.ml: Alcotest Ferrum_clite Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Filename List Sys

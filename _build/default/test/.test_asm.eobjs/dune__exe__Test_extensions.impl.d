@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cond Ferrum_asm Ferrum_backend Ferrum_eddi Ferrum_faultsim Ferrum_machine Ferrum_workloads Instr Int64 List Option Parser Printer Printf Prog Reg

@@ -1,0 +1,1 @@
+test/test_faultsim.ml: Alcotest Array Cond Ferrum_asm Ferrum_eddi Ferrum_faultsim Ferrum_machine Ferrum_workloads Instr Int64 Option Prog QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Ferrum_workloads List Option Printf QCheck QCheck_alcotest Tgen

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ferrum_ir Ferrum_workloads Int32 Int64 List String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cond Ferrum_asm Ferrum_machine Instr Int64 List Prog QCheck QCheck_alcotest Reg Tgen

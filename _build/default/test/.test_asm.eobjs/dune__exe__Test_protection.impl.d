@@ -1,0 +1,1 @@
+test/test_protection.ml: Alcotest Array Cond Ferrum_asm Ferrum_eddi Ferrum_ir Ferrum_machine Ferrum_workloads Fmt Instr List Option Printer Prog Reg String

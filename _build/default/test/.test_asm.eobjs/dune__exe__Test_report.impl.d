@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ferrum_eddi Ferrum_report Lazy List Option String

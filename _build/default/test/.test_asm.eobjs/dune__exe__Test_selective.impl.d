@@ -1,0 +1,1 @@
+test/test_selective.ml: Alcotest Array Ferrum_asm Ferrum_eddi Ferrum_faultsim Ferrum_ir Ferrum_machine Ferrum_report Ferrum_workloads Hashtbl Instr List Option Prog QCheck QCheck_alcotest Reg Tgen

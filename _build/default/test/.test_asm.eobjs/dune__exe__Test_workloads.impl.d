@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ferrum_eddi Ferrum_ir Ferrum_machine Ferrum_workloads Int64 List Option

@@ -1,0 +1,1 @@
+test/tgen.ml: Cond Ferrum_asm Ferrum_ir Ferrum_workloads Instr Int64 List Printf QCheck Reg

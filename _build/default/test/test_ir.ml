@@ -1,0 +1,257 @@
+(* Tests for the mini-IR: builder output, verifier acceptance and
+   rejection, and the reference interpreter's semantics. *)
+
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+module Verify = Ferrum_ir.Verify
+module Interp = Ferrum_ir.Interp
+
+let interp_output m = (Interp.run m).Interp.output
+
+let check_out = Alcotest.(check (list int64))
+
+(* ---- builder + interpreter ---- *)
+
+let simple_main body =
+  let t = B.create () in
+  ignore (B.func t "main" ~params:[] ~ret:None (fun fb _ -> body fb; B.ret fb None));
+  B.finish t
+
+let test_arith () =
+  let m =
+    simple_main (fun fb ->
+        let a = B.i64 21 in
+        B.print_i64 fb (B.add fb a a);
+        B.print_i64 fb (B.mul fb (B.i64 6) (B.i64 7));
+        B.print_i64 fb (B.sdiv fb (B.i64 (-17)) (B.i64 5));
+        B.print_i64 fb (B.srem fb (B.i64 (-17)) (B.i64 5));
+        B.print_i64 fb (B.ashr fb (B.i64 (-256)) 4);
+        B.print_i64 fb (B.binop fb Ir.Lshr Ir.I64 (B.i64' (-1L)) (B.i64 60)))
+  in
+  Verify.run m;
+  check_out "arith" [ 42L; 42L; -3L; -2L; -16L; 15L ] (interp_output m)
+
+let test_memory_and_loop () =
+  let t = B.create () in
+  let g = B.global t "g" ~bytes:(8 * 10) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 10) ~hint:"i" (fun i ->
+             B.store fb Ir.I64 (B.mul fb i i) (B.gep fb g i ~scale:8));
+         let sum = B.local_var fb (B.i64 0) in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 10) ~hint:"j" (fun j ->
+             B.set fb sum
+               (B.add fb (B.get fb sum)
+                  (B.load fb Ir.I64 (B.gep fb g j ~scale:8))));
+         B.print_i64 fb (B.get fb sum);
+         B.ret fb None));
+  let m = B.finish t in
+  Verify.run m;
+  check_out "sum of squares 0..9" [ 285L ] (interp_output m)
+
+let test_function_calls () =
+  let t = B.create () in
+  ignore
+    (B.func t "fib" ~params:[ Ir.I64 ] ~ret:(Some Ir.I64) (fun fb args ->
+         let n = List.nth args 0 in
+         let small = B.icmp fb Ir.Slt n (B.i64 2) in
+         B.if_ fb ~hint:"base" small
+           ~then_:(fun () -> B.ret fb (Some n))
+           ();
+         let a = B.call_v fb "fib" [ B.sub fb n (B.i64 1) ] in
+         let b = B.call_v fb "fib" [ B.sub fb n (B.i64 2) ] in
+         B.ret fb (Some (B.add fb a b))));
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         B.print_i64 fb (B.call_v fb "fib" [ B.i64 12 ]);
+         B.ret fb None));
+  let m = B.finish t in
+  Verify.run m;
+  check_out "fib 12" [ 144L ] (interp_output m)
+
+let test_i32_semantics () =
+  let m =
+    simple_main (fun fb ->
+        (* 32-bit wrap-around then sign extension *)
+        let big = B.binop fb Ir.Add Ir.I32 (B.i32 0x7FFFFFFF) (B.i32 1) in
+        let wide = B.cast fb Ir.Sext_i32_i64 big in
+        B.print_i64 fb wide;
+        let trunc = B.cast fb Ir.Trunc_i64_i32 (B.i64' 0x1_0000_0005L) in
+        B.print_i64 fb (B.cast fb Ir.Sext_i32_i64 trunc))
+  in
+  Verify.run m;
+  check_out "i32 wrap + sext" [ Int64.of_int32 Int32.min_int; 5L ]
+    (interp_output m)
+
+let test_icmp_zext () =
+  let m =
+    simple_main (fun fb ->
+        let c = B.icmp fb Ir.Sge (B.i64 3) (B.i64 3) in
+        B.print_i64 fb (B.cast fb Ir.Zext_i1_i64 c);
+        let c2 = B.icmp fb Ir.Ult (B.i64' (-1L)) (B.i64 0) in
+        B.print_i64 fb (B.cast fb Ir.Zext_i1_i64 c2))
+  in
+  Verify.run m;
+  check_out "icmp" [ 1L; 0L ] (interp_output m)
+
+let test_while_loop () =
+  let m =
+    simple_main (fun fb ->
+        (* Collatz steps for 27 *)
+        let x = B.local_var fb (B.i64 27) in
+        let steps = B.local_var fb (B.i64 0) in
+        B.while_ fb ~hint:"collatz"
+          (fun () -> B.icmp fb Ir.Ne (B.get fb x) (B.i64 1))
+          (fun () ->
+            let v = B.get fb x in
+            let odd = B.and_ fb v (B.i64 1) in
+            let is_odd = B.icmp fb Ir.Eq odd (B.i64 1) in
+            B.if_ fb ~hint:"odd" is_odd
+              ~then_:(fun () ->
+                B.set fb x (B.add fb (B.mul fb (B.get fb x) (B.i64 3)) (B.i64 1)))
+              ~else_:(fun () -> B.set fb x (B.ashr fb (B.get fb x) 1))
+              ();
+            B.set fb steps (B.add fb (B.get fb steps) (B.i64 1)));
+        B.print_i64 fb (B.get fb steps))
+  in
+  Verify.run m;
+  check_out "collatz 27" [ 111L ] (interp_output m)
+
+let test_div_by_zero_fails () =
+  let m = simple_main (fun fb -> B.print_i64 fb (B.sdiv fb (B.i64 1) (B.i64 0))) in
+  match Interp.run m with
+  | _ -> Alcotest.fail "expected Runtime_error"
+  | exception Interp.Runtime_error _ -> ()
+
+(* ---- verifier rejections ---- *)
+
+let expect_invalid name m =
+  match Verify.run m with
+  | () -> Alcotest.fail (name ^ ": expected Invalid")
+  | exception Verify.Invalid _ -> ()
+
+let func_with blocks : Ir.modul =
+  { Ir.funcs = [ { Ir.name = "main"; params = []; ret = None; blocks } ];
+    globals = []; main = "main" }
+
+let test_verify_use_before_def () =
+  expect_invalid "use before def"
+    (func_with
+       [ { Ir.label = "main";
+           body = [ Ir.Store { ty = Ir.I64; v = Ir.Vreg 3; ptr = Ir.Vreg 4 } ];
+           term = Ir.Ret None } ])
+
+let test_verify_double_assignment () =
+  expect_invalid "double assignment"
+    (func_with
+       [ { Ir.label = "main";
+           body =
+             [ Ir.Alloca { dst = 0; bytes = 8 };
+               Ir.Alloca { dst = 0; bytes = 8 } ];
+           term = Ir.Ret None } ])
+
+let test_verify_type_mismatch () =
+  expect_invalid "i1 into binop"
+    (func_with
+       [ { Ir.label = "main";
+           body =
+             [ Ir.Icmp { dst = 0; pred = Ir.Eq; ty = Ir.I64;
+                         a = Ir.Const (Ir.I64, 0L); b = Ir.Const (Ir.I64, 0L) };
+               Ir.Binop { dst = 1; op = Ir.Add; ty = Ir.I64; a = Ir.Vreg 0;
+                          b = Ir.Const (Ir.I64, 1L) } ];
+           term = Ir.Ret None } ])
+
+let test_verify_bad_branch_target () =
+  expect_invalid "bad target"
+    (func_with [ { Ir.label = "main"; body = []; term = Ir.Jmp "nope" } ])
+
+let test_verify_bad_cond_type () =
+  expect_invalid "br on i64"
+    (func_with
+       [ { Ir.label = "main";
+           body = [];
+           term =
+             Ir.Br { cond = Ir.Const (Ir.I64, 1L); ifso = "main"; ifnot = "main" } } ])
+
+let test_verify_unknown_callee () =
+  expect_invalid "unknown callee"
+    (func_with
+       [ { Ir.label = "main";
+           body = [ Ir.Call { dst = None; callee = "ghost"; args = [] } ];
+           term = Ir.Ret None } ])
+
+let test_verify_unknown_global () =
+  expect_invalid "unknown global"
+    (func_with
+       [ { Ir.label = "main";
+           body = [ Ir.Load { dst = 0; ty = Ir.I64; ptr = Ir.Global "ghost" } ];
+           term = Ir.Ret None } ])
+
+let test_verify_dominance_across_blocks () =
+  (* def in one arm of a diamond does not dominate the join *)
+  expect_invalid "non-dominating def"
+    (func_with
+       [ { Ir.label = "main";
+           body =
+             [ Ir.Icmp { dst = 0; pred = Ir.Eq; ty = Ir.I64;
+                         a = Ir.Const (Ir.I64, 0L); b = Ir.Const (Ir.I64, 0L) } ];
+           term = Ir.Br { cond = Ir.Vreg 0; ifso = "a"; ifnot = "join" } };
+         { Ir.label = "a";
+           body =
+             [ Ir.Binop { dst = 1; op = Ir.Add; ty = Ir.I64;
+                          a = Ir.Const (Ir.I64, 1L); b = Ir.Const (Ir.I64, 2L) } ];
+           term = Ir.Jmp "join" };
+         { Ir.label = "join";
+           body = [ Ir.Call { dst = None; callee = "print_i64"; args = [ Ir.Vreg 1 ] } ];
+           term = Ir.Ret None } ])
+
+let test_verify_accepts_workloads () =
+  List.iter
+    (fun (e : Ferrum_workloads.Catalog.entry) -> Verify.run (e.build ()))
+    Ferrum_workloads.Catalog.all
+
+let test_num_instructions () =
+  let m = simple_main (fun fb -> B.print_i64 fb (B.i64 1)) in
+  Alcotest.(check bool) "positive" true (Ir.num_instructions m > 0)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_printer_smoke () =
+  let m = simple_main (fun fb -> B.print_i64 fb (B.add fb (B.i64 1) (B.i64 2))) in
+  let s = Ir.to_string m in
+  Alcotest.(check bool) "mentions add" true (contains s "add");
+  Alcotest.(check bool) "mentions main" true (contains s "define @main")
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "interp",
+        [ Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "memory + loops" `Quick test_memory_and_loop;
+          Alcotest.test_case "recursive calls" `Quick test_function_calls;
+          Alcotest.test_case "i32 semantics" `Quick test_i32_semantics;
+          Alcotest.test_case "icmp + zext" `Quick test_icmp_zext;
+          Alcotest.test_case "while loop" `Quick test_while_loop;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero_fails
+        ] );
+      ( "verify",
+        [ Alcotest.test_case "use before def" `Quick test_verify_use_before_def;
+          Alcotest.test_case "double assignment" `Quick
+            test_verify_double_assignment;
+          Alcotest.test_case "type mismatch" `Quick test_verify_type_mismatch;
+          Alcotest.test_case "bad branch target" `Quick
+            test_verify_bad_branch_target;
+          Alcotest.test_case "bad cond type" `Quick test_verify_bad_cond_type;
+          Alcotest.test_case "unknown callee" `Quick test_verify_unknown_callee;
+          Alcotest.test_case "unknown global" `Quick test_verify_unknown_global;
+          Alcotest.test_case "dominance" `Quick
+            test_verify_dominance_across_blocks;
+          Alcotest.test_case "accepts all workloads" `Quick
+            test_verify_accepts_workloads ] );
+      ( "misc",
+        [ Alcotest.test_case "num_instructions" `Quick test_num_instructions;
+          Alcotest.test_case "printer" `Quick test_printer_smoke ] );
+    ]

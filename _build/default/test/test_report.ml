@@ -1,0 +1,165 @@
+(* Tests for the reporting layer: ASCII rendering, experiment drivers on
+   a reduced configuration, and the headline metrics' plumbing. *)
+
+module R = Ferrum_report
+module Experiments = R.Experiments
+module Render = R.Render
+module Ascii = R.Ascii
+module Technique = Ferrum_eddi.Technique
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---- ascii ---- *)
+
+let test_table_renders () =
+  let s =
+    Ascii.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has header" true (contains s "| a ");
+  Alcotest.(check bool) "has row" true (contains s "333");
+  (* all lines are equally wide *)
+  let lines = String.split_on_char '\n' s in
+  let w = String.length (List.hd lines) in
+  List.iter
+    (fun l -> Alcotest.(check int) "aligned" w (String.length l))
+    lines
+
+let test_bar_scaling () =
+  Alcotest.(check string) "empty at zero" (String.make 32 ' ')
+    (Ascii.bar ~max_value:1.0 0.0);
+  Alcotest.(check string) "full at max" (String.make 32 '#')
+    (Ascii.bar ~max_value:1.0 1.0);
+  let half = Ascii.bar ~max_value:1.0 0.5 in
+  Alcotest.(check int) "half filled" 16
+    (String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 half)
+
+let test_percent () =
+  Alcotest.(check string) "fmt" "100.0%" (String.trim (Ascii.percent 1.0));
+  Alcotest.(check string) "fmt2" "29.8%" (String.trim (Ascii.percent 0.2983))
+
+(* ---- experiments on a reduced run ---- *)
+
+let reduced_results =
+  lazy
+    (let options =
+       { Experiments.default_options with
+         samples = 40;
+         benchmarks = Some [ "LUD"; "kNN" ] }
+     in
+     Experiments.run ~options ())
+
+let test_experiment_driver () =
+  let results = Lazy.force reduced_results in
+  Alcotest.(check int) "two benchmarks" 2 (List.length results);
+  List.iter
+    (fun (b : Experiments.bench_result) ->
+      Alcotest.(check int) "three techniques" 3 (List.length b.techniques);
+      Alcotest.(check bool) "raw campaign ran" true (b.raw_counts <> None);
+      List.iter
+        (fun (t : Experiments.tech_result) ->
+          Alcotest.(check bool) "overhead positive" true (t.overhead > 0.0);
+          Alcotest.(check bool) "coverage in [0,1]" true
+            (match t.coverage with
+            | Some c -> c >= 0.0 && c <= 1.0
+            | None -> false);
+          Alcotest.(check bool) "bigger static" true
+            (t.static_instructions > b.static_raw))
+        b.techniques)
+    results
+
+let test_full_protection_covers () =
+  let results = Lazy.force reduced_results in
+  List.iter
+    (fun (b : Experiments.bench_result) ->
+      List.iter
+        (fun t ->
+          let r = Experiments.find_tech b t in
+          Alcotest.(check (float 1e-9))
+            (b.name ^ " " ^ Technique.name t ^ " full coverage")
+            1.0
+            (Option.get r.Experiments.coverage))
+        [ Technique.Ferrum; Technique.Hybrid_assembly_eddi ])
+    results
+
+let test_renderers_mention_content () =
+  let results = Lazy.force reduced_results in
+  Alcotest.(check bool) "table1" true
+    (contains (Render.table1 ()) "FERRUM");
+  Alcotest.(check bool) "table2" true
+    (contains (Render.table2 results) "Linear Algebra");
+  Alcotest.(check bool) "fig10" true
+    (contains (Render.fig10 results) "SDC coverage");
+  Alcotest.(check bool) "fig11" true
+    (contains (Render.fig11 results) "overhead");
+  Alcotest.(check bool) "exectime" true
+    (contains (Render.exec_time results) "FERRUM transform");
+  Alcotest.(check bool) "outcomes" true
+    (contains (Render.outcome_table results) "detected");
+  Alcotest.(check bool) "summary" true
+    (contains (Render.summary results) "paper")
+
+let test_perf_only_mode () =
+  let options =
+    { Experiments.default_options with
+      samples = 0;
+      benchmarks = Some [ "BFS" ] }
+  in
+  let results = Experiments.run ~options () in
+  List.iter
+    (fun (b : Experiments.bench_result) ->
+      Alcotest.(check bool) "no campaign" true (b.raw_counts = None);
+      List.iter
+        (fun (t : Experiments.tech_result) ->
+          Alcotest.(check bool) "no coverage" true (t.coverage = None))
+        b.techniques)
+    results
+
+let test_csv_export () =
+  let results = Lazy.force reduced_results in
+  let csv = R.Export.csv results in
+  let lines = String.split_on_char '\n' csv in
+  (* header + (1 raw + 3 techniques) per benchmark + trailing newline *)
+  Alcotest.(check int) "line count" (1 + (2 * 4) + 1) (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains (List.hd lines) "benchmark,suite,domain,config");
+  Alcotest.(check bool) "has ferrum rows" true (contains csv ",ferrum,");
+  Alcotest.(check bool) "has raw rows" true (contains csv ",raw,")
+
+let test_csv_escaping () =
+  (* commas and quotes in cells must be quoted *)
+  Alcotest.(check bool) "quoting" true
+    (contains
+       (R.Export.csv
+          [ { (List.hd (Lazy.force reduced_results)) with
+              domain = "Linear, \"Algebra\"" } ])
+       "\"Linear, \"\"Algebra\"\"\"")
+
+let test_mean_over () =
+  let results = Lazy.force reduced_results in
+  let avg =
+    Experiments.mean_over results (fun b ->
+        (Experiments.find_tech b Technique.Ferrum).Experiments.overhead)
+  in
+  Alcotest.(check bool) "mean positive" true (avg > 0.0)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "ascii",
+        [ Alcotest.test_case "table" `Quick test_table_renders;
+          Alcotest.test_case "bars" `Quick test_bar_scaling;
+          Alcotest.test_case "percent" `Quick test_percent ] );
+      ( "experiments",
+        [ Alcotest.test_case "driver" `Slow test_experiment_driver;
+          Alcotest.test_case "assembly techniques fully cover" `Slow
+            test_full_protection_covers;
+          Alcotest.test_case "renderers" `Slow test_renderers_mention_content;
+          Alcotest.test_case "performance-only mode" `Quick
+            test_perf_only_mode;
+          Alcotest.test_case "csv export" `Slow test_csv_export;
+          Alcotest.test_case "csv escaping" `Slow test_csv_escaping;
+          Alcotest.test_case "mean" `Slow test_mean_over ] );
+    ]

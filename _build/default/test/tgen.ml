@@ -1,0 +1,236 @@
+(* Shared QCheck generators for the test suites: random registers,
+   operands, instructions (for printer/parser round-trips), and random
+   structured IR kernels (for semantics-preservation and the headline
+   no-SDC property). *)
+
+open Ferrum_asm
+module B = Ferrum_ir.Builder
+module Ir = Ferrum_ir.Ir
+
+let gpr : Reg.gpr QCheck.Gen.t = QCheck.Gen.oneofl Reg.all_gprs
+
+(* Registers legal as explicit operands in generated instructions (we
+   keep RSP out to avoid generating stack-corrupting programs). *)
+let operand_gpr : Reg.gpr QCheck.Gen.t =
+  QCheck.Gen.oneofl
+    Reg.[ RAX; RBX; RCX; RDX; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let size : Reg.size QCheck.Gen.t = QCheck.Gen.oneofl Reg.[ B; W; D; Q ]
+
+let cond : Cond.t QCheck.Gen.t = QCheck.Gen.oneofl Cond.all
+
+let mem : Instr.mem QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* base = opt operand_gpr in
+  let* index = opt operand_gpr in
+  let* scale = oneofl [ 1; 2; 4; 8 ] in
+  let* disp = int_range (-512) 512 in
+  (* scale is only printable when an index register is present *)
+  let scale = match index with None -> 1 | Some _ -> scale in
+  return { Instr.base; index; scale; disp }
+
+let operand : Instr.operand QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun i -> Instr.Imm (Int64.of_int i)) (int_range (-100000) 100000);
+      map (fun r -> Instr.Reg r) operand_gpr;
+      map (fun m -> Instr.Mem m) mem ]
+
+let reg_or_mem : Instr.operand QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof [ map (fun r -> Instr.Reg r) operand_gpr;
+          map (fun m -> Instr.Mem m) mem ]
+
+let alu : Instr.alu QCheck.Gen.t =
+  QCheck.Gen.oneofl Instr.[ Add; Sub; Imul; And; Or; Xor ]
+
+(* A random instruction with valid operand shapes (no label-dependent
+   control flow: those are exercised by program-level generators). *)
+let instr : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let mov =
+    let* s = size in
+    let* src = operand in
+    let* dst = reg_or_mem in
+    return (Instr.Mov (s, src, dst))
+  in
+  let alu_i =
+    let* op = alu in
+    let* s = size in
+    let* src = operand in
+    let* dst = map (fun r -> Instr.Reg r) operand_gpr in
+    return (Instr.Alu (op, s, src, dst))
+  in
+  let shift =
+    let* k = oneofl Instr.[ Shl; Sar; Shr ] in
+    let* s = size in
+    let* amt =
+      oneof [ map (fun n -> Instr.Amt_imm n) (int_range 0 63);
+              return Instr.Amt_cl ]
+    in
+    let* dst = map (fun r -> Instr.Reg r) operand_gpr in
+    return (Instr.Shift (k, s, amt, dst))
+  in
+  let cmp =
+    let* s = size in
+    let* src = operand in
+    let* dst = reg_or_mem in
+    return (Instr.Cmp (s, src, dst))
+  in
+  let simd =
+    let* x = int_range 0 15 in
+    oneof
+      [ (let* o = reg_or_mem in
+         return (Instr.MovQ_to_xmm (o, x)));
+        (let* r = operand_gpr in
+         return (Instr.MovQ_from_xmm (x, r)));
+        (let* lane = int_range 0 1 in
+         let* r = operand_gpr in
+         return (Instr.Pinsrq (lane, Instr.Psrc_reg r, x)));
+        (let* lane = int_range 0 1 in
+         let* r = operand_gpr in
+         return (Instr.Pextrq (lane, x, r)));
+        (let* a = int_range 0 15 in
+         let* d = int_range 0 15 in
+         return (Instr.Vpxor (a, x, d)));
+        (let* a = int_range 0 15 in
+         return (Instr.Vptest (a, x)));
+        (let* s = int_range 0 15 in
+         let* a = int_range 0 15 in
+         let* half = int_range 0 1 in
+         return (Instr.Vinserti128 (half, s, a, x))) ]
+  in
+  let misc =
+    oneof
+      [ (let* m = mem in
+         let* r = operand_gpr in
+         return (Instr.Lea (m, r)));
+        (let* o = reg_or_mem in
+         let* r = operand_gpr in
+         return (Instr.Movslq (o, r)));
+        (let* o = reg_or_mem in
+         let* r = operand_gpr in
+         return (Instr.Movzbq (o, r)));
+        (let* c = cond in
+         let* o = reg_or_mem in
+         return (Instr.Set (c, o)));
+        (let* s = size in
+         let* o = reg_or_mem in
+         return (Instr.Neg (s, o)));
+        (let* s = size in
+         let* o = reg_or_mem in
+         return (Instr.Not (s, o)));
+        (let* o = operand in
+         return (Instr.Push o));
+        map (fun r -> Instr.Pop r) operand_gpr;
+        return Instr.Cqto;
+        return Instr.Ret ]
+  in
+  oneof [ mov; alu_i; shift; cmp; simd; misc ]
+
+(* ------------------------------------------------------------------ *)
+(* Random structured IR kernels.                                       *)
+(*                                                                     *)
+(* A kernel owns [n_vars] mutable i64 variables initialised to small   *)
+(* constants, runs a bounded loop whose body applies random updates    *)
+(* (arithmetic, comparisons feeding branches, array traffic through a  *)
+(* global), and prints every variable at the end.  Divisions divide by *)
+(* a non-zero constant so fault-free runs never trap.                  *)
+(* ------------------------------------------------------------------ *)
+
+type update =
+  | U_binop of Ir.binop * int * int (* var <- var op other *)
+  | U_const of int * int (* var <- constant *)
+  | U_if_swap of int * int (* if (a < b) a <- a + b else a <- a - b *)
+  | U_array of int * int (* g[i mod 8] <- var; var <- g[(i+k) mod 8] *)
+  | U_div of int * int (* var <- var / const *)
+
+let update_gen n_vars : update QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = int_range 0 (n_vars - 1) in
+  oneof
+    [ (let* op =
+         oneofl Ir.[ Add; Sub; Mul; And; Or; Xor; Shl; Ashr ]
+       in
+       let* a = var in
+       let* b = var in
+       return (U_binop (op, a, b)));
+      (let* a = var in
+       let* c = int_range (-1000) 1000 in
+       return (U_const (a, c)));
+      (let* a = var in
+       let* b = var in
+       return (U_if_swap (a, b)));
+      (let* a = var in
+       let* k = int_range 1 7 in
+       return (U_array (a, k)));
+      (let* a = var in
+       let* c = oneofl [ 2; 3; 5; 7; 11 ] in
+       return (U_div (a, c))) ]
+
+type kernel = {
+  n_vars : int;
+  inits : int list;
+  iterations : int;
+  updates : update list;
+}
+
+let kernel_gen : kernel QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n_vars = int_range 2 5 in
+  let* inits = list_size (return n_vars) (int_range (-50) 50) in
+  let* iterations = int_range 1 6 in
+  let* updates = list_size (int_range 1 8) (update_gen n_vars) in
+  return { n_vars; inits; iterations; updates }
+
+(* Build the kernel as an IR module. *)
+let build_kernel (k : kernel) : Ir.modul =
+  let t = B.create () in
+  let arr = B.global t "arr" ~bytes:(8 * 8) in
+  ignore
+    (B.func t "main" ~params:[] ~ret:None (fun fb _ ->
+         let vars =
+           List.map (fun c -> B.local_var fb (B.i64 c)) k.inits
+         in
+         let var i = List.nth vars i in
+         (* mask shift amounts so they stay in range *)
+         let apply iv = function
+           | U_binop (op, a, b) ->
+             let vb = B.get fb (var b) in
+             let vb =
+               match op with
+               | Ir.Shl | Ir.Ashr | Ir.Lshr -> B.and_ fb vb (B.i64 15)
+               | _ -> vb
+             in
+             B.set fb (var a) (B.binop fb op Ir.I64 (B.get fb (var a)) vb)
+           | U_const (a, c) -> B.set fb (var a) (B.i64 c)
+           | U_if_swap (a, b) ->
+             let va = B.get fb (var a) and vb = B.get fb (var b) in
+             let c = B.icmp fb Ir.Slt va vb in
+             B.if_ fb ~hint:"swap" c
+               ~then_:(fun () ->
+                 B.set fb (var a)
+                   (B.add fb (B.get fb (var a)) (B.get fb (var b))))
+               ~else_:(fun () ->
+                 B.set fb (var a)
+                   (B.sub fb (B.get fb (var a)) (B.get fb (var b))))
+               ()
+           | U_array (a, kk) ->
+             let idx = B.and_ fb iv (B.i64 7) in
+             Ferrum_workloads.Wutil.set fb arr idx (B.get fb (var a));
+             let idx2 = B.and_ fb (B.add fb iv (B.i64 kk)) (B.i64 7) in
+             B.set fb (var a) (Ferrum_workloads.Wutil.get fb arr idx2)
+           | U_div (a, c) ->
+             B.set fb (var a) (B.sdiv fb (B.get fb (var a)) (B.i64 c))
+         in
+         B.for_up fb ~from:(B.i64 0) ~to_:(B.i64 k.iterations) ~hint:"it"
+           (fun iv -> List.iter (apply iv) k.updates);
+         List.iter (fun v -> B.print_i64 fb (B.get fb v)) vars;
+         B.ret fb None));
+  B.finish t
+
+let kernel_arbitrary =
+  QCheck.make ~print:(fun k ->
+      Printf.sprintf "kernel{vars=%d iters=%d updates=%d}" k.n_vars
+        k.iterations (List.length k.updates))
+    kernel_gen
