@@ -1,0 +1,37 @@
+CLI = dune exec --display=quiet bin/ferrum_cli.exe --
+SMOKE = /tmp/ferrum_smoke.jsonl
+
+.PHONY: all build test fmt smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ocamlformat is optional in the dev image; dune files are always checked.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not found: checking dune files only"; \
+	  out=$$(dune fmt 2>&1 | grep -v -e ocamlformat -e 'required by' -e context || true); \
+	  if [ -n "$$out" ]; then echo "$$out"; echo "dune files were not formatted"; exit 1; fi; \
+	fi
+
+# End-to-end smoke: a small campaign must produce a schema-valid,
+# seed-reproducible metrics stream.
+smoke: build
+	$(CLI) inject kmeans -p ferrum --samples 20 --metrics $(SMOKE)
+	$(CLI) metrics $(SMOKE)
+	$(CLI) inject kmeans -p ferrum --samples 20 --metrics $(SMOKE).2 > /dev/null
+	cmp $(SMOKE) $(SMOKE).2
+	@echo "smoke: metrics valid and reproducible"
+
+check: fmt build test smoke
+
+clean:
+	dune clean
+	rm -f $(SMOKE) $(SMOKE).2

@@ -25,7 +25,7 @@ let usage () =
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
     \                 ablation|allsites|multibit|peephole|selective|micro|\n\
     \                 all]\n\
-    \                [--samples N] [--seed N] [--csv PATH]";
+    \                [--samples N] [--seed N] [--csv PATH] [--metrics PATH]";
   exit 2
 
 type cmd =
@@ -38,6 +38,7 @@ let parse_args () =
   let samples = ref 400 in
   let seed = ref 2024L in
   let csv = ref None in
+  let metrics = ref None in
   let rec go = function
     | [] -> ()
     | "--samples" :: n :: rest ->
@@ -48,6 +49,9 @@ let parse_args () =
       go rest
     | "--csv" :: path :: rest ->
       csv := Some path;
+      go rest
+    | "--metrics" :: path :: rest ->
+      metrics := Some path;
       go rest
     | arg :: rest ->
       (cmd :=
@@ -70,7 +74,7 @@ let parse_args () =
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!cmd, !samples, !seed, !csv)
+  (!cmd, !samples, !seed, !csv, !metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the toolchain.                         *)
@@ -139,14 +143,28 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd, samples, seed, csv = parse_args () in
+  let cmd, samples, seed, csv, metrics = parse_args () in
   let options perf_only =
     { Experiments.default_options with
       samples = (if perf_only then 0 else samples);
       seed }
   in
+  (* Per-experiment wall-clock timings and the last full result set, for
+     the --metrics JSON (wall time lives only there, never in the
+     deterministic per-benchmark results). *)
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+    r
+  in
+  let captured = ref [] in
   let run ?(perf_only = false) () =
-    Experiments.run ~options:(options perf_only) ()
+    let name = if perf_only then "experiments(perf)" else "experiments" in
+    let r = timed name (fun () -> Experiments.run ~options:(options perf_only) ()) in
+    captured := r;
+    r
   in
   let maybe_csv results =
     match csv with
@@ -172,22 +190,29 @@ let () =
     print_newline ();
     print_endline (Render.summary results)
   in
-  match cmd with
+  (match cmd with
   | Default -> print_all ~with_outcomes:false ()
   | All ->
     print_all ~with_outcomes:true ();
     print_newline ();
-    print_endline (Ablation.render (Ablation.run ~samples:(samples / 2) ()));
+    print_endline
+      (timed "ablation" (fun () ->
+           Ablation.render (Ablation.run ~samples:(samples / 2) ())));
     print_newline ();
-    print_endline (Ablation.all_sites ~samples:(samples / 2) ());
+    print_endline
+      (timed "allsites" (fun () -> Ablation.all_sites ~samples:(samples / 2) ()));
     print_newline ();
-    print_endline (Ablation.multibit ~samples:(samples / 2) ());
+    print_endline
+      (timed "multibit" (fun () -> Ablation.multibit ~samples:(samples / 2) ()));
     print_newline ();
-    print_endline (Ablation.optimized_backend ~samples:(samples / 2) ());
+    print_endline
+      (timed "peephole" (fun () ->
+           Ablation.optimized_backend ~samples:(samples / 2) ()));
     print_newline ();
-    print_endline (R.Selective.render ~samples:(samples / 2) ());
+    print_endline
+      (timed "selective" (fun () -> R.Selective.render ~samples:(samples / 2) ()));
     print_newline ();
-    micro ()
+    timed "micro" micro
   | Table1 -> print_endline (Render.table1 ())
   | Table2 -> print_endline (Render.table2 (run ~perf_only:true ()))
   | Fig10 -> print_endline (Render.fig10 (run ()))
@@ -201,4 +226,10 @@ let () =
   | Multibit -> print_endline (Ablation.multibit ~samples ())
   | PeepholeCmd -> print_endline (Ablation.optimized_backend ~samples ())
   | Selective -> print_endline (R.Selective.render ~samples ())
-  | Micro -> micro ()
+  | Micro -> micro ());
+  match metrics with
+  | Some path ->
+    Ferrum_report.Export.write_metrics_json path ~samples ~seed
+      ~experiments:(List.rev !timings) !captured;
+    Fmt.pr "(wrote %s)@." path
+  | None -> ()

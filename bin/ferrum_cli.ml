@@ -5,14 +5,23 @@
      ir BENCH                  print the mini-IR of a benchmark
      compile BENCH [-p TECH]   print (protected) assembly
      run BENCH [-p TECH]       simulate and report output/cycles
-     inject BENCH [-p TECH]    run a fault-injection campaign
+     inject BENCH [-p TECH]    fault-injection campaign (+ JSONL metrics)
+     trace BENCH [--fault]     execution trace / flight-recorder dump
+     profile BENCH             per-opcode cycle and overhead breakdown
+     metrics FILE              validate and summarise a metrics JSONL file
      report [ARTEFACT]         regenerate the paper's tables/figures *)
 
 module Machine = Ferrum_machine.Machine
+module Flight = Ferrum_machine.Flight
 module F = Ferrum_faultsim.Faultsim
+module Rng = Ferrum_faultsim.Rng
 module Technique = Ferrum_eddi.Technique
 module Pipeline = Ferrum_eddi.Pipeline
 module Catalog = Ferrum_workloads.Catalog
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+module Span = Ferrum_telemetry.Span
+module Profile = Ferrum_telemetry.Profile
 open Cmdliner
 
 let find_bench name =
@@ -172,12 +181,70 @@ let run_cmd =
 
 (* ---- inject ---- *)
 
+(* Header line of an injection-campaign metrics file.  Every field is
+   campaign configuration — no wall-clock values — so the whole file is
+   byte-identical for a given seed. *)
+let metrics_header ~bench ~technique ~samples ~seed ~all_sites ~fault_bits =
+  Metrics.header ~kind:F.metrics_kind
+    [
+      ("benchmark", Json.Str bench);
+      ("technique",
+       Json.Str
+         (match technique with
+         | Some t -> Technique.short_name t
+         | None -> "raw"));
+      ("samples", Json.Int samples);
+      ("seed", Json.Str (Int64.to_string seed));
+      ("scope", Json.Str (if all_sites then "all-sites" else "original"));
+      ("fault_bits", Json.Int fault_bits);
+    ]
+
+let metrics_arg =
+  let doc =
+    "Stream one JSON record per injection to $(docv) (JSONL: a header \
+     line, then site/opcode/destination/bit/classification/cycles per \
+     sample; bit-reproducible for a given seed)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"PATH" ~doc)
+
+(* Periodic progress on stderr (stdout stays deterministic). *)
+let progress_line samples =
+  let every = max 1 (samples / 10) in
+  fun done_ total ->
+    if done_ mod every = 0 || done_ = total then
+      Fmt.epr "[inject] %d/%d samples@." done_ total
+
+let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
+    ~metrics img =
+  let scope = if all_sites then F.All_sites else F.Original_only in
+  match metrics with
+  | None -> F.campaign ~scope ~seed ~samples ~fault_bits img
+  | Some path ->
+    let sink = Metrics.file_sink path in
+    Metrics.emit sink
+      (metrics_header ~bench ~technique ~samples ~seed ~all_sites
+         ~fault_bits);
+    let on_record r = Metrics.emit sink (F.record_to_json r) in
+    let res =
+      Fun.protect
+        ~finally:(fun () -> Metrics.close sink)
+        (fun () ->
+          F.campaign ~scope ~seed ~samples ~fault_bits ~on_record
+            ~progress:(progress_line samples) img)
+    in
+    Fmt.epr "[inject] wrote %s@." path;
+    res
+
 let inject_cmd =
-  let run bench technique knobs samples seed all_sites fault_bits verbose =
+  let run bench technique knobs samples seed all_sites fault_bits verbose
+      metrics =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
-    let scope = if all_sites then F.All_sites else F.Original_only in
-    let res = F.campaign ~scope ~seed ~samples ~fault_bits img in
+    let res =
+      run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
+        ~metrics img
+    in
     Fmt.pr "%a@." F.pp_counts res.F.counts;
     Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
       (F.sdc_probability res.F.counts)
@@ -199,14 +266,64 @@ let inject_cmd =
           registers of sampled dynamic instructions.")
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
-      $ seed_arg $ all_sites_arg $ fault_bits_arg $ verbose_arg)
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ verbose_arg
+      $ metrics_arg)
 
-(* ---- trace: annotated execution trace ---- *)
+(* ---- trace: annotated execution trace / flight-recorder dump ---- *)
+
+(* Replay seeded injections until one is caught (or otherwise ends the
+   run), with a flight recorder attached; dump the window that led to
+   the event.  The sampling loop mirrors {!F.campaign}, so a fault
+   found here corresponds to the same-seed campaign's sample. *)
+let trace_fault ?technique ~bench ~seed ~attempts ~depth ~all_sites img =
+  let scope = if all_sites then F.All_sites else F.Original_only in
+  let t = F.prepare ~scope img in
+  if t.F.eligible_steps = 0 then begin
+    Fmt.epr "no eligible injection sites@.";
+    exit 1
+  end;
+  let rng = Rng.create ~seed in
+  let flight = Flight.create ~depth () in
+  let rec hunt sample =
+    if sample >= attempts then None
+    else begin
+      let sample_rng = Rng.split rng in
+      let dyn_index = Rng.int sample_rng t.F.eligible_steps in
+      Flight.clear flight;
+      let cls, fault, st =
+        F.inject_full ~observe:(Flight.observe flight img) t sample_rng
+          ~dyn_index
+      in
+      match cls with
+      | F.Benign -> hunt (sample + 1)
+      | _ -> Some (sample, cls, fault, st)
+    end
+  in
+  match hunt 0 with
+  | None ->
+    Fmt.pr "all %d sampled faults were benign; try more --samples@." attempts;
+    exit 1
+  | Some (sample, cls, fault, st) ->
+    Fmt.pr "benchmark %s (%s): sample %d classified %s@." bench
+      (match technique with
+      | Some t -> Technique.short_name t
+      | None -> "raw")
+      sample (F.classification_name cls);
+    Fmt.pr
+      "fault: bit %d of %s at static index %d (dynamic write-back %d)@."
+      fault.F.bit fault.F.dest_desc fault.F.static_index fault.F.dyn_index;
+    Fmt.pr "run: %d instructions, %.0f model cycles@.@." st.Machine.steps
+      st.Machine.cycles;
+    Fmt.pr "%a" Flight.pp flight
 
 let trace_cmd =
-  let run bench technique knobs limit skip =
+  let run bench technique knobs limit skip fault seed attempts depth
+      all_sites =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
+    if fault then
+      trace_fault ?technique ~bench ~seed ~attempts ~depth ~all_sites img
+    else
     let printed = ref 0 and seen = ref 0 in
     let on_step (st : Machine.state) idx =
       incr seen;
@@ -245,13 +362,34 @@ let trace_cmd =
   let skip_arg =
     Arg.(value & opt int 0 & info [ "skip" ] ~doc:"Instructions to skip first.")
   in
+  let fault_arg =
+    Arg.(value & flag
+         & info [ "fault" ]
+             ~doc:
+               "Inject seeded faults until one is caught (or crashes or \
+                times out) and dump the flight-recorder window that led \
+                to the event.")
+  in
+  let attempts_arg =
+    Arg.(value & opt int 400
+         & info [ "samples" ]
+             ~doc:"Max injections to try in --fault mode.")
+  in
+  let depth_arg =
+    Arg.(value & opt int Flight.default_depth
+         & info [ "depth" ]
+             ~doc:"Flight-recorder depth (retired instructions kept).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Print an annotated execution trace (each retired instruction \
-          with the values it wrote).")
+          with the values it wrote), or, with --fault, the \
+          flight-recorder dump of an injected fault's last instructions.")
     Term.(
-      const run $ bench_arg $ protect_arg $ knobs_term $ limit_arg $ skip_arg)
+      const run $ bench_arg $ protect_arg $ knobs_term $ limit_arg
+      $ skip_arg $ fault_arg $ seed_arg $ attempts_arg $ depth_arg
+      $ all_sites_arg)
 
 (* ---- check: parse/validate/run assembly text ---- *)
 
@@ -317,10 +455,137 @@ let stats_cmd =
              benchmark.")
     Term.(const run $ bench_arg $ knobs_term)
 
+(* ---- profile: per-opcode cycles and overhead attribution ---- *)
+
+let profile_cmd =
+  let run bench technique knobs top timings =
+    let e = find_bench bench in
+    let m = e.Catalog.build () in
+    let techniques =
+      match technique with Some t -> [ t ] | None -> Technique.all
+    in
+    (* Raw baseline first: the reference for overhead attribution. *)
+    let raw_recorder = Span.create () in
+    let raw =
+      (Pipeline.raw ~recorder:raw_recorder ~optimize:knobs.optimize m)
+        .Pipeline.program
+    in
+    let raw_profile = Profile.run (Machine.load raw) in
+    Fmt.pr "== %s, raw ==@." e.Catalog.name;
+    Fmt.pr "pipeline:@.%a" (Span.pp ~timings) raw_recorder;
+    Fmt.pr "%a@." (Profile.pp ~top) raw_profile;
+    List.iter
+      (fun t ->
+        let recorder = Span.create () in
+        let r =
+          Pipeline.protect ~recorder ~ferrum_config:knobs.ferrum_config
+            ~optimize:knobs.optimize t m
+        in
+        let profile = Profile.run (Machine.load r.Pipeline.program) in
+        Fmt.pr "== %s, %s ==@." e.Catalog.name (Technique.short_name t);
+        Fmt.pr "pipeline:@.%a" (Span.pp ~timings) recorder;
+        Fmt.pr "%a" (Profile.pp ~top) profile;
+        Fmt.pr "%a" Profile.pp_provenance profile;
+        let raw_cycles = raw_profile.Profile.total_cycles in
+        if raw_cycles > 0.0 then begin
+          Fmt.pr "overhead vs raw: %+.1f%%"
+            (100.0 *. (profile.Profile.total_cycles -. raw_cycles)
+            /. raw_cycles);
+          let contrib =
+            List.filter_map
+              (fun (p : Profile.prov_row) ->
+                if p.Profile.p_cycles > 0.0 && p.Profile.prov <> Ferrum_asm.Instr.Original
+                then
+                  Some
+                    (Fmt.str "%s %+.1f%%"
+                       (Profile.prov_name p.Profile.prov)
+                       (100.0 *. p.Profile.p_cycles /. raw_cycles))
+                else None)
+              profile.Profile.by_provenance
+          in
+          if contrib <> [] then
+            Fmt.pr " (%s)" (String.concat ", " contrib);
+          Fmt.pr "@."
+        end;
+        Fmt.pr "@.")
+      techniques
+  in
+  let top_arg =
+    Arg.(value & opt int 12
+         & info [ "top" ] ~doc:"Hot-opcode rows to print (0 = all).")
+  in
+  let timings_arg =
+    Arg.(value & flag
+         & info [ "timings" ]
+             ~doc:"Include wall-clock stage durations (non-deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-opcode cycle breakdown of a benchmark under the cycle \
+          model, pipeline-stage spans with transform counters, and the \
+          protection overhead attributed to duplicate / check / \
+          instrumentation cycles.  Without -p, profiles all three \
+          techniques against the raw baseline.")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ top_arg
+      $ timings_arg)
+
+(* ---- metrics: validate and summarise a JSONL metrics file ---- *)
+
+let metrics_cmd =
+  let run file =
+    let lines =
+      try Metrics.read_lines file
+      with Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    match
+      Metrics.validate_lines ~kind:F.metrics_kind
+        ~record_fields:F.record_fields lines
+    with
+    | Error e ->
+      Fmt.epr "%s: invalid metrics file: %s@." file e;
+      exit 1
+    | Ok n ->
+      (match lines with
+      | hdr :: _ -> Fmt.pr "header: %s@." hdr
+      | [] -> ());
+      let by_class = Hashtbl.create 8 in
+      List.iteri
+        (fun i line ->
+          if i > 0 then
+            match Json.member "class" (Json.of_string line) with
+            | Some (Json.Str c) ->
+              Hashtbl.replace by_class c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt by_class c))
+            | _ -> ())
+        lines;
+      Fmt.pr "valid: %d records@." n;
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt by_class c with
+          | Some k -> Fmt.pr "  %-8s %d@." c k
+          | None -> ())
+        [ "benign"; "sdc"; "detected"; "crash"; "timeout" ]
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Metrics JSONL file written by `inject --metrics'.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Validate a metrics JSONL file against the injection-record \
+          schema and summarise its outcome classes.")
+    Term.(const run $ file_arg)
+
 (* ---- cc: the C-lite frontend ---- *)
 
 let cc_cmd =
-  let run file technique knobs emit samples seed fault_bits =
+  let run file technique knobs emit samples seed fault_bits metrics =
     let m =
       try Ferrum_clite.Clite.compile_file file
       with Ferrum_clite.Clite.Error msg ->
@@ -347,7 +612,10 @@ let cc_cmd =
       (match outcome with Machine.Exit _ -> () | _ -> exit 1)
     | "inject" ->
       let img = Machine.load (program ()) in
-      let res = F.campaign ~seed ~samples ~fault_bits img in
+      let res =
+        run_campaign ?technique ~bench:file ~samples ~seed ~all_sites:false
+          ~fault_bits ~metrics img
+      in
       Fmt.pr "%a@." F.pp_counts res.F.counts;
       Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
         (F.sdc_probability res.F.counts)
@@ -371,7 +639,7 @@ let cc_cmd =
           simulate it, or run a fault-injection campaign on it.")
     Term.(
       const run $ file_arg $ protect_arg $ knobs_term $ emit_arg
-      $ samples_arg $ seed_arg $ fault_bits_arg)
+      $ samples_arg $ seed_arg $ fault_bits_arg $ metrics_arg)
 
 (* ---- report ---- *)
 
@@ -406,4 +674,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
-            check_cmd; stats_cmd; trace_cmd; report_cmd ]))
+            check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
+            report_cmd ]))

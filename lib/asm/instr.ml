@@ -237,5 +237,45 @@ let klass = function
   | Vinserti128 _ | Vpxor _ | Vptest _
   | Vinserti64x4 _ | Vpxorq512 _ | Vptestmq512 _ -> K_simd
 
+(* Bare mnemonic (no operands, no size suffix), the aggregation key of
+   per-opcode profiles.  Condition codes are kept — [jne] and [je] have
+   different prediction/protection behaviour worth seeing separately. *)
+let mnemonic = function
+  | Mov _ -> "mov"
+  | Movslq _ -> "movslq"
+  | Movzbq _ -> "movzbq"
+  | Lea _ -> "lea"
+  | Alu (Add, _, _, _) -> "add"
+  | Alu (Sub, _, _, _) -> "sub"
+  | Alu (Imul, _, _, _) -> "imul"
+  | Alu (And, _, _, _) -> "and"
+  | Alu (Or, _, _, _) -> "or"
+  | Alu (Xor, _, _, _) -> "xor"
+  | Shift (Shl, _, _, _) -> "shl"
+  | Shift (Sar, _, _, _) -> "sar"
+  | Shift (Shr, _, _, _) -> "shr"
+  | Neg _ -> "neg"
+  | Not _ -> "not"
+  | Cmp _ -> "cmp"
+  | Test _ -> "test"
+  | Set (c, _) -> "set" ^ Cond.name c
+  | Jmp _ -> "jmp"
+  | Jcc (c, _) -> "j" ^ Cond.name c
+  | Call _ -> "call"
+  | Ret -> "ret"
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | Cqto -> "cqto"
+  | Idiv _ -> "idiv"
+  | MovQ_to_xmm _ | MovQ_from_xmm _ -> "movq(xmm)"
+  | Pinsrq _ -> "pinsrq"
+  | Pextrq _ -> "pextrq"
+  | Vinserti128 _ -> "vinserti128"
+  | Vpxor _ -> "vpxor"
+  | Vptest _ -> "vptest"
+  | Vinserti64x4 _ -> "vinserti64x4"
+  | Vpxorq512 _ -> "vpxorq"
+  | Vptestmq512 _ -> "vptestmq"
+
 (* True when control cannot fall through past this instruction. *)
 let is_barrier = function Jmp _ | Ret -> true | _ -> false

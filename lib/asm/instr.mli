@@ -131,5 +131,9 @@ val klass_name : klass -> string
 val is_mem_operand : operand -> bool
 val klass : t -> klass
 
+(** Bare mnemonic (no operands or size suffix); condition codes are
+    kept, so [jne] and [je] profile separately. *)
+val mnemonic : t -> string
+
 (** True when control cannot fall through past this instruction. *)
 val is_barrier : t -> bool

@@ -1,6 +1,11 @@
 (** End-to-end drivers: compile a module unprotected or under any of the
     three techniques, with transform timing for the paper's compile-time
-    measurement (§IV-B3). *)
+    measurement (§IV-B3).
+
+    When a {!Ferrum_telemetry.Span} recorder is supplied, every stage
+    (backend compile, peephole, protection transform) runs inside a span
+    carrying counters: instructions, duplicates and checkers inserted,
+    spare registers found, stack requisitions. *)
 
 type result = {
   technique : Technique.t option;  (** [None] = unprotected baseline *)
@@ -10,6 +15,7 @@ type result = {
 
 (** Compile only; [optimize] enables the backend peephole (E9). *)
 val compile_raw :
+  ?recorder:Ferrum_telemetry.Span.recorder ->
   ?optimize:bool ->
   ?oracle:Ferrum_backend.Backend.prov_oracle ->
   Ferrum_ir.Ir.modul ->
@@ -20,6 +26,7 @@ val compile_raw :
     pass for FERRUM — matching how the paper reports FERRUM's execution
     time. *)
 val protect :
+  ?recorder:Ferrum_telemetry.Span.recorder ->
   ?ferrum_config:Ferrum_pass.config ->
   ?optimize:bool ->
   Technique.t ->
@@ -27,10 +34,15 @@ val protect :
   result
 
 (** The unprotected configuration. *)
-val raw : ?optimize:bool -> Ferrum_ir.Ir.modul -> result
+val raw :
+  ?recorder:Ferrum_telemetry.Span.recorder ->
+  ?optimize:bool ->
+  Ferrum_ir.Ir.modul ->
+  result
 
 (** Raw followed by each technique, in {!Technique.all} order. *)
 val all_configurations :
+  ?recorder:Ferrum_telemetry.Span.recorder ->
   ?ferrum_config:Ferrum_pass.config ->
   ?optimize:bool ->
   Ferrum_ir.Ir.modul ->

@@ -163,9 +163,12 @@ let flip_dest ?(bits = 1) rng st (dest : Instr.dest) =
     (Printf.sprintf "flags.%s" name, 0)
 
 (* Run the target once, flipping one bit at the [dyn_index]-th eligible
-   write-back.  Returns the classification and the fault description. *)
-let inject ?(fault_bits = 1) (t : target) rng ~dyn_index :
-    classification * fault =
+   write-back.  [observe] (e.g. a {!Ferrum_machine.Flight} recorder) is
+   called after the injection logic on every retired instruction, so it
+   sees post-flip state.  Returns the classification, the fault
+   description and the final machine state. *)
+let inject_full ?(fault_bits = 1) ?observe (t : target) rng ~dyn_index :
+    classification * fault * Machine.state =
   let st = Machine.fresh_state t.img in
   let seen = ref 0 in
   let fault = ref None in
@@ -178,7 +181,8 @@ let inject ?(fault_bits = 1) (t : target) rng ~dyn_index :
         fault := Some { dyn_index; static_index = idx; dest_desc; bit }
       end;
       incr seen
-    end
+    end;
+    match observe with Some f -> f mstate idx | None -> ()
   in
   let outcome = Machine.run ~fuel:t.fuel ~on_step t.img st in
   let cls =
@@ -201,7 +205,67 @@ let inject ?(fault_bits = 1) (t : target) rng ~dyn_index :
          if dyn_index is out of range) *)
       { dyn_index; static_index = -1; dest_desc = "unreached"; bit = -1 }
   in
+  (cls, fault, st)
+
+let inject ?fault_bits (t : target) rng ~dyn_index : classification * fault =
+  let cls, fault, _st = inject_full ?fault_bits t rng ~dyn_index in
   (cls, fault)
+
+(* ------------------------------------------------------------------ *)
+(* Per-injection records (campaign metrics).                           *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+
+(* Everything needed to attribute one injected run's outcome to a
+   specific instruction, destination and bit — the raw material of
+   FastFlip-style compositional analysis.  No wall-clock values:
+   [cycles] are model cycles, so same-seed campaigns export
+   byte-identical record streams. *)
+type record = {
+  sample : int; (* 0-based injection number within the campaign *)
+  r_dyn_index : int; (* which eligible dynamic write-back *)
+  r_static_index : int; (* static site, -1 when unreached *)
+  opcode : string; (* mnemonic of the targeted instruction *)
+  dest : string; (* e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  r_bit : int;
+  r_class : classification;
+  steps : int; (* dynamic instructions of the injected run *)
+  cycles : float; (* model cycles of the injected run *)
+}
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("sample", Json.Int r.sample);
+      ("dyn_index", Json.Int r.r_dyn_index);
+      ("static_index", Json.Int r.r_static_index);
+      ("opcode", Json.Str r.opcode);
+      ("dest", Json.Str r.dest);
+      ("bit", Json.Int r.r_bit);
+      ("class", Json.Str (classification_name r.r_class));
+      ("steps", Json.Int r.steps);
+      ("cycles", Json.Float r.cycles);
+    ]
+
+(* Schema of one record line, for `ferrum metrics` and the smoke
+   check. *)
+let record_fields =
+  Metrics.
+    [
+      field "sample" F_int;
+      field "dyn_index" F_int;
+      field "static_index" F_int;
+      field "opcode" F_string;
+      field "dest" F_string;
+      field "bit" F_int;
+      field "class" F_string;
+      field "steps" F_int;
+      field "cycles" F_float;
+    ]
+
+let metrics_kind = "ferrum.injection.v1"
 
 (* ------------------------------------------------------------------ *)
 (* Campaigns.                                                          *)
@@ -213,9 +277,11 @@ type campaign_result = {
   faults : (classification * fault) list; (* newest first *)
 }
 
-(* Sample [samples] single-fault runs with the given seed. *)
+(* Sample [samples] single-fault runs with the given seed.  [on_record]
+   streams one structured record per injection, in sample order;
+   [progress] is called after every sample with (done, total). *)
 let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
-    ~samples img =
+    ?on_record ?progress ~samples img =
   let t = prepare ~scope img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.campaign: no eligible injection sites";
@@ -225,7 +291,31 @@ let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
     else
       let sample_rng = Rng.split rng in
       let dyn_index = Rng.int sample_rng t.eligible_steps in
-      let cls, fault = inject ~fault_bits t sample_rng ~dyn_index in
+      let cls, fault, st = inject_full ~fault_bits t sample_rng ~dyn_index in
+      let sample = samples - n in
+      (match on_record with
+      | Some f ->
+        let opcode =
+          if fault.static_index < 0 then "?"
+          else
+            Instr.mnemonic t.img.Machine.code.(fault.static_index).Instr.op
+        in
+        f
+          {
+            sample;
+            r_dyn_index = fault.dyn_index;
+            r_static_index = fault.static_index;
+            opcode;
+            dest = fault.dest_desc;
+            r_bit = fault.bit;
+            r_class = cls;
+            steps = st.Machine.steps;
+            cycles = st.Machine.cycles;
+          }
+      | None -> ());
+      (match progress with
+      | Some f -> f (sample + 1) samples
+      | None -> ());
       go (n - 1) (add_count counts cls) ((cls, fault) :: faults)
   in
   go samples zero_counts []

@@ -80,16 +80,57 @@ val inject :
   ?fault_bits:int -> target -> Rng.t -> dyn_index:int ->
   classification * fault
 
+(** Like {!inject}, but also returns the final machine state, and calls
+    [observe] (e.g. {!Ferrum_machine.Flight.observe}) after the
+    injection logic on every retired instruction, so it sees post-flip
+    state. *)
+val inject_full :
+  ?fault_bits:int ->
+  ?observe:(Machine.state -> int -> unit) ->
+  target -> Rng.t -> dyn_index:int ->
+  classification * fault * Machine.state
+
+(** {1 Per-injection records (campaign metrics)}
+
+    One structured record per injected run — site, opcode, destination,
+    bit, classification, dynamic cost — for streaming JSONL export.
+    Records carry no wall-clock values, so a campaign's record stream is
+    byte-identical for a given seed. *)
+
+type record = {
+  sample : int;  (** 0-based injection number within the campaign *)
+  r_dyn_index : int;
+  r_static_index : int;  (** static site, -1 when unreached *)
+  opcode : string;  (** mnemonic of the targeted instruction *)
+  dest : string;  (** e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  r_bit : int;
+  r_class : classification;
+  steps : int;  (** dynamic instructions of the injected run *)
+  cycles : float;  (** model cycles of the injected run *)
+}
+
+val record_to_json : record -> Ferrum_telemetry.Json.t
+
+(** Schema of one record line, for `ferrum metrics` and the smoke
+    check. *)
+val record_fields : Ferrum_telemetry.Metrics.field list
+
+(** Schema name of injection-campaign metrics files. *)
+val metrics_kind : string
+
 type campaign_result = {
   counts : counts;
   target : target;
   faults : (classification * fault) list;  (** newest first *)
 }
 
-(** Sample [samples] single-fault runs; bit-reproducible per seed. *)
+(** Sample [samples] single-fault runs; bit-reproducible per seed.
+    [on_record] streams one {!record} per injection in sample order;
+    [progress] is called after every sample with [done_so_far total]. *)
 val campaign :
-  ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> samples:int ->
-  Machine.image -> campaign_result
+  ?scope:scope -> ?seed:int64 -> ?fault_bits:int ->
+  ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
+  samples:int -> Machine.image -> campaign_result
 
 (** SDC coverage relative to the raw baseline (paper §IV-A3):
     [(p_raw - p_prot) / p_raw], clamped to [0; 1]. *)

@@ -1,0 +1,108 @@
+(* Execution flight recorder.
+
+   A fixed-depth ring buffer of the last N retired instructions,
+   populated from the simulator's per-step observer hook: each entry
+   captures the static index, the instruction, and the values its
+   architectural destinations hold right after write-back (the same
+   write-back point at which the fault injector flips bits).  When a run
+   ends in [Detected]/[Crash]/[Timeout], dumping the recorder shows the
+   exact instruction window that led to the event — the raw material for
+   attributing an outcome to an instruction and a checker. *)
+
+open Ferrum_asm
+
+(* One written destination with its post-write-back value. *)
+type write =
+  | Wgpr of Reg.gpr * int64
+  | Wsimd of Reg.simd * int * int64 (* register, lane, value *)
+  | Wflags of bool * bool * bool * bool (* ZF SF CF OF *)
+
+type entry = {
+  step : int; (* 1-based dynamic instruction number *)
+  static_index : int;
+  ins : Instr.ins;
+  writes : write list;
+}
+
+type t = {
+  depth : int;
+  slots : entry option array;
+  mutable recorded : int; (* total entries ever recorded *)
+}
+
+let default_depth = 32
+
+let create ?(depth = default_depth) () =
+  if depth <= 0 then invalid_arg "Flight.create: depth must be positive";
+  { depth; slots = Array.make depth None; recorded = 0 }
+
+let clear t =
+  Array.fill t.slots 0 t.depth None;
+  t.recorded <- 0
+
+let recorded t = t.recorded
+
+let record t entry =
+  t.slots.(t.recorded mod t.depth) <- Some entry;
+  t.recorded <- t.recorded + 1
+
+(* Snapshot the destinations of the instruction that just retired.  The
+   observer contract guarantees the state already reflects its
+   write-back. *)
+let writes_of (img : Machine.image) (st : Machine.state) idx =
+  List.map
+    (function
+      | Instr.Dgpr (r, _) -> Wgpr (r, st.Machine.gpr.(Reg.gpr_index r))
+      | Instr.Dsimd (x, lanes) ->
+        (match lanes with
+        | lane :: _ -> Wsimd (x, lane, st.Machine.simd.((x * 8) + lane))
+        | [] -> Wsimd (x, 0, st.Machine.simd.(x * 8)))
+      | Instr.Dflags _ ->
+        Wflags (st.Machine.zf, st.Machine.sf, st.Machine.cf, st.Machine.off))
+    img.Machine.dests.(idx)
+
+(* The observer to pass as [on_step] (directly or composed). *)
+let observe t (img : Machine.image) (st : Machine.state) idx =
+  record t
+    {
+      step = st.Machine.steps;
+      static_index = idx;
+      ins = img.Machine.code.(idx);
+      writes = writes_of img st idx;
+    }
+
+(* Entries currently held, oldest first. *)
+let entries t =
+  let n = min t.recorded t.depth in
+  let first = t.recorded - n in
+  List.init n (fun i ->
+      match t.slots.((first + i) mod t.depth) with
+      | Some e -> e
+      | None -> assert false)
+
+let pp_write ppf = function
+  | Wgpr (r, v) -> Fmt.pf ppf "%%%s=%Ld" (Reg.gpr_name r Reg.Q) v
+  | Wsimd (x, lane, v) -> Fmt.pf ppf "%%%s[%d]=%Ld" (Reg.xmm_name x) lane v
+  | Wflags (zf, sf, cf, off) ->
+    Fmt.pf ppf "zf=%b sf=%b cf=%b of=%b" zf sf cf off
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%8d  %4d  %-10s %-40s %a" e.step e.static_index
+    (match e.ins.Instr.prov with
+    | Instr.Original -> "original"
+    | Instr.Dup -> "dup"
+    | Instr.Check -> "check"
+    | Instr.Instrumentation -> "instr")
+    (Printer.string_of_instr e.ins.Instr.op)
+    Fmt.(list ~sep:(any "  ") pp_write)
+    e.writes
+
+(* Dump the whole window, oldest first, with a header that states how
+   much history was dropped. *)
+let pp ppf t =
+  let held = min t.recorded t.depth in
+  Fmt.pf ppf "flight recorder: last %d of %d retired instructions@." held
+    t.recorded;
+  Fmt.pf ppf "%8s  %4s  %-10s %-40s %s@." "step" "ip" "provenance"
+    "instruction" "write-back";
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)

@@ -22,7 +22,7 @@ type outcome =
 
 let equal_outcome a b =
   match (a, b) with
-  | Exit x, Exit y -> List.for_all2 Int64.equal x y && List.compare_lengths x y = 0
+  | Exit x, Exit y -> List.compare_lengths x y = 0 && List.for_all2 Int64.equal x y
   | Detected, Detected | Timeout, Timeout -> true
   | Crash _, Crash _ -> true
   | _ -> false
@@ -509,7 +509,10 @@ let default_fuel = 50_000_000
 
 (* Run to completion.  [on_step] receives the state and the static index
    of the instruction that just retired (its destinations are in
-   [img.dests]); mutations it performs are visible to the next step. *)
+   [img.dests]); mutations it performs are visible to the next step.
+   The halting instruction is observed too (it retired: its steps and
+   cycles are accounted); halting instructions define no injectable
+   destinations, so fault-injection sampling is unaffected. *)
 let run ?(fuel = default_fuel) ?on_step (img : image) (st : state) =
   let len = Array.length img.code in
   try
@@ -522,8 +525,12 @@ let run ?(fuel = default_fuel) ?on_step (img : image) (st : state) =
     | Some f ->
       while st.steps < fuel do
         if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
-        let idx = step img st in
-        f st idx
+        let ip0 = st.ip in
+        (match step img st with
+        | idx -> f st idx
+        | exception Halt o ->
+          f st ip0;
+          raise (Halt o))
       done);
     Timeout
   with

@@ -89,7 +89,8 @@ val default_fuel : int
 (** Run to halt, trap or fuel exhaustion.  [on_step] receives the state
     and the static index of the instruction that just retired (its
     destinations are in [image.dests]); mutations it performs are
-    visible to the next step. *)
+    visible to the next step.  Every retired instruction is observed,
+    including the one that halts the machine. *)
 val run : ?fuel:int -> ?on_step:(state -> int -> unit) -> image -> state -> outcome
 
 (** Run from a fresh state; returns the outcome and the final state. *)

@@ -60,3 +60,69 @@ let write_csv path results =
   let oc = open_out path in
   output_string oc (csv results);
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable metrics JSON (bench --metrics).                    *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Ferrum_telemetry.Json
+
+let json_of_counts = function
+  | Some (c : F.counts) ->
+    Json.Obj
+      [ ("samples", Json.Int c.F.samples); ("benign", Json.Int c.F.benign);
+        ("sdc", Json.Int c.F.sdc); ("detected", Json.Int c.F.detected);
+        ("crash", Json.Int c.F.crash); ("timeout", Json.Int c.F.timeout) ]
+  | None -> Json.Null
+
+let json_of_tech (t : tech_result) =
+  Json.Obj
+    [ ("config", Json.Str (Technique.short_name t.technique));
+      ("static_instructions", Json.Int t.static_instructions);
+      ("dynamic_instructions", Json.Int t.dyn_instructions);
+      ("cycles", Json.Float t.cycles);
+      ("overhead", Json.Float t.overhead);
+      ("dyn_overhead", Json.Float t.dyn_overhead);
+      ("coverage",
+       match t.coverage with Some c -> Json.Float c | None -> Json.Null);
+      ("transform_seconds", Json.Float t.transform_seconds);
+      ("counts", json_of_counts t.counts) ]
+
+let json_of_bench (b : bench_result) =
+  Json.Obj
+    [ ("benchmark", Json.Str b.name); ("suite", Json.Str b.suite);
+      ("domain", Json.Str b.domain);
+      ("raw",
+       Json.Obj
+         [ ("static_instructions", Json.Int b.static_raw);
+           ("dynamic_instructions", Json.Int b.dyn_raw);
+           ("cycles", Json.Float b.cycles_raw);
+           ("counts", json_of_counts b.raw_counts) ]);
+      ("techniques", Json.Arr (List.map json_of_tech b.techniques)) ]
+
+(* Full bench metrics document: meta (sample counts, seed), one entry
+   per timed experiment (name + wall seconds — wall clock is confined
+   here, the per-benchmark results are deterministic per seed), and the
+   per-benchmark results themselves. *)
+let metrics_json ~samples ~seed ~experiments (results : bench_result list) =
+  Json.Obj
+    [ ("schema", Json.Str "ferrum.bench.v1");
+      ("version", Json.Int Ferrum_telemetry.Metrics.schema_version);
+      ("samples", Json.Int samples);
+      ("seed", Json.Str (Int64.to_string seed));
+      ("experiments",
+       Json.Arr
+         (List.map
+            (fun (name, wall_seconds) ->
+              Json.Obj
+                [ ("name", Json.Str name);
+                  ("wall_seconds", Json.Float wall_seconds) ])
+            experiments));
+      ("results", Json.Arr (List.map json_of_bench results)) ]
+
+let write_metrics_json path ~samples ~seed ~experiments results =
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string (metrics_json ~samples ~seed ~experiments results));
+  output_char oc '\n';
+  close_out oc

@@ -5,3 +5,21 @@
 val csv : Experiments.bench_result list -> string
 
 val write_csv : string -> Experiments.bench_result list -> unit
+
+(** Bench metrics document: meta (sample count, seed), per-experiment
+    wall times (wall clock is confined here; per-benchmark results are
+    deterministic per seed), and per-benchmark results. *)
+val metrics_json :
+  samples:int ->
+  seed:int64 ->
+  experiments:(string * float) list ->
+  Experiments.bench_result list ->
+  Ferrum_telemetry.Json.t
+
+val write_metrics_json :
+  string ->
+  samples:int ->
+  seed:int64 ->
+  experiments:(string * float) list ->
+  Experiments.bench_result list ->
+  unit

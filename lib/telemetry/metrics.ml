@@ -1,0 +1,136 @@
+(* Streaming JSONL metrics files.
+
+   A metrics file is one JSON object per line: a header line first
+   (schema name + version and free-form context fields — the only place
+   wall-clock values may appear, so that the record stream itself is
+   bit-reproducible for a given seed), then one record per event.
+
+   [field] specs give the subsystem enough schema to validate files it
+   wrote — the `ferrum metrics` subcommand and the smoke check both run
+   [validate_lines] over a freshly written campaign. *)
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sink = { emit : string -> unit; close : unit -> unit }
+
+let channel_sink ?(close = false) oc =
+  {
+    emit =
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n');
+    close = (fun () -> if close then close_out oc else flush oc);
+  }
+
+let file_sink path = channel_sink ~close:true (open_out path)
+
+let buffer_sink buf =
+  {
+    emit =
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n');
+    close = ignore;
+  }
+
+let emit sink json = sink.emit (Json.to_string json)
+
+let close sink = sink.close ()
+
+(* Header line: schema identification first, then caller context.
+   Callers keep wall-clock values (if any) here and out of records. *)
+let header ~kind extra =
+  Json.Obj
+    (("schema", Json.Str kind)
+    :: ("version", Json.Int schema_version)
+    :: extra)
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type field_kind = F_int | F_float | F_string
+type field = { fname : string; kind : field_kind; required : bool }
+
+let field ?(required = true) fname kind = { fname; kind; required }
+
+let kind_name = function
+  | F_int -> "int"
+  | F_float -> "float"
+  | F_string -> "string"
+
+let kind_matches kind (j : Json.t) =
+  match (kind, j) with
+  | F_int, Json.Int _ -> true
+  | F_float, (Json.Float _ | Json.Int _) -> true (* integral floats *)
+  | F_string, Json.Str _ -> true
+  | _ -> false
+
+(* Check one object against a field list: required fields present, all
+   typed fields well-typed.  Unknown fields are allowed (forward
+   compatibility). *)
+let validate_fields fields (j : Json.t) =
+  match j with
+  | Json.Obj _ ->
+    let problem =
+      List.find_map
+        (fun f ->
+          match Json.member f.fname j with
+          | None ->
+            if f.required then Some (Fmt.str "missing field %S" f.fname)
+            else None
+          | Some v ->
+            if kind_matches f.kind v then None
+            else
+              Some
+                (Fmt.str "field %S is not a %s" f.fname (kind_name f.kind)))
+        fields
+    in
+    (match problem with Some p -> Error p | None -> Ok ())
+  | _ -> Error "not a JSON object"
+
+(* Validate a whole JSONL document: a header of [kind], then records
+   matching [record_fields].  Returns the number of records. *)
+let validate_lines ~kind ~record_fields lines =
+  match lines with
+  | [] -> Error "empty metrics file"
+  | hdr :: records ->
+    let check_header =
+      match Json.of_string_opt hdr with
+      | None -> Error "header line is not valid JSON"
+      | Some j -> (
+        match (Json.member "schema" j, Json.member "version" j) with
+        | Some (Json.Str k), Some (Json.Int v) ->
+          if k <> kind then Error (Fmt.str "schema is %S, expected %S" k kind)
+          else if v <> schema_version then
+            Error (Fmt.str "schema version %d, expected %d" v schema_version)
+          else Ok ()
+        | _ -> Error "header lacks schema/version fields")
+    in
+    Result.bind check_header (fun () ->
+        let rec go n i = function
+          | [] -> Ok n
+          | line :: rest -> (
+            match Json.of_string_opt line with
+            | None -> Error (Fmt.str "line %d is not valid JSON" i)
+            | Some j -> (
+              match validate_fields record_fields j with
+              | Error e -> Error (Fmt.str "line %d: %s" i e)
+              | Ok () -> go (n + 1) (i + 1) rest))
+        in
+        go 0 2 records)
+
+(* Split a file's contents into non-empty lines. *)
+let lines_of_string s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  lines_of_string s

@@ -1,0 +1,123 @@
+(* Per-opcode cycle profiling.
+
+   Runs an image once with an observer that attributes every retired
+   instruction's model cycles to (a) its bare mnemonic and (b) its
+   provenance.  The mnemonic table answers "where do the cycles go?"
+   (the hot-instruction view behind the ROADMAP's make-a-hot-path-faster
+   goal); the provenance split breaks a protected program's overhead
+   into original / duplicate / check / instrumentation (requisition
+   push-pop and batch plumbing) cycles — the decomposition the paper's
+   Fig. 11 discussion reasons about. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+
+type row = {
+  mnemonic : string;
+  klass : Instr.klass;
+  count : int;
+  cycles : float;
+}
+
+type prov_row = { prov : Instr.provenance; p_count : int; p_cycles : float }
+
+type t = {
+  outcome : Machine.outcome;
+  steps : int;
+  total_cycles : float;
+  rows : row list; (* cycles descending, then mnemonic *)
+  by_provenance : prov_row list; (* Original, Dup, Check, Instrumentation *)
+}
+
+let all_provs =
+  [ Instr.Original; Instr.Dup; Instr.Check; Instr.Instrumentation ]
+
+let prov_name = function
+  | Instr.Original -> "original"
+  | Instr.Dup -> "duplicate"
+  | Instr.Check -> "check"
+  | Instr.Instrumentation -> "instrumentation"
+
+let prov_index = function
+  | Instr.Original -> 0
+  | Instr.Dup -> 1
+  | Instr.Check -> 2
+  | Instr.Instrumentation -> 3
+
+(* Profile one fresh run of [img].  Deterministic: the simulator and the
+   cost model are, and rows come out in a total order. *)
+let run ?fuel (img : Machine.image) : t =
+  let tbl : (string, Instr.klass * int ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let prov_count = Array.make 4 0 in
+  let prov_cycles = Array.make 4 0.0 in
+  let on_step (_st : Machine.state) idx =
+    let ins = img.Machine.code.(idx) in
+    let cost = img.Machine.costs.(idx) in
+    let m = Instr.mnemonic ins.Instr.op in
+    (match Hashtbl.find_opt tbl m with
+    | Some (_, count, cycles) ->
+      incr count;
+      cycles := !cycles +. cost
+    | None -> Hashtbl.add tbl m (Instr.klass ins.Instr.op, ref 1, ref cost));
+    let p = prov_index ins.Instr.prov in
+    prov_count.(p) <- prov_count.(p) + 1;
+    prov_cycles.(p) <- prov_cycles.(p) +. cost
+  in
+  let outcome, st = Machine.run_fresh ?fuel ~on_step img in
+  let rows =
+    Hashtbl.fold
+      (fun mnemonic (klass, count, cycles) acc ->
+        { mnemonic; klass; count = !count; cycles = !cycles } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           match compare b.cycles a.cycles with
+           | 0 -> compare a.mnemonic b.mnemonic
+           | c -> c)
+  in
+  let by_provenance =
+    List.map
+      (fun prov ->
+        let i = prov_index prov in
+        { prov; p_count = prov_count.(i); p_cycles = prov_cycles.(i) })
+      all_provs
+  in
+  {
+    outcome;
+    steps = st.Machine.steps;
+    total_cycles = st.Machine.cycles;
+    rows;
+    by_provenance;
+  }
+
+let pct part total = if total <= 0.0 then 0.0 else 100.0 *. part /. total
+
+let pp ?(top = 0) ppf t =
+  Fmt.pf ppf "%a: %d instructions, %.1f model cycles@." Machine.pp_outcome
+    t.outcome t.steps t.total_cycles;
+  Fmt.pf ppf "  %-14s %-8s %10s %12s %7s@." "opcode" "class" "count" "cycles"
+    "cyc%";
+  let rows =
+    if top > 0 && List.length t.rows > top then
+      List.filteri (fun i _ -> i < top) t.rows
+    else t.rows
+  in
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-14s %-8s %10d %12.1f %6.1f%%@." r.mnemonic
+        (Instr.klass_name r.klass) r.count r.cycles
+        (pct r.cycles t.total_cycles))
+    rows;
+  if List.length t.rows > List.length rows then
+    Fmt.pf ppf "  ... %d more opcodes@." (List.length t.rows - List.length rows)
+
+let pp_provenance ppf t =
+  Fmt.pf ppf "  %-16s %10s %12s %7s@." "provenance" "count" "cycles" "cyc%";
+  List.iter
+    (fun p ->
+      if p.p_count > 0 then
+        Fmt.pf ppf "  %-16s %10d %12.1f %6.1f%%@." (prov_name p.prov)
+          p.p_count p.p_cycles
+          (pct p.p_cycles t.total_cycles))
+    t.by_provenance

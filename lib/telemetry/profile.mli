@@ -1,0 +1,38 @@
+(** Per-opcode cycle profiling: one fresh run of an image with every
+    retired instruction's model cycles attributed to its bare mnemonic
+    (the hot-instruction table) and to its provenance (the protection
+    overhead split into original / duplicate / check / instrumentation
+    cycles). *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+
+type row = {
+  mnemonic : string;
+  klass : Instr.klass;
+  count : int;
+  cycles : float;
+}
+
+type prov_row = { prov : Instr.provenance; p_count : int; p_cycles : float }
+
+type t = {
+  outcome : Machine.outcome;
+  steps : int;
+  total_cycles : float;
+  rows : row list;  (** cycles descending, then mnemonic *)
+  by_provenance : prov_row list;
+      (** Original, Dup, Check, Instrumentation order *)
+}
+
+val prov_name : Instr.provenance -> string
+
+(** Profile one fresh run.  Deterministic for a given image. *)
+val run : ?fuel:int -> Machine.image -> t
+
+(** Hot-instruction table; [~top] truncates (0 = all rows). *)
+val pp : ?top:int -> Format.formatter -> t -> unit
+
+(** Provenance (overhead-attribution) table; empty provenances are
+    skipped. *)
+val pp_provenance : Format.formatter -> t -> unit

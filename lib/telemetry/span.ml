@@ -1,0 +1,106 @@
+(* Pipeline spans: timed, nested sections of work with counters.
+
+   A recorder collects spans as the compilation pipeline runs (clite
+   parse -> lower -> compile -> protect -> peephole -> load), each with
+   a duration from an injectable clock and integer counters attached by
+   the stage (instructions duplicated, checkers inserted, spare
+   registers found, stack requisitions, ...).
+
+   The clock defaults to [Unix.gettimeofday]; tests inject a fake
+   monotonic counter so span output is deterministic, and the default
+   pretty-printer omits durations for the same reason ([~timings:true]
+   includes them). *)
+
+type span = {
+  name : string;
+  depth : int; (* nesting level; top-level spans are 0 *)
+  order : int; (* start order, 0-based, over the whole recorder *)
+  duration : float; (* seconds under the recorder's clock *)
+  counters : (string * int) list; (* insertion order *)
+}
+
+type open_span = {
+  o_name : string;
+  o_depth : int;
+  o_order : int;
+  o_start : float;
+  mutable o_counters : (string * int) list; (* newest first *)
+}
+
+type recorder = {
+  clock : unit -> float;
+  mutable stack : open_span list; (* innermost first *)
+  mutable closed : span list; (* newest first *)
+  mutable started : int;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { clock; stack = []; closed = []; started = 0 }
+
+let enter r name =
+  let o =
+    {
+      o_name = name;
+      o_depth = List.length r.stack;
+      o_order = r.started;
+      o_start = r.clock ();
+      o_counters = [];
+    }
+  in
+  r.started <- r.started + 1;
+  r.stack <- o :: r.stack;
+  o
+
+let exit_ r o =
+  (match r.stack with
+  | top :: rest when top == o -> r.stack <- rest
+  | _ -> invalid_arg "Span: exited a span that is not innermost");
+  r.closed <-
+    {
+      name = o.o_name;
+      depth = o.o_depth;
+      order = o.o_order;
+      duration = r.clock () -. o.o_start;
+      counters = List.rev o.o_counters;
+    }
+    :: r.closed
+
+(* Run [f] inside a span; the span closes even if [f] raises. *)
+let span r name f =
+  let o = enter r name in
+  match f () with
+  | v ->
+    exit_ r o;
+    v
+  | exception e ->
+    exit_ r o;
+    raise e
+
+(* Attach a counter to the innermost open span.  Counters recorded with
+   no span open are silently dropped — instrumented code must be
+   callable without an active recorder section. *)
+let counter r name value =
+  match r.stack with
+  | o :: _ -> o.o_counters <- (name, value) :: o.o_counters
+  | [] -> ()
+
+(* Closed spans in start order.  Open spans are not reported. *)
+let spans r =
+  List.sort (fun a b -> compare a.order b.order) (List.rev r.closed)
+
+let pp_counters ppf = function
+  | [] -> ()
+  | cs ->
+    Fmt.pf ppf "  [%a]"
+      Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> pf ppf "%s=%d" k v))
+      cs
+
+let pp ?(timings = false) ppf r =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%s%-*s" (String.make (2 * s.depth) ' ')
+        (max 1 (24 - (2 * s.depth)))
+        s.name;
+      if timings then Fmt.pf ppf " %8.3f ms" (s.duration *. 1e3);
+      Fmt.pf ppf "%a@." pp_counters s.counters)
+    (spans r)

@@ -1,0 +1,32 @@
+(** Pipeline spans: timed, nested sections of work with counters
+    attached by the stage (instructions duplicated, checkers inserted,
+    spare registers found, stack requisitions, ...).
+
+    The clock is injectable — [Unix.gettimeofday] by default, a fake
+    counter in tests — and the default pretty-printer omits durations so
+    test-asserted output stays deterministic. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting level; top-level spans are 0 *)
+  order : int;  (** start order over the whole recorder, 0-based *)
+  duration : float;  (** seconds under the recorder's clock *)
+  counters : (string * int) list;  (** insertion order *)
+}
+
+type recorder
+
+val create : ?clock:(unit -> float) -> unit -> recorder
+
+(** Run [f] inside a named span; closes the span even if [f] raises. *)
+val span : recorder -> string -> (unit -> 'a) -> 'a
+
+(** Attach a counter to the innermost open span; dropped silently when
+    no span is open. *)
+val counter : recorder -> string -> int -> unit
+
+(** Closed spans in start order; open spans are not reported. *)
+val spans : recorder -> span list
+
+(** Indented tree; durations only with [~timings:true]. *)
+val pp : ?timings:bool -> Format.formatter -> recorder -> unit

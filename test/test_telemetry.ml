@@ -1,0 +1,329 @@
+(* Tests for the telemetry subsystem: flight-recorder ring buffer,
+   pipeline spans, canonical JSON / JSONL metrics, per-opcode profiles,
+   and campaign metrics reproducibility. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+module Flight = Ferrum_machine.Flight
+module Json = Ferrum_telemetry.Json
+module Span = Ferrum_telemetry.Span
+module Metrics = Ferrum_telemetry.Metrics
+module Profile = Ferrum_telemetry.Profile
+module F = Ferrum_faultsim.Faultsim
+
+let originals = List.map Instr.original
+
+let straightline body =
+  Prog.program
+    [ Prog.func "main" [ Prog.block "main" (originals (body @ [ Instr.Ret ])) ] ]
+
+(* A tiny protected-looking program with one original injection site, a
+   duplicate and a checker -- same shape as the faultsim tests use, so
+   campaigns over it are instant. *)
+let checked_program () =
+  Prog.program
+    [ Prog.func "main"
+        [ Prog.block "main"
+            [ Instr.original (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.RDI));
+              Instr.dup (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.R10));
+              Instr.check (Instr.Cmp (Reg.Q, Instr.Reg Reg.R10, Instr.Reg Reg.RDI));
+              Instr.check (Instr.Jcc (Cond.NE, "exit_function"));
+              Instr.original (Instr.Call "print_i64");
+              Instr.original Instr.Ret ] ] ]
+
+(* ---- flight recorder ---- *)
+
+let test_flight_wraparound () =
+  let open Instr in
+  let body =
+    List.init 8 (fun i ->
+        Mov (Reg.Q, Imm (Int64.of_int i), Reg Reg.RAX))
+  in
+  let img = Machine.load (straightline body) in
+  let fr = Flight.create ~depth:4 () in
+  let st = Machine.fresh_state img in
+  let outcome = Machine.run ~on_step:(Flight.observe fr img) img st in
+  (match outcome with
+  | Machine.Exit _ -> ()
+  | o -> Alcotest.failf "expected exit, got %a" Machine.pp_outcome o);
+  (* 8 movs + ret all retire; the ring holds only the last 4 *)
+  Alcotest.(check int) "recorded" 9 (Flight.recorded fr);
+  let entries = Flight.entries fr in
+  Alcotest.(check int) "held" 4 (List.length entries);
+  let steps = List.map (fun e -> e.Flight.step) entries in
+  Alcotest.(check (list int)) "last four steps, oldest first" [ 6; 7; 8; 9 ]
+    steps;
+  (* the last mov's write-back value is visible in its entry *)
+  let mov7 = List.nth entries 2 in
+  (match mov7.Flight.writes with
+  | [ Flight.Wgpr (Reg.RAX, v) ] ->
+    Alcotest.(check int64) "write-back value" 7L v
+  | _ -> Alcotest.fail "expected a single gpr write");
+  Flight.clear fr;
+  Alcotest.(check int) "cleared" 0 (Flight.recorded fr);
+  Alcotest.(check int) "empty" 0 (List.length (Flight.entries fr))
+
+let test_flight_no_wrap () =
+  let open Instr in
+  let body = [ Mov (Reg.Q, Imm 1L, Reg Reg.RBX) ] in
+  let img = Machine.load (straightline body) in
+  let fr = Flight.create ~depth:16 () in
+  let st = Machine.fresh_state img in
+  ignore (Machine.run ~on_step:(Flight.observe fr img) img st);
+  Alcotest.(check int) "recorded" 2 (Flight.recorded fr);
+  Alcotest.(check int) "held" 2 (List.length (Flight.entries fr));
+  match Flight.create ~depth:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "depth 0 must be rejected"
+
+(* ---- pipeline spans ---- *)
+
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+let test_span_nesting () =
+  let r = Span.create ~clock:(fake_clock ()) () in
+  let result =
+    Span.span r "compile" (fun () ->
+        Span.counter r "instructions" 10;
+        Span.span r "peephole" (fun () ->
+            Span.counter r "rewrites" 3;
+            42))
+  in
+  Alcotest.(check int) "body result" 42 result;
+  match Span.spans r with
+  | [ outer; inner ] ->
+    Alcotest.(check string) "outer name" "compile" outer.Span.name;
+    Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+    Alcotest.(check int) "outer order" 0 outer.Span.order;
+    Alcotest.(check string) "inner name" "peephole" inner.Span.name;
+    Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+    Alcotest.(check int) "inner order" 1 inner.Span.order;
+    (* fake clock ticks once per reading: outer spans 4 readings *)
+    Alcotest.(check (float 1e-9)) "inner duration" 1.0 inner.Span.duration;
+    Alcotest.(check (float 1e-9)) "outer duration" 3.0 outer.Span.duration;
+    Alcotest.(check (list (pair string int)))
+      "outer counters"
+      [ ("instructions", 10) ]
+      outer.Span.counters;
+    Alcotest.(check (list (pair string int)))
+      "inner counters" [ ("rewrites", 3) ] inner.Span.counters
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_and_stray_counter () =
+  let r = Span.create ~clock:(fake_clock ()) () in
+  (* counters outside any span are dropped, not an error *)
+  Span.counter r "stray" 1;
+  (match Span.span r "boom" (fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  match Span.spans r with
+  | [ s ] ->
+    Alcotest.(check string) "span closed despite raise" "boom" s.Span.name;
+    Alcotest.(check (list (pair string int))) "no counters" [] s.Span.counters
+  | _ -> Alcotest.fail "expected exactly one span"
+
+let test_span_pp_deterministic () =
+  let r = Span.create ~clock:(fake_clock ()) () in
+  Span.span r "a" (fun () ->
+      Span.counter r "n" 2;
+      Span.span r "b" ignore);
+  let untimed = Fmt.str "%a" (Span.pp ?timings:None) r in
+  (* the default rendering must not contain clock readings *)
+  Alcotest.(check bool) "no durations by default" false
+    (String.contains untimed '.')
+
+(* ---- canonical JSON ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("schema", Json.Str "t.v1");
+        ("n", Json.Int (-3));
+        ("x", Json.Float 2.5);
+        ("whole", Json.Float 4.0);
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("xs", Json.Arr [ Json.Int 1; Json.Str "a\"b\n" ]) ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check string) "reparse is canonical" s
+    (Json.to_string (Json.of_string s));
+  (* integral floats keep a decimal point so the field stays a float *)
+  Alcotest.(check bool) "whole float rendered with point" true
+    (let re = "\"whole\":4.0" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  match Json.of_string_opt "{\"truncated\":" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "malformed JSON must not parse"
+
+(* ---- metrics records: schema round-trip ---- *)
+
+let prepare_checked () = F.prepare (Machine.load (checked_program ()))
+
+let collect_records ~seed ~samples =
+  let records = ref [] in
+  let t = prepare_checked () in
+  let _ =
+    F.campaign ~seed ~samples
+      ~on_record:(fun r -> records := r :: !records)
+      t.F.img
+  in
+  List.rev !records
+
+let test_record_schema_roundtrip () =
+  let records = collect_records ~seed:11L ~samples:25 in
+  Alcotest.(check int) "one record per sample" 25 (List.length records);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) "sample numbering" i r.F.sample;
+      let j = F.record_to_json r in
+      (match Metrics.validate_fields F.record_fields j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "record %d invalid: %s" i e);
+      let s = Json.to_string j in
+      Alcotest.(check string) "record canonical round-trip" s
+        (Json.to_string (Json.of_string s)))
+    records;
+  let lines =
+    Json.to_string
+      (Metrics.header ~kind:F.metrics_kind [ ("benchmark", Json.Str "tiny") ])
+    :: List.map (fun r -> Json.to_string (F.record_to_json r)) records
+  in
+  match
+    Metrics.validate_lines ~kind:F.metrics_kind ~record_fields:F.record_fields
+      lines
+  with
+  | Ok n -> Alcotest.(check int) "validated record count" 25 n
+  | Error e -> Alcotest.failf "document invalid: %s" e
+
+let test_validate_rejects () =
+  let good =
+    Json.to_string
+      (Metrics.header ~kind:F.metrics_kind [])
+  in
+  (* wrong schema kind *)
+  (match
+     Metrics.validate_lines ~kind:"other.v1" ~record_fields:F.record_fields
+       [ good ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "kind mismatch must be rejected");
+  (* record with a missing required field *)
+  match
+    Metrics.validate_lines ~kind:F.metrics_kind ~record_fields:F.record_fields
+      [ good; "{\"sample\":0}" ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incomplete record must be rejected"
+
+(* ---- same-seed campaigns are byte-identical ---- *)
+
+let campaign_bytes ~seed =
+  let buf = Buffer.create 1024 in
+  let sink = Metrics.buffer_sink buf in
+  let t = prepare_checked () in
+  let _ =
+    F.campaign ~seed ~samples:40
+      ~on_record:(fun r -> Metrics.emit sink (F.record_to_json r))
+      t.F.img
+  in
+  Metrics.close sink;
+  Buffer.contents buf
+
+let test_same_seed_identical () =
+  let a = campaign_bytes ~seed:2024L in
+  let b = campaign_bytes ~seed:2024L in
+  Alcotest.(check string) "same seed, same bytes" a b;
+  Alcotest.(check bool) "stream is non-trivial" true
+    (String.length a > 40 * 20)
+
+(* ---- profiles ---- *)
+
+let test_profile_determinism () =
+  let img = Machine.load (checked_program ()) in
+  let p1 = Profile.run img in
+  let p2 = Profile.run img in
+  Alcotest.(check bool) "exits" true
+    (match p1.Profile.outcome with Machine.Exit _ -> true | _ -> false);
+  Alcotest.(check int) "steps stable" p1.Profile.steps p2.Profile.steps;
+  Alcotest.(check (float 1e-9)) "cycles stable" p1.Profile.total_cycles
+    p2.Profile.total_cycles;
+  let row_sum =
+    List.fold_left (fun acc r -> acc +. r.Profile.cycles) 0.0 p1.Profile.rows
+  in
+  Alcotest.(check (float 1e-6)) "rows account for all cycles"
+    p1.Profile.total_cycles row_sum;
+  let prov_sum =
+    List.fold_left
+      (fun acc r -> acc +. r.Profile.p_cycles)
+      0.0 p1.Profile.by_provenance
+  in
+  Alcotest.(check (float 1e-6)) "provenance accounts for all cycles"
+    p1.Profile.total_cycles prov_sum;
+  let golden = Machine.golden img in
+  Alcotest.(check (float 1e-6)) "matches golden cycles" golden.Machine.cycles
+    p1.Profile.total_cycles;
+  (* both dup and check cycles are attributed in the protected program *)
+  let prov p =
+    List.exists (fun r -> r.Profile.prov = p && r.Profile.p_count > 0)
+      p1.Profile.by_provenance
+  in
+  Alcotest.(check bool) "dup attributed" true (prov Instr.Dup);
+  Alcotest.(check bool) "check attributed" true (prov Instr.Check)
+
+let test_mnemonic () =
+  let open Instr in
+  Alcotest.(check string) "mov" "mov"
+    (mnemonic (Mov (Reg.Q, Imm 0L, Reg Reg.RAX)));
+  Alcotest.(check string) "jcc keeps condition" "jne"
+    (mnemonic (Jcc (Cond.NE, "x")));
+  Alcotest.(check string) "ret" "ret" (mnemonic Ret)
+
+(* ---- equal_outcome regression (satellite a) ---- *)
+
+let test_equal_outcome_lengths () =
+  (* used to raise Invalid_argument via List.for_all2 *)
+  Alcotest.(check bool) "different lengths differ" false
+    (Machine.equal_outcome (Machine.Exit [ 1L ]) (Machine.Exit [ 1L; 2L ]));
+  Alcotest.(check bool) "equal outputs equal" true
+    (Machine.equal_outcome (Machine.Exit [ 1L; 2L ]) (Machine.Exit [ 1L; 2L ]));
+  Alcotest.(check bool) "differing value" false
+    (Machine.equal_outcome (Machine.Exit [ 1L ]) (Machine.Exit [ 2L ]))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "flight",
+        [ Alcotest.test_case "ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "no wrap + bad depth" `Quick test_flight_no_wrap ] );
+      ( "span",
+        [ Alcotest.test_case "nesting and counters" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_and_stray_counter;
+          Alcotest.test_case "pp deterministic" `Quick
+            test_span_pp_deterministic ] );
+      ( "json",
+        [ Alcotest.test_case "canonical round-trip" `Quick test_json_roundtrip ] );
+      ( "metrics",
+        [ Alcotest.test_case "record schema round-trip" `Quick
+            test_record_schema_roundtrip;
+          Alcotest.test_case "validation rejects bad input" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "same seed, identical bytes" `Quick
+            test_same_seed_identical ] );
+      ( "profile",
+        [ Alcotest.test_case "deterministic attribution" `Quick
+            test_profile_determinism;
+          Alcotest.test_case "mnemonics" `Quick test_mnemonic ] );
+      ( "machine",
+        [ Alcotest.test_case "equal_outcome length safety" `Quick
+            test_equal_outcome_lengths ] );
+    ]
