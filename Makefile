@@ -1,5 +1,6 @@
 CLI = dune exec --display=quiet bin/ferrum_cli.exe --
 SMOKE = /tmp/ferrum_smoke.jsonl
+VMAP = /tmp/ferrum_vulnmap.jsonl
 
 .PHONY: all build test fmt smoke check clean
 
@@ -21,17 +22,23 @@ fmt:
 	  if [ -n "$$out" ]; then echo "$$out"; echo "dune files were not formatted"; exit 1; fi; \
 	fi
 
-# End-to-end smoke: a small campaign must produce a schema-valid,
-# seed-reproducible metrics stream.
+# End-to-end smoke: small campaigns must produce schema-valid,
+# seed-reproducible metrics and vulnerability-map streams, and the
+# propagation tracer must explain a replayed sample.
 smoke: build
 	$(CLI) inject kmeans -p ferrum --samples 20 --metrics $(SMOKE)
 	$(CLI) metrics $(SMOKE)
 	$(CLI) inject kmeans -p ferrum --samples 20 --metrics $(SMOKE).2 > /dev/null
 	cmp $(SMOKE) $(SMOKE).2
+	$(CLI) vulnmap kmeans -p ferrum --samples 20 --metrics $(VMAP) --only-sampled > /dev/null
+	$(CLI) metrics $(VMAP)
+	$(CLI) vulnmap kmeans -p ferrum --samples 20 --metrics $(VMAP).2 > /dev/null
+	cmp $(VMAP) $(VMAP).2
+	$(CLI) explain kmeans -p ferrum --fault 2024:0 > /dev/null
 	@echo "smoke: metrics valid and reproducible"
 
 check: fmt build test smoke
 
 clean:
 	dune clean
-	rm -f $(SMOKE) $(SMOKE).2
+	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2

@@ -23,14 +23,16 @@ module Ablation = R.Ablation
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
-    \                 ablation|allsites|multibit|peephole|selective|micro|\n\
-    \                 all]\n\
-    \                [--samples N] [--seed N] [--csv PATH] [--metrics PATH]";
+    \                 ablation|allsites|multibit|peephole|selective|vulnmap|\n\
+    \                 micro|all]\n\
+    \                [--samples N] [--seed N] [--csv PATH] [--metrics PATH]\n\
+    \                [--vulnmap DIR]";
   exit 2
 
 type cmd =
   | Table1 | Table2 | Fig10 | Fig11 | Exectime | Outcomes | Summary
-  | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | Micro | All
+  | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | VulnmapCmd
+  | Micro | All
   | Default
 
 let parse_args () =
@@ -39,6 +41,7 @@ let parse_args () =
   let seed = ref 2024L in
   let csv = ref None in
   let metrics = ref None in
+  let vulnmap_dir = ref None in
   let rec go = function
     | [] -> ()
     | "--samples" :: n :: rest ->
@@ -52,6 +55,9 @@ let parse_args () =
       go rest
     | "--metrics" :: path :: rest ->
       metrics := Some path;
+      go rest
+    | "--vulnmap" :: dir :: rest ->
+      vulnmap_dir := Some dir;
       go rest
     | arg :: rest ->
       (cmd :=
@@ -68,13 +74,116 @@ let parse_args () =
          | "multibit" -> Multibit
          | "peephole" -> PeepholeCmd
          | "selective" -> Selective
+         | "vulnmap" -> VulnmapCmd
          | "micro" -> Micro
          | "all" -> All
          | _ -> usage ());
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!cmd, !samples, !seed, !csv, !metrics)
+  (!cmd, !samples, !seed, !csv, !metrics, !vulnmap_dir)
+
+(* ------------------------------------------------------------------ *)
+(* Detection-latency comparison across techniques (vulnmap campaigns). *)
+(* ------------------------------------------------------------------ *)
+
+module F = Ferrum_faultsim.Faultsim
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+
+(* Traced campaigns for every technique over the whole catalogue: how
+   fast does each checking scheme catch the faults it catches, and how
+   much escapes?  With [dir] set, each per-benchmark map is exported as
+   DIR/<bench>.<technique>.jsonl (ferrum.vulnmap.v1). *)
+let vulnmap_compare ~samples ~seed dir =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
+  let techniques = Ferrum_eddi.Technique.all in
+  let rows =
+    List.map
+      (fun tech ->
+        let latencies = ref [] in
+        let counts = ref F.zero_counts in
+        List.iter
+          (fun (entry : Ferrum_workloads.Catalog.entry) ->
+            let m = entry.build () in
+            let p = (Ferrum_eddi.Pipeline.protect tech m).program in
+            let img = Ferrum_machine.Machine.load p in
+            let v = F.vulnmap_campaign ~seed ~samples img in
+            latencies := List.rev_append v.F.v_latencies !latencies;
+            counts :=
+              {
+                F.samples = (!counts).F.samples + v.F.v_counts.F.samples;
+                benign = (!counts).F.benign + v.F.v_counts.F.benign;
+                sdc = (!counts).F.sdc + v.F.v_counts.F.sdc;
+                detected = (!counts).F.detected + v.F.v_counts.F.detected;
+                crash = (!counts).F.crash + v.F.v_counts.F.crash;
+                timeout = (!counts).F.timeout + v.F.v_counts.F.timeout;
+              };
+            match dir with
+            | None -> ()
+            | Some d ->
+              let path =
+                Filename.concat d
+                  (Fmt.str "%s.%s.jsonl" entry.name
+                     (Ferrum_eddi.Technique.short_name tech))
+              in
+              let sink = Metrics.file_sink path in
+              Metrics.emit sink
+                (Metrics.header ~kind:F.vulnmap_kind
+                   [
+                     ("benchmark", Json.Str entry.name);
+                     ("technique",
+                      Json.Str (Ferrum_eddi.Technique.short_name tech));
+                     ("samples", Json.Int samples);
+                     ("seed", Json.Str (Int64.to_string seed));
+                     ("scope", Json.Str "original");
+                     ("fault_bits", Json.Int 1);
+                   ]);
+              List.iter (Metrics.emit sink) (F.vulnmap_rows v);
+              Metrics.close sink;
+              Fmt.epr "[vulnmap] wrote %s@." path)
+          Ferrum_workloads.Catalog.all;
+        let steps = List.map fst !latencies in
+        let sorted = List.sort compare steps in
+        let n = List.length sorted in
+        let pick p =
+          if n = 0 then 0
+          else
+            List.nth sorted
+              (max 0
+                 (min (n - 1)
+                    (int_of_float (ceil (p *. float_of_int n)) - 1)))
+        in
+        let mean =
+          if n = 0 then 0.0
+          else float_of_int (List.fold_left ( + ) 0 steps) /. float_of_int n
+        in
+        let c = !counts in
+        let pct k =
+          if c.F.samples = 0 then 0.0
+          else float_of_int k /. float_of_int c.F.samples
+        in
+        [
+          Ferrum_eddi.Technique.short_name tech;
+          R.Ascii.percent (pct c.F.detected);
+          R.Ascii.percent (pct c.F.sdc);
+          Fmt.str "%.1f" mean;
+          string_of_int (pick 0.5);
+          string_of_int (pick 0.95);
+          string_of_int (List.fold_left max 0 sorted);
+        ])
+      techniques
+  in
+  Fmt.str
+    "Detection latency by technique (%d samples/benchmark, seed %Ld;\n\
+     latency in retired instructions from flip to checker)@.%s"
+    samples seed
+    (R.Ascii.table
+       ~header:
+         [ "technique"; "detected"; "sdc"; "mean"; "p50"; "p95"; "max" ]
+       ~rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the toolchain.                         *)
@@ -143,7 +252,7 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd, samples, seed, csv, metrics = parse_args () in
+  let cmd, samples, seed, csv, metrics, vulnmap_dir = parse_args () in
   let options perf_only =
     { Experiments.default_options with
       samples = (if perf_only then 0 else samples);
@@ -226,6 +335,9 @@ let () =
   | Multibit -> print_endline (Ablation.multibit ~samples ())
   | PeepholeCmd -> print_endline (Ablation.optimized_backend ~samples ())
   | Selective -> print_endline (R.Selective.render ~samples ())
+  | VulnmapCmd ->
+    print_endline
+      (timed "vulnmap" (fun () -> vulnmap_compare ~samples ~seed vulnmap_dir))
   | Micro -> micro ());
   match metrics with
   | Some path ->

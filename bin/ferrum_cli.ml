@@ -9,6 +9,8 @@
      trace BENCH [--fault]     execution trace / flight-recorder dump
      profile BENCH             per-opcode cycle and overhead breakdown
      metrics FILE              validate and summarise a metrics JSONL file
+     vulnmap BENCH [-p TECH]   per-site vulnerability map + detection latency
+     explain BENCH --fault S:I propagation trace of one campaign sample
      report [ARTEFACT]         regenerate the paper's tables/figures *)
 
 module Machine = Ferrum_machine.Machine
@@ -458,7 +460,7 @@ let stats_cmd =
 (* ---- profile: per-opcode cycles and overhead attribution ---- *)
 
 let profile_cmd =
-  let run bench technique knobs top timings =
+  let run bench technique knobs top timings json =
     let e = find_bench bench in
     let m = e.Catalog.build () in
     let techniques =
@@ -471,6 +473,42 @@ let profile_cmd =
         .Pipeline.program
     in
     let raw_profile = Profile.run (Machine.load raw) in
+    if json then begin
+      (* One canonical JSON object: raw profile plus, per technique, the
+         hot-opcode table, provenance overhead split and overhead vs
+         raw.  No wall-clock values, so output is byte-stable. *)
+      let raw_cycles = raw_profile.Profile.total_cycles in
+      let tech_json t =
+        let profile =
+          Profile.run
+            (Machine.load
+               (Pipeline.protect ~ferrum_config:knobs.ferrum_config
+                  ~optimize:knobs.optimize t m)
+                 .Pipeline.program)
+        in
+        Json.Obj
+          [
+            ("technique", Json.Str (Technique.short_name t));
+            ("profile", Profile.to_json profile);
+            ("overhead_pct",
+             Json.Float
+               (if raw_cycles > 0.0 then
+                  100.0
+                  *. (profile.Profile.total_cycles -. raw_cycles)
+                  /. raw_cycles
+                else 0.0));
+          ]
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("benchmark", Json.Str e.Catalog.name);
+                ("raw", Profile.to_json raw_profile);
+                ("techniques", Json.Arr (List.map tech_json techniques));
+              ]));
+      exit 0
+    end;
     Fmt.pr "== %s, raw ==@." e.Catalog.name;
     Fmt.pr "pipeline:@.%a" (Span.pp ~timings) raw_recorder;
     Fmt.pr "%a@." (Profile.pp ~top) raw_profile;
@@ -519,6 +557,14 @@ let profile_cmd =
          & info [ "timings" ]
              ~doc:"Include wall-clock stage durations (non-deterministic).")
   in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit one canonical JSON object (hot-opcode table and \
+                provenance overhead split per technique) instead of \
+                tables.")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -529,11 +575,53 @@ let profile_cmd =
           techniques against the raw baseline.")
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ top_arg
-      $ timings_arg)
+      $ timings_arg $ json_arg)
 
 (* ---- metrics: validate and summarise a JSONL metrics file ---- *)
 
 let metrics_cmd =
+  (* Per-injection record files: outcome-class histogram. *)
+  let summarize_injections lines =
+    let by_class = Hashtbl.create 8 in
+    List.iteri
+      (fun i line ->
+        if i > 0 then
+          match Json.member "class" (Json.of_string line) with
+          | Some (Json.Str c) ->
+            Hashtbl.replace by_class c
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_class c))
+          | _ -> ())
+      lines;
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt by_class c with
+        | Some k -> Fmt.pr "  %-8s %d@." c k
+        | None -> ())
+      [ "benign"; "sdc"; "detected"; "crash"; "timeout" ]
+  in
+  (* Vulnerability-map files: outcome classes summed over sites. *)
+  let summarize_vulnmap lines =
+    let sum = Hashtbl.create 8 in
+    let classes = [ "samples"; "benign"; "sdc"; "detected"; "crash"; "timeout" ] in
+    List.iteri
+      (fun i line ->
+        if i > 0 then
+          let j = Json.of_string line in
+          List.iter
+            (fun c ->
+              match Json.member c j with
+              | Some (Json.Int n) ->
+                Hashtbl.replace sum c
+                  (n + Option.value ~default:0 (Hashtbl.find_opt sum c))
+              | _ -> ())
+            classes)
+      lines;
+    List.iter
+      (fun c ->
+        Fmt.pr "  %-8s %d@." c
+          (Option.value ~default:0 (Hashtbl.find_opt sum c)))
+      classes
+  in
   let run file =
     let lines =
       try Metrics.read_lines file
@@ -541,10 +629,31 @@ let metrics_cmd =
         Fmt.epr "%s@." msg;
         exit 1
     in
-    match
-      Metrics.validate_lines ~kind:F.metrics_kind
-        ~record_fields:F.record_fields lines
-    with
+    (* Dispatch validation on the header's schema name: injection v2/v1
+       records or vulnerability-map rows. *)
+    let schema =
+      match lines with
+      | [] ->
+        Fmt.epr "%s: empty metrics file@." file;
+        exit 1
+      | hdr :: _ -> (
+        match Option.bind (Json.of_string_opt hdr) (Json.member "schema") with
+        | Some (Json.Str k) -> k
+        | _ ->
+          Fmt.epr "%s: header lacks a schema field@." file;
+          exit 1)
+    in
+    let record_fields =
+      if schema = F.metrics_kind then F.record_fields
+      else if schema = F.metrics_kind_v1 then F.record_fields_v1
+      else if schema = F.vulnmap_kind then F.vulnmap_fields
+      else begin
+        Fmt.epr "%s: unknown schema %S (expected %s, %s or %s)@." file schema
+          F.metrics_kind F.metrics_kind_v1 F.vulnmap_kind;
+        exit 1
+      end
+    in
+    match Metrics.validate_lines ~kind:schema ~record_fields lines with
     | Error e ->
       Fmt.epr "%s: invalid metrics file: %s@." file e;
       exit 1
@@ -552,23 +661,9 @@ let metrics_cmd =
       (match lines with
       | hdr :: _ -> Fmt.pr "header: %s@." hdr
       | [] -> ());
-      let by_class = Hashtbl.create 8 in
-      List.iteri
-        (fun i line ->
-          if i > 0 then
-            match Json.member "class" (Json.of_string line) with
-            | Some (Json.Str c) ->
-              Hashtbl.replace by_class c
-                (1 + Option.value ~default:0 (Hashtbl.find_opt by_class c))
-            | _ -> ())
-        lines;
-      Fmt.pr "valid: %d records@." n;
-      List.iter
-        (fun c ->
-          match Hashtbl.find_opt by_class c with
-          | Some k -> Fmt.pr "  %-8s %d@." c k
-          | None -> ())
-        [ "benign"; "sdc"; "detected"; "crash"; "timeout" ]
+      Fmt.pr "valid: %d records (%s)@." n schema;
+      if schema = F.vulnmap_kind then summarize_vulnmap lines
+      else summarize_injections lines
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None
@@ -578,9 +673,149 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
-         "Validate a metrics JSONL file against the injection-record \
-          schema and summarise its outcome classes.")
+         "Validate a metrics JSONL file against its declared schema \
+          (injection records v1/v2 or vulnerability-map rows) and \
+          summarise its outcome classes.")
     Term.(const run $ file_arg)
+
+(* ---- vulnmap: per-site vulnerability map with detection latency ---- *)
+
+let vulnmap_cmd =
+  let run bench technique knobs samples seed all_sites fault_bits metrics
+      only_sampled =
+    let p = program_of ?technique knobs (find_bench bench) in
+    let img = Machine.load p in
+    let scope = if all_sites then F.All_sites else F.Original_only in
+    let v =
+      try
+        F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits
+          ~progress:(progress_line samples) img
+      with Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let sink = Metrics.file_sink path in
+      Metrics.emit sink
+        (Metrics.header ~kind:F.vulnmap_kind
+           [
+             ("benchmark", Json.Str bench);
+             ("technique",
+              Json.Str
+                (match technique with
+                | Some t -> Technique.short_name t
+                | None -> "raw"));
+             ("samples", Json.Int samples);
+             ("seed", Json.Str (Int64.to_string seed));
+             ("scope",
+              Json.Str (if all_sites then "all-sites" else "original"));
+             ("fault_bits", Json.Int fault_bits);
+           ]);
+      List.iter (Metrics.emit sink) (F.vulnmap_rows v);
+      Metrics.close sink;
+      Fmt.epr "[vulnmap] wrote %s@." path);
+    print_string (Ferrum_report.Vulnmap.render ~only_sampled v)
+  in
+  let only_sampled_arg =
+    Arg.(value & flag
+         & info [ "only-sampled" ]
+             ~doc:"Omit listing lines for sites no fault was injected into.")
+  in
+  Cmd.v
+    (Cmd.info "vulnmap"
+       ~doc:
+         "Per-static-instruction vulnerability map: a traced injection \
+          campaign aggregated by site, rendered as an annotated assembly \
+          listing with outcome distributions and detection latencies; \
+          --metrics exports it as ferrum.vulnmap.v1 JSONL.")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ metrics_arg
+      $ only_sampled_arg)
+
+(* ---- explain: propagation trace of one campaign sample ---- *)
+
+(* "SEED:IDX" — the IDX-th sample of the campaign seeded SEED. *)
+let fault_spec_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i -> (
+      let seed = String.sub s 0 i in
+      let idx = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Int64.of_string_opt seed, int_of_string_opt idx) with
+      | Some seed, Some idx when idx >= 0 -> Ok (seed, idx)
+      | _ -> Error (`Msg "expected SEED:IDX (int64, non-negative int)"))
+    | None -> Error (`Msg "expected SEED:IDX, e.g. 2024:17")
+  in
+  let print ppf (seed, idx) = Fmt.pf ppf "%Ld:%d" seed idx in
+  Arg.conv (parse, print)
+
+let explain_cmd =
+  let run bench technique knobs (seed, idx) all_sites fault_bits =
+    let p = program_of ?technique knobs (find_bench bench) in
+    let img = Machine.load p in
+    let scope = if all_sites then F.All_sites else F.Original_only in
+    let t = F.prepare ~scope img in
+    if t.F.eligible_steps = 0 then begin
+      Fmt.epr "no eligible injection sites@.";
+      exit 1
+    end;
+    (* Replay the campaign's RNG stream: sample k of a campaign uses the
+       (k+1)-th split of the root generator, so `explain SEED:IDX`
+       retraces exactly the fault that `inject --seed SEED` classified
+       as sample IDX. *)
+    let rng = Rng.create ~seed in
+    let sample_rng = ref (Rng.split rng) in
+    for _ = 1 to idx do
+      sample_rng := Rng.split rng
+    done;
+    let dyn_index = Rng.int !sample_rng t.F.eligible_steps in
+    let cls, fault, summary =
+      F.trace_propagation ~fault_bits t !sample_rng ~dyn_index
+    in
+    Fmt.pr "benchmark %s (%s), seed %Ld, sample %d@." bench
+      (match technique with
+      | Some t -> Technique.short_name t
+      | None -> "raw")
+      seed idx;
+    Fmt.pr "fault: bit %d of %s at static index %d (dynamic write-back %d)@."
+      fault.F.bit fault.F.dest_desc fault.F.static_index fault.F.dyn_index;
+    Fmt.pr "classification: %s@." (F.classification_name cls);
+    (match F.Propagation.detection_latency summary with
+    | Some (steps, cycles) when cls = F.Detected ->
+      Fmt.pr "detection latency: %d instructions, %.1f model cycles@." steps
+        cycles
+    | _ -> ());
+    (match cls with
+    | F.Sdc ->
+      let escape = F.Propagation.explain_escape summary in
+      Fmt.pr "escape: %s — %s@."
+        (F.Propagation.escape_name escape)
+        (F.Propagation.escape_describe escape)
+    | _ -> ());
+    Fmt.pr "%a" F.Propagation.pp_summary summary
+  in
+  let fault_arg =
+    Arg.(required
+         & opt (some fault_spec_conv) None
+         & info [ "fault" ] ~docv:"SEED:IDX"
+             ~doc:
+               "Which fault to explain: sample $(i,IDX) of the campaign \
+                seeded $(i,SEED) (same sampling stream as `inject \
+                --seed').")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run one campaign sample in lockstep with the golden \
+          execution and explain its outcome: first architectural \
+          divergence, taint spread, detection latency for detected \
+          faults, and the escape mechanism for SDCs.")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ fault_arg
+      $ all_sites_arg $ fault_bits_arg)
 
 (* ---- cc: the C-lite frontend ---- *)
 
@@ -675,4 +910,4 @@ let () =
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
             check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            report_cmd ]))
+            vulnmap_cmd; explain_cmd; report_cmd ]))

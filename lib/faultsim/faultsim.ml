@@ -119,11 +119,20 @@ let prepare ?(scope = Original_only) (img : Machine.image) : target =
 (* One injection.                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Structured description of the flipped destination, mirrored into the
+   metrics stream so downstream analysis never has to parse
+   [dest_desc]. *)
+type dest_info =
+  | Igpr of Reg.gpr * Reg.size
+  | Isimd of int * int (* register, 64-bit lane *)
+  | Iflag of Cond.flag
+
 (* Description of a single fault, for logging and tests. *)
 type fault = {
   dyn_index : int; (* which eligible dynamic write-back *)
   static_index : int; (* filled during the run *)
   dest_desc : string;
+  dest_info : dest_info option; (* None when the site was unreached *)
   bit : int; (* first flipped bit *)
 }
 
@@ -146,12 +155,14 @@ let flip_dest ?(bits = 1) rng st (dest : Instr.dest) =
   | Instr.Dgpr (r, s) ->
     let positions = distinct_below rng ~n:bits ~bound:(Reg.size_bits s) in
     List.iter (fun bit -> Machine.flip_gpr st r s ~bit) positions;
-    (Printf.sprintf "%%%s" (Reg.gpr_name r s), List.hd positions)
+    (Printf.sprintf "%%%s" (Reg.gpr_name r s), Igpr (r, s), List.hd positions)
   | Instr.Dsimd (x, lanes) ->
     let lane = List.nth lanes (Rng.int rng (List.length lanes)) in
     let positions = distinct_below rng ~n:bits ~bound:64 in
     List.iter (fun bit -> Machine.flip_simd_lane st x ~lane ~bit) positions;
-    (Printf.sprintf "%%%s[%d]" (Reg.xmm_name x) lane, List.hd positions)
+    ( Printf.sprintf "%%%s[%d]" (Reg.xmm_name x) lane,
+      Isimd (x, lane),
+      List.hd positions )
   | Instr.Dflags flags ->
     let picks = distinct_below rng ~n:bits ~bound:(List.length flags) in
     List.iter (fun i -> Machine.flip_flag st (List.nth flags i)) picks;
@@ -160,15 +171,17 @@ let flip_dest ?(bits = 1) rng st (dest : Instr.dest) =
       match f with
       | Cond.ZF -> "ZF" | Cond.SF -> "SF" | Cond.CF -> "CF" | Cond.OF -> "OF"
     in
-    (Printf.sprintf "flags.%s" name, 0)
+    (Printf.sprintf "flags.%s" name, Iflag f, 0)
 
 (* Run the target once, flipping one bit at the [dyn_index]-th eligible
-   write-back.  [observe] (e.g. a {!Ferrum_machine.Flight} recorder) is
-   called after the injection logic on every retired instruction, so it
-   sees post-flip state.  Returns the classification, the fault
-   description and the final machine state. *)
-let inject_full ?(fault_bits = 1) ?observe (t : target) rng ~dyn_index :
-    classification * fault * Machine.state =
+   write-back.  [on_inject] is called right after the flip with the
+   already-corrupted state; [observe] (e.g. a {!Ferrum_machine.Flight}
+   recorder or a {!Ferrum_telemetry.Propagation} tracer) is called after
+   the injection logic on every retired instruction, so it sees
+   post-flip state.  Returns the classification, the fault description
+   and the final machine state. *)
+let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
+    ~dyn_index : classification * fault * Machine.state =
   let st = Machine.fresh_state t.img in
   let seen = ref 0 in
   let fault = ref None in
@@ -177,8 +190,17 @@ let inject_full ?(fault_bits = 1) ?observe (t : target) rng ~dyn_index :
       if !seen = dyn_index then begin
         let dests = t.img.Machine.dests.(idx) in
         let d = List.nth dests (Rng.int rng (List.length dests)) in
-        let dest_desc, bit = flip_dest ~bits:fault_bits rng mstate d in
-        fault := Some { dyn_index; static_index = idx; dest_desc; bit }
+        let dest_desc, info, bit = flip_dest ~bits:fault_bits rng mstate d in
+        fault :=
+          Some
+            {
+              dyn_index;
+              static_index = idx;
+              dest_desc;
+              dest_info = Some info;
+              bit;
+            };
+        match on_inject with Some f -> f mstate | None -> ()
       end;
       incr seen
     end;
@@ -203,7 +225,13 @@ let inject_full ?(fault_bits = 1) ?observe (t : target) rng ~dyn_index :
     | None ->
       (* the run ended before the chosen site was reached (possible only
          if dyn_index is out of range) *)
-      { dyn_index; static_index = -1; dest_desc = "unreached"; bit = -1 }
+      {
+        dyn_index;
+        static_index = -1;
+        dest_desc = "unreached";
+        dest_info = None;
+        bit = -1;
+      }
   in
   (cls, fault, st)
 
@@ -229,13 +257,31 @@ type record = {
   r_static_index : int; (* static site, -1 when unreached *)
   opcode : string; (* mnemonic of the targeted instruction *)
   dest : string; (* e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  r_dest : dest_info option; (* structured view of [dest] *)
   r_bit : int;
   r_class : classification;
   steps : int; (* dynamic instructions of the injected run *)
   cycles : float; (* model cycles of the injected run *)
 }
 
+(* RFLAGS bit positions of the flags the machine models. *)
+let flag_bit = function
+  | Cond.CF -> 0
+  | Cond.ZF -> 6
+  | Cond.SF -> 7
+  | Cond.OF -> 11
+
+(* The structured destination, flattened: kind, register index (GPR
+   encoding or SIMD register number), 64-bit lane, RFLAGS bit.  Unused
+   coordinates are -1. *)
+let dest_info_fields = function
+  | Some (Igpr (r, _)) -> ("gpr", Reg.gpr_index r, -1, -1)
+  | Some (Isimd (x, lane)) -> ("simd", x, lane, -1)
+  | Some (Iflag f) -> ("flags", -1, -1, flag_bit f)
+  | None -> ("none", -1, -1, -1)
+
 let record_to_json r =
+  let dest_kind, dest_reg, dest_lane, dest_flag = dest_info_fields r.r_dest in
   Json.Obj
     [
       ("sample", Json.Int r.sample);
@@ -243,15 +289,20 @@ let record_to_json r =
       ("static_index", Json.Int r.r_static_index);
       ("opcode", Json.Str r.opcode);
       ("dest", Json.Str r.dest);
+      ("dest_kind", Json.Str dest_kind);
+      ("dest_reg", Json.Int dest_reg);
+      ("dest_lane", Json.Int dest_lane);
+      ("dest_flag", Json.Int dest_flag);
       ("bit", Json.Int r.r_bit);
       ("class", Json.Str (classification_name r.r_class));
       ("steps", Json.Int r.steps);
       ("cycles", Json.Float r.cycles);
     ]
 
-(* Schema of one record line, for `ferrum metrics` and the smoke
-   check. *)
-let record_fields =
+(* Schema of one v1 record line: everything but the structured
+   destination.  Kept so `ferrum metrics` still validates files written
+   before the v2 bump. *)
+let record_fields_v1 =
   Metrics.
     [
       field "sample" F_int;
@@ -265,7 +316,20 @@ let record_fields =
       field "cycles" F_float;
     ]
 
-let metrics_kind = "ferrum.injection.v1"
+(* Schema of one record line, for `ferrum metrics` and the smoke
+   check. *)
+let record_fields =
+  record_fields_v1
+  @ Metrics.
+      [
+        field "dest_kind" F_string;
+        field "dest_reg" F_int;
+        field "dest_lane" F_int;
+        field "dest_flag" F_int;
+      ]
+
+let metrics_kind = "ferrum.injection.v2"
+let metrics_kind_v1 = "ferrum.injection.v1"
 
 (* ------------------------------------------------------------------ *)
 (* Campaigns.                                                          *)
@@ -307,6 +371,7 @@ let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
             r_static_index = fault.static_index;
             opcode;
             dest = fault.dest_desc;
+            r_dest = fault.dest_info;
             r_bit = fault.bit;
             r_class = cls;
             steps = st.Machine.steps;
@@ -331,3 +396,182 @@ let sdc_coverage ~raw ~protected_ =
    (T_prot - T_raw) / T_raw. *)
 let overhead ~raw_cycles ~prot_cycles =
   if raw_cycles <= 0.0 then 0.0 else (prot_cycles -. raw_cycles) /. raw_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Propagation tracing.                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Propagation = Ferrum_telemetry.Propagation
+
+(* Like {!inject_full}, but with a golden run executing in lockstep:
+   returns the propagation summary (first divergence, taint spread,
+   detection latency, escape timeline) alongside the classification. *)
+let trace_propagation ?fault_bits (t : target) rng ~dyn_index :
+    classification * fault * Propagation.summary =
+  let tracer = Propagation.create t.img in
+  let cls, fault, st =
+    inject_full ?fault_bits
+      ~on_inject:(Propagation.note_injection tracer)
+      ~observe:(Propagation.observe tracer) t rng ~dyn_index
+  in
+  (cls, fault, Propagation.finish tracer st)
+
+(* ------------------------------------------------------------------ *)
+(* Per-static-instruction vulnerability maps.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Outcome distribution and detection-latency sums of one static
+   injection site (FastFlip's unit of analysis). *)
+type site_stat = {
+  s_counts : counts;
+  s_det_steps : int; (* summed detection latency of detected runs *)
+  s_det_cycles : float;
+}
+
+let zero_site = { s_counts = zero_counts; s_det_steps = 0; s_det_cycles = 0.0 }
+
+type vulnmap = {
+  v_target : target;
+  v_sites : site_stat array; (* indexed by static instruction *)
+  v_counts : counts; (* whole-campaign totals *)
+  v_samples : int;
+  v_latencies : (int * float) list; (* detected-run latencies, sample order *)
+  v_escapes : (int * Propagation.escape) list; (* sample index, per SDC *)
+}
+
+(* Sample [samples] single-fault runs exactly as {!campaign} does (the
+   same seed yields the same faults), but trace each injection against
+   the golden run and aggregate outcomes and detection latencies per
+   static site.  [on_record] streams the same per-injection records as
+   {!campaign}. *)
+let vulnmap_campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
+    ?on_record ?progress ~samples img : vulnmap =
+  let t = prepare ~scope img in
+  if t.eligible_steps = 0 then
+    invalid_arg "Faultsim.vulnmap_campaign: no eligible injection sites";
+  let sites = Array.make (Array.length t.img.Machine.code) zero_site in
+  let rng = Rng.create ~seed in
+  let counts = ref zero_counts in
+  let latencies = ref [] and escapes = ref [] in
+  for sample = 0 to samples - 1 do
+    let sample_rng = Rng.split rng in
+    let dyn_index = Rng.int sample_rng t.eligible_steps in
+    let cls, fault, summary =
+      trace_propagation ~fault_bits t sample_rng ~dyn_index
+    in
+    let latency =
+      if cls = Detected then Propagation.detection_latency summary else None
+    in
+    (if fault.static_index >= 0 then
+       let s = sites.(fault.static_index) in
+       let dl_steps, dl_cycles =
+         match latency with Some l -> l | None -> (0, 0.0)
+       in
+       sites.(fault.static_index) <-
+         {
+           s_counts = add_count s.s_counts cls;
+           s_det_steps = s.s_det_steps + dl_steps;
+           s_det_cycles = s.s_det_cycles +. dl_cycles;
+         });
+    counts := add_count !counts cls;
+    (match latency with
+    | Some l -> latencies := l :: !latencies
+    | None -> ());
+    if cls = Sdc then
+      escapes := (sample, Propagation.explain_escape summary) :: !escapes;
+    (match on_record with
+    | Some f ->
+      let opcode =
+        if fault.static_index < 0 then "?"
+        else Instr.mnemonic t.img.Machine.code.(fault.static_index).Instr.op
+      in
+      f
+        {
+          sample;
+          r_dyn_index = fault.dyn_index;
+          r_static_index = fault.static_index;
+          opcode;
+          dest = fault.dest_desc;
+          r_dest = fault.dest_info;
+          r_bit = fault.bit;
+          r_class = cls;
+          steps = summary.Propagation.end_steps;
+          cycles = summary.Propagation.end_cycles;
+        }
+    | None -> ());
+    match progress with Some f -> f (sample + 1) samples | None -> ()
+  done;
+  {
+    v_target = t;
+    v_sites = sites;
+    v_counts = !counts;
+    v_samples = samples;
+    v_latencies = List.rev !latencies;
+    v_escapes = List.rev !escapes;
+  }
+
+let mean_latency (s : site_stat) =
+  if s.s_counts.detected = 0 then None
+  else
+    let n = float_of_int s.s_counts.detected in
+    Some
+      ( float_of_int s.s_det_steps /. n,
+        s.s_det_cycles /. n )
+
+(* One JSONL row per site that is sampling-eligible or was hit; ordered
+   by static index, so same-seed campaigns export byte-identical
+   files. *)
+let vulnmap_rows (v : vulnmap) =
+  let prov_name = function
+    | Instr.Original -> "original"
+    | Instr.Dup -> "dup"
+    | Instr.Check -> "check"
+    | Instr.Instrumentation -> "instr"
+  in
+  let rows = ref [] in
+  for i = Array.length v.v_sites - 1 downto 0 do
+    let s = v.v_sites.(i) in
+    if v.v_target.eligible.(i) || s.s_counts.samples > 0 then begin
+      let ins = v.v_target.img.Machine.code.(i) in
+      let mean_steps, mean_cycles =
+        match mean_latency s with Some m -> m | None -> (0.0, 0.0)
+      in
+      rows :=
+        Json.Obj
+          [
+            ("static_index", Json.Int i);
+            ("opcode", Json.Str (Instr.mnemonic ins.Instr.op));
+            ("prov", Json.Str (prov_name ins.Instr.prov));
+            ("asm", Json.Str (Printer.string_of_instr ins.Instr.op));
+            ("samples", Json.Int s.s_counts.samples);
+            ("benign", Json.Int s.s_counts.benign);
+            ("sdc", Json.Int s.s_counts.sdc);
+            ("detected", Json.Int s.s_counts.detected);
+            ("crash", Json.Int s.s_counts.crash);
+            ("timeout", Json.Int s.s_counts.timeout);
+            ("mean_det_steps", Json.Float mean_steps);
+            ("mean_det_cycles", Json.Float mean_cycles);
+          ]
+        :: !rows
+    end
+  done;
+  !rows
+
+let vulnmap_fields =
+  Metrics.
+    [
+      field "static_index" F_int;
+      field "opcode" F_string;
+      field "prov" F_string;
+      field "asm" F_string;
+      field "samples" F_int;
+      field "benign" F_int;
+      field "sdc" F_int;
+      field "detected" F_int;
+      field "crash" F_int;
+      field "timeout" F_int;
+      field "mean_det_steps" F_float;
+      field "mean_det_cycles" F_float;
+    ]
+
+let vulnmap_kind = "ferrum.vulnmap.v1"

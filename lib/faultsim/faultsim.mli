@@ -66,11 +66,20 @@ exception Golden_failure of string
     exit normally. *)
 val prepare : ?scope:scope -> Machine.image -> target
 
+(** Structured description of a flipped destination: kind, register
+    index, lane, flag — mirrored into the metrics stream so analysis
+    never parses [dest_desc]. *)
+type dest_info =
+  | Igpr of Ferrum_asm.Reg.gpr * Ferrum_asm.Reg.size
+  | Isimd of int * int  (** register, 64-bit lane *)
+  | Iflag of Ferrum_asm.Cond.flag
+
 (** Description of one injected fault. *)
 type fault = {
   dyn_index : int;  (** which eligible dynamic write-back *)
   static_index : int;
   dest_desc : string;  (** e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  dest_info : dest_info option;  (** [None] when the site was unreached *)
   bit : int;  (** first flipped bit *)
 }
 
@@ -80,12 +89,14 @@ val inject :
   ?fault_bits:int -> target -> Rng.t -> dyn_index:int ->
   classification * fault
 
-(** Like {!inject}, but also returns the final machine state, and calls
-    [observe] (e.g. {!Ferrum_machine.Flight.observe}) after the
+(** Like {!inject}, but also returns the final machine state, calls
+    [on_inject] right after the bit flip (with the corrupted state), and
+    calls [observe] (e.g. {!Ferrum_machine.Flight.observe}) after the
     injection logic on every retired instruction, so it sees post-flip
     state. *)
 val inject_full :
   ?fault_bits:int ->
+  ?on_inject:(Machine.state -> unit) ->
   ?observe:(Machine.state -> int -> unit) ->
   target -> Rng.t -> dyn_index:int ->
   classification * fault * Machine.state
@@ -103,6 +114,7 @@ type record = {
   r_static_index : int;  (** static site, -1 when unreached *)
   opcode : string;  (** mnemonic of the targeted instruction *)
   dest : string;  (** e.g. "%rax", "%xmm15[1]", "flags.ZF" *)
+  r_dest : dest_info option;  (** structured view of [dest] *)
   r_bit : int;
   r_class : classification;
   steps : int;  (** dynamic instructions of the injected run *)
@@ -115,8 +127,16 @@ val record_to_json : record -> Ferrum_telemetry.Json.t
     check. *)
 val record_fields : Ferrum_telemetry.Metrics.field list
 
-(** Schema name of injection-campaign metrics files. *)
+(** v1 record schema (no structured destination), for validating files
+    written before the v2 bump. *)
+val record_fields_v1 : Ferrum_telemetry.Metrics.field list
+
+(** Schema name of injection-campaign metrics files
+    (["ferrum.injection.v2"]: v1 plus the structured
+    [dest_kind]/[dest_reg]/[dest_lane]/[dest_flag] coordinates). *)
 val metrics_kind : string
+
+val metrics_kind_v1 : string
 
 type campaign_result = {
   counts : counts;
@@ -138,3 +158,64 @@ val sdc_coverage : raw:counts -> protected_:counts -> float
 
 (** Runtime overhead (paper §IV-A3): [(prot - raw) / raw]. *)
 val overhead : raw_cycles:float -> prot_cycles:float -> float
+
+(** {1 Propagation tracing}
+
+    Lockstep replay against the golden run; see
+    {!Ferrum_telemetry.Propagation}. *)
+
+module Propagation = Ferrum_telemetry.Propagation
+
+(** Like {!inject_full}, but with the golden run executing in lockstep:
+    also returns the propagation summary — first architectural
+    divergence, taint spread, detection latency, and the escape timeline
+    for SDCs. *)
+val trace_propagation :
+  ?fault_bits:int -> target -> Rng.t -> dyn_index:int ->
+  classification * fault * Propagation.summary
+
+(** {1 Per-static-instruction vulnerability maps}
+
+    A campaign aggregated by static injection site: outcome distribution
+    and mean detection latency per instruction (FastFlip's unit of
+    analysis), exportable as [ferrum.vulnmap.v1] JSONL. *)
+
+(** Outcome distribution and summed detection latency of one site. *)
+type site_stat = {
+  s_counts : counts;
+  s_det_steps : int;  (** summed detection latency of detected runs *)
+  s_det_cycles : float;
+}
+
+type vulnmap = {
+  v_target : target;
+  v_sites : site_stat array;  (** indexed by static instruction *)
+  v_counts : counts;  (** whole-campaign totals *)
+  v_samples : int;
+  v_latencies : (int * float) list;
+      (** (steps, cycles) of every detected run, in sample order *)
+  v_escapes : (int * Propagation.escape) list;
+      (** sample index and explanation of every SDC, in sample order *)
+}
+
+(** Sample exactly as {!campaign} does (same seed, same faults), but
+    trace each injection and aggregate per static site.  [on_record]
+    streams the same per-injection records as {!campaign}. *)
+val vulnmap_campaign :
+  ?scope:scope -> ?seed:int64 -> ?fault_bits:int ->
+  ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
+  samples:int -> Machine.image -> vulnmap
+
+(** Mean detection latency (steps, cycles) of a site; [None] when no
+    injection there was detected. *)
+val mean_latency : site_stat -> (float * float) option
+
+(** One JSON object per eligible (or hit) site, ordered by static index;
+    byte-identical for a given seed. *)
+val vulnmap_rows : vulnmap -> Ferrum_telemetry.Json.t list
+
+(** Schema of one vulnerability-map row. *)
+val vulnmap_fields : Ferrum_telemetry.Metrics.field list
+
+(** Schema name of vulnerability-map metrics files. *)
+val vulnmap_kind : string

@@ -84,6 +84,18 @@ val flip_flag : state -> Cond.flag -> unit
 
 (** {1 Execution} *)
 
+(** Resolve a memory operand's address against the current register
+    file (used by the propagation tracer to locate store targets). *)
+val effective_address : state -> Instr.mem -> int64
+
+(** Execute exactly one instruction and return the static index of the
+    instruction that retired.  Raises {!Halt} when the program ends and
+    {!Trap} on a machine fault; callers driving a lockstep re-execution
+    (e.g. {!Ferrum_telemetry.Propagation}) must handle both.  Does not
+    check that [state.ip] is within the code array — {!run} does that
+    before each step. *)
+val step : image -> state -> int
+
 val default_fuel : int
 
 (** Run to halt, trap or fuel exhaustion.  [on_step] receives the state

@@ -93,6 +93,38 @@ let run ?fuel (img : Machine.image) : t =
 
 let pct part total = if total <= 0.0 then 0.0 else 100.0 *. part /. total
 
+(* Canonical JSON view: outcome/steps/cycles, the full hot-opcode table
+   and the provenance overhead split.  Field order is fixed so the
+   rendering is byte-stable for a given image. *)
+let to_json t =
+  let row_json r =
+    Json.Obj
+      [
+        ("mnemonic", Json.Str r.mnemonic);
+        ("class", Json.Str (Instr.klass_name r.klass));
+        ("count", Json.Int r.count);
+        ("cycles", Json.Float r.cycles);
+        ("cycles_pct", Json.Float (pct r.cycles t.total_cycles));
+      ]
+  in
+  let prov_json p =
+    Json.Obj
+      [
+        ("provenance", Json.Str (prov_name p.prov));
+        ("count", Json.Int p.p_count);
+        ("cycles", Json.Float p.p_cycles);
+        ("cycles_pct", Json.Float (pct p.p_cycles t.total_cycles));
+      ]
+  in
+  Json.Obj
+    [
+      ("outcome", Json.Str (Fmt.str "%a" Machine.pp_outcome t.outcome));
+      ("steps", Json.Int t.steps);
+      ("total_cycles", Json.Float t.total_cycles);
+      ("opcodes", Json.Arr (List.map row_json t.rows));
+      ("by_provenance", Json.Arr (List.map prov_json t.by_provenance));
+    ]
+
 let pp ?(top = 0) ppf t =
   Fmt.pf ppf "%a: %d instructions, %.1f model cycles@." Machine.pp_outcome
     t.outcome t.steps t.total_cycles;

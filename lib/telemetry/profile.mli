@@ -30,6 +30,10 @@ val prov_name : Instr.provenance -> string
 (** Profile one fresh run.  Deterministic for a given image. *)
 val run : ?fuel:int -> Machine.image -> t
 
+(** Canonical JSON object: outcome, steps, total cycles, the hot-opcode
+    table and the provenance overhead split; byte-stable per image. *)
+val to_json : t -> Json.t
+
 (** Hot-instruction table; [~top] truncates (0 = all rows). *)
 val pp : ?top:int -> Format.formatter -> t -> unit
 

@@ -171,6 +171,26 @@ let test_confidence_shrinks () =
   let wide = F.confidence95 (counts ~samples:10 ~sdc:1) in
   Alcotest.(check bool) "more samples, tighter bound" true (narrow < wide)
 
+let test_degenerate_stats () =
+  (* zero samples: both statistics are 0, never NaN or a division trap *)
+  Alcotest.(check (float 0.0)) "empty probability" 0.0
+    (F.sdc_probability F.zero_counts);
+  Alcotest.(check (float 0.0)) "empty interval" 0.0
+    (F.confidence95 F.zero_counts);
+  (* all-SDC: probability 1, interval collapses to 0 (p(1-p) = 0) *)
+  let all = counts ~samples:25 ~sdc:25 in
+  Alcotest.(check (float 1e-9)) "all-sdc probability" 1.0
+    (F.sdc_probability all);
+  Alcotest.(check bool) "all-sdc interval finite" true
+    (Float.is_finite (F.confidence95 all));
+  Alcotest.(check (float 1e-9)) "all-sdc interval" 0.0 (F.confidence95 all);
+  (* a single sample keeps everything finite too *)
+  let one = counts ~samples:1 ~sdc:1 in
+  Alcotest.(check (float 1e-9)) "one-sample probability" 1.0
+    (F.sdc_probability one);
+  Alcotest.(check bool) "one-sample interval finite" true
+    (Float.is_finite (F.confidence95 one))
+
 let () =
   Alcotest.run "faultsim"
     [
@@ -196,5 +216,7 @@ let () =
         [ Alcotest.test_case "coverage" `Quick test_coverage_math;
           Alcotest.test_case "overhead" `Quick test_overhead_math;
           Alcotest.test_case "confidence interval" `Quick
-            test_confidence_shrinks ] );
+            test_confidence_shrinks;
+          Alcotest.test_case "degenerate counts" `Quick
+            test_degenerate_stats ] );
     ]

@@ -1,0 +1,247 @@
+(* Tests for the fault-propagation tracer and the vulnerability-map
+   campaigns: lockstep classification agreement, detection latency on a
+   fixed seed, escape explanations for SDCs, v2 record schema, and
+   byte-reproducible vulnmap JSONL export. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+module F = Ferrum_faultsim.Faultsim
+module Propagation = F.Propagation
+module Rng = Ferrum_faultsim.Rng
+module Pipeline = Ferrum_eddi.Pipeline
+module Technique = Ferrum_eddi.Technique
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+
+let bench name = (Option.get (Ferrum_workloads.Catalog.find name)).build ()
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let protected_target name =
+  let p = (Pipeline.protect Technique.Ferrum (bench name)).program in
+  F.prepare (Machine.load p)
+
+(* A raw program whose only eligible fault corrupts the printed value:
+   every injection is an SDC, and the tracer must explain it. *)
+let unprotected_print () =
+  Prog.program
+    [ Prog.func "main"
+        [ Prog.block "main"
+            [ Instr.original (Instr.Mov (Reg.Q, Instr.Imm 0L, Instr.Reg Reg.RDI));
+              Instr.original (Instr.Call "print_i64");
+              Instr.original Instr.Ret ] ] ]
+
+(* ---- lockstep tracing ---- *)
+
+let test_trace_matches_inject () =
+  (* the tracer's observer must not perturb classification: for the same
+     sample stream, trace_propagation and inject agree *)
+  let t = protected_target "LUD" in
+  let rng_a = Rng.create ~seed:11L and rng_b = Rng.create ~seed:11L in
+  for _ = 1 to 25 do
+    let sa = Rng.split rng_a and sb = Rng.split rng_b in
+    let dyn_index = Rng.int sa t.F.eligible_steps in
+    let _ = Rng.int sb t.F.eligible_steps in
+    let cls_plain, fault_plain = F.inject t sa ~dyn_index in
+    let cls_traced, fault_traced, _ = F.trace_propagation t sb ~dyn_index in
+    Alcotest.(check string) "same class"
+      (F.classification_name cls_plain)
+      (F.classification_name cls_traced);
+    Alcotest.(check string) "same dest" fault_plain.F.dest_desc
+      fault_traced.F.dest_desc;
+    Alcotest.(check int) "same bit" fault_plain.F.bit fault_traced.F.bit
+  done
+
+let test_detected_fault_has_latency () =
+  (* fixed seed: hunt for a detected fault, then assert its latency is
+     measured and positive, and that the divergence was recorded *)
+  let t = protected_target "LUD" in
+  let rng = Rng.create ~seed:1L in
+  let rec hunt k =
+    if k > 200 then Alcotest.fail "no detected fault in 200 samples"
+    else
+      let sample_rng = Rng.split rng in
+      let dyn_index = Rng.int sample_rng t.F.eligible_steps in
+      let cls, _, summary = F.trace_propagation t sample_rng ~dyn_index in
+      if cls = F.Detected then summary else hunt (k + 1)
+  in
+  let summary = hunt 0 in
+  Alcotest.(check bool) "program has checks" true
+    summary.Propagation.program_has_checks;
+  Alcotest.(check bool) "injection noted" true
+    (summary.Propagation.injected_at <> None);
+  match Propagation.detection_latency summary with
+  | None -> Alcotest.fail "detected fault without latency"
+  | Some (steps, cycles) ->
+    Alcotest.(check bool) "positive step latency" true (steps > 0);
+    Alcotest.(check bool) "positive cycle latency" true (cycles > 0.0);
+    Alcotest.(check bool) "latency bounded by run" true
+      (steps <= summary.Propagation.end_steps)
+
+let test_sdc_explained_unprotected () =
+  (* the raw print program: every flip is an SDC and the explanation is
+     the absence of checkers *)
+  let t = F.prepare (Machine.load (unprotected_print ())) in
+  Alcotest.(check int) "one site" 1 t.F.eligible_steps;
+  let rng = Rng.create ~seed:3L in
+  let cls, _, summary = F.trace_propagation t (Rng.split rng) ~dyn_index:0 in
+  Alcotest.(check string) "sdc" "sdc" (F.classification_name cls);
+  Alcotest.(check bool) "no checks" false
+    summary.Propagation.program_has_checks;
+  (match Propagation.explain_escape summary with
+  | Propagation.Unprotected_program -> ()
+  | e -> Alcotest.failf "expected unprotected-program, got %s"
+           (Propagation.escape_name e));
+  Alcotest.(check bool) "output divergence seen" true
+    (summary.Propagation.first_output_divergence_at <> None)
+
+let test_benign_run_no_divergence_left () =
+  (* hunt a benign injection and check the taint died out or never
+     surfaced: benign means no corrupted output *)
+  let t = protected_target "kNN" in
+  let rng = Rng.create ~seed:2L in
+  let rec hunt k =
+    if k > 300 then Alcotest.fail "no benign fault in 300 samples"
+    else
+      let sample_rng = Rng.split rng in
+      let dyn_index = Rng.int sample_rng t.F.eligible_steps in
+      let cls, _, summary = F.trace_propagation t sample_rng ~dyn_index in
+      if cls = F.Benign then summary else hunt (k + 1)
+  in
+  let summary = hunt 0 in
+  Alcotest.(check bool) "no corrupted output" true
+    (summary.Propagation.first_output_divergence_at = None)
+
+(* ---- vulnerability maps ---- *)
+
+let vulnmap_lines img ~seed ~samples =
+  let buf = Buffer.create 4096 in
+  let sink = Metrics.buffer_sink buf in
+  let v = F.vulnmap_campaign ~seed ~samples img in
+  Metrics.emit sink
+    (Metrics.header ~kind:F.vulnmap_kind
+       [ ("seed", Json.Str (Int64.to_string seed));
+         ("samples", Json.Int samples) ]);
+  List.iter (Metrics.emit sink) (F.vulnmap_rows v);
+  Metrics.close sink;
+  (v, Buffer.contents buf)
+
+let test_vulnmap_schema_valid_and_reproducible () =
+  let m = bench "Pathfinder" in
+  let img = Machine.load (Pipeline.protect Technique.Ferrum m).program in
+  let v, doc_a = vulnmap_lines img ~seed:7L ~samples:40 in
+  let _, doc_b = vulnmap_lines img ~seed:7L ~samples:40 in
+  Alcotest.(check string) "byte-identical per seed" doc_a doc_b;
+  (match
+     Metrics.validate_lines ~kind:F.vulnmap_kind
+       ~record_fields:F.vulnmap_fields
+       (Metrics.lines_of_string doc_a)
+   with
+  | Ok n -> Alcotest.(check bool) "rows exported" true (n > 0)
+  | Error e -> Alcotest.failf "invalid vulnmap JSONL: %s" e);
+  (* per-site counts sum back to the campaign totals *)
+  let sum =
+    Array.fold_left
+      (fun acc (s : F.site_stat) -> acc + s.F.s_counts.F.samples)
+      0 v.F.v_sites
+  in
+  Alcotest.(check int) "site samples partition campaign" v.F.v_counts.F.samples
+    sum;
+  Alcotest.(check int) "detected latencies collected"
+    v.F.v_counts.F.detected
+    (List.length v.F.v_latencies);
+  Alcotest.(check int) "every sdc explained" v.F.v_counts.F.sdc
+    (List.length v.F.v_escapes)
+
+let test_vulnmap_matches_campaign () =
+  (* the traced campaign must classify exactly as the plain one *)
+  let m = bench "BFS" in
+  let img = Machine.load (Pipeline.protect Technique.Ferrum m).program in
+  let plain = F.campaign ~seed:4L ~samples:30 img in
+  let traced = F.vulnmap_campaign ~seed:4L ~samples:30 img in
+  Alcotest.(check bool) "same counts" true (plain.F.counts = traced.F.v_counts)
+
+let test_render_smoke () =
+  let m = bench "Pathfinder" in
+  let img = Machine.load (Pipeline.protect Technique.Ferrum m).program in
+  let v = F.vulnmap_campaign ~seed:7L ~samples:30 img in
+  let text = Ferrum_report.Vulnmap.render ~only_sampled:true v in
+  Alcotest.(check bool) "mentions samples" true
+    (String.length text > 0 && contains ~sub:"30 samples" text)
+
+(* ---- v2 records ---- *)
+
+let test_records_carry_structured_dest () =
+  let m = bench "kmeans" in
+  let img = Machine.load (Pipeline.raw m).program in
+  let records = ref [] in
+  let _ =
+    F.campaign ~seed:5L ~samples:25 ~on_record:(fun r -> records := r :: !records)
+      img
+  in
+  Alcotest.(check int) "one record per sample" 25 (List.length !records);
+  List.iter
+    (fun (r : F.record) ->
+      let j = F.record_to_json r in
+      (match Metrics.validate_fields F.record_fields j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid v2 record: %s" e);
+      (* structured view must agree with the textual destination *)
+      match (r.F.r_dest, Json.member "dest_kind" j) with
+      | Some (F.Igpr _), Some (Json.Str "gpr") ->
+        Alcotest.(check bool) "gpr desc" true
+          (String.length r.F.dest > 0 && r.F.dest.[0] = '%')
+      | Some (F.Isimd (x, lane)), Some (Json.Str "simd") ->
+        Alcotest.(check string) "simd desc"
+          (Fmt.str "%%xmm%d[%d]" x lane)
+          r.F.dest
+      | Some (F.Iflag _), Some (Json.Str "flags") ->
+        Alcotest.(check bool) "flag desc" true
+          (String.length r.F.dest > 6 && String.sub r.F.dest 0 6 = "flags.")
+      | None, Some (Json.Str "none") -> ()
+      | _ -> Alcotest.fail "dest_kind disagrees with structured dest")
+    !records
+
+let test_v1_files_still_validate () =
+  (* a legacy file (v1 schema name, v1 fields only) must still pass with
+     the retained v1 validator *)
+  let hdr =
+    Json.to_string (Metrics.header ~kind:F.metrics_kind_v1 [])
+  in
+  let record =
+    {|{"sample":0,"dyn_index":1,"static_index":2,"opcode":"mov","dest":"%rax","bit":3,"class":"benign","steps":10,"cycles":12.0}|}
+  in
+  match
+    Metrics.validate_lines ~kind:F.metrics_kind_v1
+      ~record_fields:F.record_fields_v1 [ hdr; record ]
+  with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 record, got %d" n
+  | Error e -> Alcotest.failf "v1 file rejected: %s" e
+
+let () =
+  Alcotest.run "propagation"
+    [
+      ( "trace",
+        [ Alcotest.test_case "matches inject" `Quick test_trace_matches_inject;
+          Alcotest.test_case "detected has latency" `Quick
+            test_detected_fault_has_latency;
+          Alcotest.test_case "sdc explained (unprotected)" `Quick
+            test_sdc_explained_unprotected;
+          Alcotest.test_case "benign leaves no corrupted output" `Quick
+            test_benign_run_no_divergence_left ] );
+      ( "vulnmap",
+        [ Alcotest.test_case "schema valid + reproducible" `Quick
+            test_vulnmap_schema_valid_and_reproducible;
+          Alcotest.test_case "matches plain campaign" `Quick
+            test_vulnmap_matches_campaign;
+          Alcotest.test_case "render smoke" `Quick test_render_smoke ] );
+      ( "records",
+        [ Alcotest.test_case "structured dest (v2)" `Quick
+            test_records_carry_structured_dest;
+          Alcotest.test_case "v1 still validates" `Quick
+            test_v1_files_still_validate ] );
+    ]
