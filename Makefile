@@ -1,8 +1,9 @@
 CLI = dune exec --display=quiet bin/ferrum_cli.exe --
 SMOKE = /tmp/ferrum_smoke.jsonl
 VMAP = /tmp/ferrum_vulnmap.jsonl
+LINTM = /tmp/ferrum_lint.jsonl
 
-.PHONY: all build test fmt smoke check clean
+.PHONY: all build test fmt smoke lint check clean
 
 all: build
 
@@ -37,8 +38,24 @@ smoke: build
 	$(CLI) explain kmeans -p ferrum --fault 2024:0 > /dev/null
 	@echo "smoke: metrics valid and reproducible"
 
-check: fmt build test smoke
+# Static protection verifier: the whole catalogue must lint with zero
+# error-severity findings under every technique, and the exported
+# JSONL must validate and be byte-reproducible.
+lint: build
+	@set -e; for b in $$($(CLI) list | awk '{print $$1}'); do \
+	  for t in ir-eddi hybrid ferrum; do \
+	    $(CLI) lint $$b -p $$t > /dev/null || \
+	      { echo "lint: $$b/$$t has error findings"; exit 1; }; \
+	  done; \
+	done
+	$(CLI) lint kmeans -p ferrum --metrics $(LINTM) > /dev/null
+	$(CLI) metrics $(LINTM)
+	$(CLI) lint kmeans -p ferrum --metrics $(LINTM).2 > /dev/null
+	cmp $(LINTM) $(LINTM).2
+	@echo "lint: catalogue clean under all techniques"
+
+check: fmt build test smoke lint
 
 clean:
 	dune clean
-	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2
+	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2 $(LINTM) $(LINTM).2

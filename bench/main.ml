@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- peephole     # E9
      dune exec bench/main.exe -- multibit     # E11
      dune exec bench/main.exe -- selective    # E12
+     dune exec bench/main.exe -- lint         # E14
      dune exec bench/main.exe -- micro        # bechamel micro-benches
      dune exec bench/main.exe -- all --samples 1000 --csv out.csv  # paper-scale
 
@@ -24,7 +25,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
     \                 ablation|allsites|multibit|peephole|selective|vulnmap|\n\
-    \                 micro|all]\n\
+    \                 lint|micro|all]\n\
     \                [--samples N] [--seed N] [--csv PATH] [--metrics PATH]\n\
     \                [--vulnmap DIR]";
   exit 2
@@ -32,7 +33,7 @@ let usage () =
 type cmd =
   | Table1 | Table2 | Fig10 | Fig11 | Exectime | Outcomes | Summary
   | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | VulnmapCmd
-  | Micro | All
+  | LintCmd | Micro | All
   | Default
 
 let parse_args () =
@@ -75,6 +76,7 @@ let parse_args () =
          | "peephole" -> PeepholeCmd
          | "selective" -> Selective
          | "vulnmap" -> VulnmapCmd
+         | "lint" -> LintCmd
          | "micro" -> Micro
          | "all" -> All
          | _ -> usage ());
@@ -183,6 +185,78 @@ let vulnmap_compare ~samples ~seed dir =
     (R.Ascii.table
        ~header:
          [ "technique"; "detected"; "sdc"; "mean"; "p50"; "p95"; "max" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* E14: static uncovered set vs dynamic checkable escapes.             *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Ferrum_analysis.Lint
+
+(* Catalogue-wide lint + crossval at every protection level: the
+   statically uncovered fraction should collapse as checking tightens,
+   and every dynamically observed check-free escape must land inside
+   the statically predicted uncovered set ("inclusion"). *)
+let lint_compare ~samples ~seed =
+  let configs = None :: List.map (fun t -> Some t) Ferrum_eddi.Technique.all in
+  let rows =
+    List.map
+      (fun tech ->
+        let name =
+          match tech with
+          | None -> "raw"
+          | Some t -> Ferrum_eddi.Technique.short_name t
+        in
+        let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+        let uncovered = ref 0 and eligible = ref 0 in
+        let sdc = ref 0 and checkable = ref 0 and confirmed = ref 0 in
+        let inclusion = ref true in
+        List.iter
+          (fun (entry : Ferrum_workloads.Catalog.entry) ->
+            let m = entry.build () in
+            let r =
+              match tech with
+              | None -> Ferrum_eddi.Pipeline.raw m
+              | Some t -> Ferrum_eddi.Pipeline.protect t m
+            in
+            let report = Ferrum_eddi.Pipeline.lint r in
+            let e = Lint.errors report and w = Lint.warnings report in
+            errors := !errors + e;
+            warnings := !warnings + w;
+            infos := !infos + List.length report.Lint.r_findings - e - w;
+            uncovered := !uncovered + List.length report.Lint.r_uncovered;
+            eligible := !eligible + report.Lint.r_eligible;
+            let o =
+              R.Crossval.run ~seed ~samples r.Ferrum_eddi.Pipeline.program
+            in
+            sdc := !sdc + o.R.Crossval.c_sdc;
+            checkable := !checkable + o.R.Crossval.c_checkable;
+            confirmed := !confirmed + o.R.Crossval.c_confirmed;
+            inclusion := !inclusion && R.Crossval.passed o)
+          Ferrum_workloads.Catalog.all;
+        [
+          name;
+          Fmt.str "%d/%d" !uncovered !eligible;
+          string_of_int !errors;
+          string_of_int !warnings;
+          string_of_int !infos;
+          string_of_int !sdc;
+          Fmt.str "%d/%d" !confirmed !checkable;
+          (if !inclusion then "yes" else "NO");
+        ])
+      configs
+  in
+  Fmt.str
+    "Static uncovered set vs dynamic escapes (%d samples/benchmark, seed \
+     %Ld;\n\
+     inclusion = every checkable escape hit a statically uncovered site)@.%s"
+    samples seed
+    (R.Ascii.table
+       ~header:
+         [
+           "technique"; "uncovered"; "err"; "warn"; "info"; "sdc";
+           "confirmed"; "inclusion";
+         ]
        ~rows)
 
 (* ------------------------------------------------------------------ *)
@@ -338,6 +412,8 @@ let () =
   | VulnmapCmd ->
     print_endline
       (timed "vulnmap" (fun () -> vulnmap_compare ~samples ~seed vulnmap_dir))
+  | LintCmd ->
+    print_endline (timed "lint" (fun () -> lint_compare ~samples ~seed))
   | Micro -> micro ());
   match metrics with
   | Some path ->

@@ -10,6 +10,7 @@
      profile BENCH             per-opcode cycle and overhead breakdown
      metrics FILE              validate and summarise a metrics JSONL file
      vulnmap BENCH [-p TECH]   per-site vulnerability map + detection latency
+     lint BENCH [-p TECH]      static protection verifier (+ --crossval)
      explain BENCH --fault S:I propagation trace of one campaign sample
      report [ARTEFACT]         regenerate the paper's tables/figures *)
 
@@ -20,6 +21,8 @@ module Rng = Ferrum_faultsim.Rng
 module Technique = Ferrum_eddi.Technique
 module Pipeline = Ferrum_eddi.Pipeline
 module Catalog = Ferrum_workloads.Catalog
+module Lint = Ferrum_analysis.Lint
+module Shadow = Ferrum_analysis.Shadow
 module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Span = Ferrum_telemetry.Span
@@ -622,6 +625,25 @@ let metrics_cmd =
           (Option.value ~default:0 (Hashtbl.find_opt sum c)))
       classes
   in
+  (* Lint files: finding-kind histogram. *)
+  let summarize_lint lines =
+    let by_kind = Hashtbl.create 8 in
+    List.iteri
+      (fun i line ->
+        if i > 0 then
+          match Json.member "kind" (Json.of_string line) with
+          | Some (Json.Str k) ->
+            Hashtbl.replace by_kind k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k))
+          | _ -> ())
+      lines;
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt by_kind k with
+        | Some n -> Fmt.pr "  %-20s %d@." k n
+        | None -> ())
+      (List.map Shadow.kind_name Shadow.all_kinds @ [ "uncovered-site" ])
+  in
   let run file =
     let lines =
       try Metrics.read_lines file
@@ -647,9 +669,11 @@ let metrics_cmd =
       if schema = F.metrics_kind then F.record_fields
       else if schema = F.metrics_kind_v1 then F.record_fields_v1
       else if schema = F.vulnmap_kind then F.vulnmap_fields
+      else if schema = Lint.metrics_kind then Lint.record_fields
       else begin
-        Fmt.epr "%s: unknown schema %S (expected %s, %s or %s)@." file schema
-          F.metrics_kind F.metrics_kind_v1 F.vulnmap_kind;
+        Fmt.epr "%s: unknown schema %S (expected %s, %s, %s or %s)@." file
+          schema F.metrics_kind F.metrics_kind_v1 F.vulnmap_kind
+          Lint.metrics_kind;
         exit 1
       end
     in
@@ -663,6 +687,7 @@ let metrics_cmd =
       | [] -> ());
       Fmt.pr "valid: %d records (%s)@." n schema;
       if schema = F.vulnmap_kind then summarize_vulnmap lines
+      else if schema = Lint.metrics_kind then summarize_lint lines
       else summarize_injections lines
   in
   let file_arg =
@@ -734,6 +759,108 @@ let vulnmap_cmd =
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ metrics_arg
       $ only_sampled_arg)
+
+(* ---- lint: static protection verifier ---- *)
+
+let lint_cmd =
+  let kind_conv =
+    let parse s =
+      match Shadow.kind_of_name s with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (`Msg
+            (Fmt.str "expected one of: %s"
+               (String.concat ", "
+                  (List.map Shadow.kind_name Shadow.all_kinds))))
+    in
+    let print ppf k = Fmt.string ppf (Shadow.kind_name k) in
+    Arg.conv (parse, print)
+  in
+  let lint_header ~bench ~technique =
+    Metrics.header ~kind:Lint.metrics_kind
+      [
+        ("benchmark", Json.Str bench);
+        ("technique",
+         Json.Str
+           (match technique with
+           | Some t -> Technique.short_name t
+           | None -> "raw"));
+      ]
+  in
+  let run bench technique knobs json metrics kind crossval samples seed =
+    let e = find_bench bench in
+    let m = e.Catalog.build () in
+    let result =
+      match technique with
+      | None -> Pipeline.raw ~optimize:knobs.optimize m
+      | Some t ->
+        Pipeline.protect ~ferrum_config:knobs.ferrum_config
+          ~optimize:knobs.optimize t m
+    in
+    let report = Pipeline.lint result in
+    let report =
+      match kind with
+      | None -> report
+      | Some k ->
+        { report with
+          Lint.r_findings =
+            List.filter
+              (fun (f : Shadow.finding) -> f.Shadow.f_kind = k)
+              report.Lint.r_findings }
+    in
+    let rows () = lint_header ~bench ~technique :: Lint.rows result.Pipeline.program report in
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let sink = Metrics.file_sink path in
+      List.iter (Metrics.emit sink) (rows ());
+      Metrics.close sink;
+      Fmt.epr "[lint] wrote %s@." path);
+    if json then List.iter (fun j -> print_endline (Json.to_string j)) (rows ())
+    else Fmt.pr "%a" Lint.pp_report report;
+    let failed = ref (Lint.errors report > 0) in
+    if crossval then begin
+      let o =
+        Ferrum_report.Crossval.run ~seed ~samples result.Pipeline.program
+      in
+      Fmt.pr "%a" Ferrum_report.Crossval.pp o;
+      if not (Ferrum_report.Crossval.passed o) then failed := true
+    end;
+    if !failed then exit 1
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit ferrum.lint.v1 JSONL (header, one row per finding, \
+                then one uncovered-site row per statically uncovered \
+                eligible site) instead of the human report; \
+                byte-reproducible.")
+  in
+  let kind_arg =
+    Arg.(value & opt (some kind_conv) None
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Only report findings of this kind.")
+  in
+  let crossval_arg =
+    Arg.(value & flag
+         & info [ "crossval" ]
+             ~doc:
+               "Replay a seeded vulnerability-map campaign and verify \
+                every unchecked-site/output-before-check SDC escape lies \
+                inside the statically predicted uncovered set.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify a (protected) benchmark: shadow-consistency \
+          findings against the technique's invariants (Figs. 4-7) plus \
+          the check-free-path uncovered set.  Exits 1 when any \
+          error-severity finding (or crossval violation) is present.")
+    Term.(
+      const run $ bench_arg $ protect_arg $ knobs_term $ json_arg
+      $ metrics_arg $ kind_arg $ crossval_arg $ samples_arg $ seed_arg)
 
 (* ---- explain: propagation trace of one campaign sample ---- *)
 
@@ -910,4 +1037,4 @@ let () =
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
             check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            vulnmap_cmd; explain_cmd; report_cmd ]))
+            vulnmap_cmd; lint_cmd; explain_cmd; report_cmd ]))

@@ -1,0 +1,199 @@
+(* Control-flow graph over assembly functions.
+
+   Prog blocks are labelled extended blocks (protection transforms emit
+   mid-block checker exits), so basic blocks are re-derived here:
+   leaders are the first instruction of every labelled block and every
+   instruction that follows a jump, conditional jump or return.  Edges
+   are fall-through (to the next basic block in layout order, when the
+   previous one does not end in a barrier) plus label targets; a jump
+   to [exit_function] is a detector exit and produces no edge. *)
+
+open Ferrum_asm
+
+type block = {
+  id : int;
+  label : string;
+  offset : int;
+  insns : Instr.ins array;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  func : Prog.func;
+  blocks : block array;
+  by_label : (string, int) Hashtbl.t;
+}
+
+let exit_l = Prog.exit_function_label
+
+(* Split one Prog block into leader-delimited runs of instructions:
+   a new run starts after every control transfer. *)
+let runs_of_block (b : Prog.block) : (int * Instr.ins array) list =
+  let insns = Array.of_list b.insns in
+  let n = Array.length insns in
+  let cuts = ref [] in
+  for k = 0 to n - 1 do
+    match insns.(k).Instr.op with
+    | Instr.Jmp _ | Instr.Jcc _ | Instr.Ret when k + 1 < n ->
+      cuts := (k + 1) :: !cuts
+    | _ -> ()
+  done;
+  let starts = 0 :: List.rev !cuts in
+  let rec slice = function
+    | [] -> []
+    | [ s ] -> [ (s, Array.sub insns s (n - s)) ]
+    | s :: (s' :: _ as rest) -> (s, Array.sub insns s (s' - s)) :: slice rest
+  in
+  if n = 0 then [ (0, [||]) ] else slice starts
+
+let build (f : Prog.func) : t =
+  let by_label = Hashtbl.create 16 in
+  let protos = ref [] in
+  (* number the basic blocks in layout order *)
+  let count = ref 0 in
+  List.iter
+    (fun (b : Prog.block) ->
+      List.iteri
+        (fun i (offset, insns) ->
+          let id = !count in
+          incr count;
+          if i = 0 then Hashtbl.replace by_label b.label id;
+          protos := (id, b.label, offset, insns) :: !protos)
+        (runs_of_block b))
+    f.blocks;
+  let protos = Array.of_list (List.rev !protos) in
+  let n = Array.length protos in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let target l = if String.equal l exit_l then None else Hashtbl.find_opt by_label l in
+  Array.iteri
+    (fun i (_, _, _, (insns : Instr.ins array)) ->
+      let m = Array.length insns in
+      let fallthrough = if i + 1 < n then [ i + 1 ] else [] in
+      let s =
+        if m = 0 then fallthrough
+        else
+          match insns.(m - 1).Instr.op with
+          | Instr.Ret -> []
+          | Instr.Jmp l -> ( match target l with Some j -> [ j ] | None -> [])
+          | Instr.Jcc (_, l) -> (
+            match target l with
+            | Some j -> fallthrough @ [ j ]
+            | None -> fallthrough)
+          | _ -> fallthrough
+      in
+      succs.(i) <- s)
+    protos;
+  Array.iteri (fun i s -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) s) succs;
+  let blocks =
+    Array.mapi
+      (fun i (id, label, offset, insns) ->
+        assert (id = i);
+        { id; label; offset; insns; succs = succs.(i);
+          preds = List.rev preds.(i) })
+      protos
+  in
+  { func = f; blocks; by_label }
+
+let reverse_postorder (t : t) : int array =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs t.blocks.(i).succs;
+      post := i :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  let reachable = !post in
+  let rest = List.filter (fun i -> not seen.(i)) (List.init n Fun.id) in
+  Array.of_list (reachable @ rest)
+
+(* Cooper–Harvey–Kennedy "engineered" dominator iteration. *)
+let dominators (t : t) : int array =
+  let n = Array.length t.blocks in
+  let rpo = reverse_postorder t in
+  let order = Array.make n (-1) in
+  (* position of each reachable block in the rpo sequence *)
+  let reachable = Array.make n false in
+  let count = ref 0 in
+  Array.iter
+    (fun i ->
+      order.(i) <- !count;
+      incr count)
+    rpo;
+  (* mark reachability via dfs order: rpo lists reachable blocks first *)
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      reachable.(i) <- true;
+      List.iter dfs t.blocks.(i).succs
+    end
+  in
+  if n > 0 then dfs 0;
+  let idom = Array.make n (-1) in
+  if n = 0 then idom
+  else begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while order.(!a) > order.(!b) do
+          a := idom.(!a)
+        done;
+        while order.(!b) > order.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun i ->
+          if i <> 0 && reachable.(i) then begin
+            let preds =
+              List.filter (fun p -> reachable.(p) && idom.(p) <> -1)
+                t.blocks.(i).preds
+            in
+            match preds with
+            | [] -> ()
+            | p :: rest ->
+              let d = List.fold_left intersect p rest in
+              if idom.(i) <> d then begin
+                idom.(i) <- d;
+                changed := true
+              end
+          end)
+        rpo
+    done;
+    idom
+  end
+
+let dominates (_t : t) (idom : int array) a b =
+  if b < 0 || b >= Array.length idom || idom.(b) = -1 then false
+  else begin
+    let rec walk x = x = a || (x <> idom.(x) && walk idom.(x)) in
+    walk b
+  end
+
+let unreachable (t : t) : int list =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs t.blocks.(i).succs
+    end
+  in
+  if n > 0 then dfs 0;
+  List.filter (fun i -> not seen.(i)) (List.init n Fun.id)
+
+let position (t : t) id k =
+  let b = t.blocks.(id) in
+  (b.label, b.offset + k)

@@ -1,0 +1,537 @@
+open Ferrum_asm
+
+type severity = Error | Warning | Info
+
+type kind =
+  | Unchecked_sync
+  | Missing_duplicate
+  | Spare_not_dead
+  | Simd_batch_unflushed
+  | Rflags_unpaired
+  | Checker_dead_code
+
+type finding = {
+  f_kind : kind;
+  f_severity : severity;
+  f_func : string;
+  f_label : string;
+  f_index : int;
+  f_site : string;
+  f_message : string;
+  f_hint : string;
+}
+
+type profile = { asm_dup : bool; pair_comparisons : bool; simd : bool }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let kind_name = function
+  | Unchecked_sync -> "unchecked-sync"
+  | Missing_duplicate -> "missing-duplicate"
+  | Spare_not_dead -> "spare-not-dead"
+  | Simd_batch_unflushed -> "simd-batch-unflushed"
+  | Rflags_unpaired -> "rflags-unpaired"
+  | Checker_dead_code -> "checker-dead-code"
+
+let all_kinds =
+  [ Unchecked_sync; Missing_duplicate; Spare_not_dead; Simd_batch_unflushed;
+    Rflags_unpaired; Checker_dead_code ]
+
+let kind_of_name s =
+  List.find_opt (fun k -> String.equal (kind_name k) s) all_kinds
+
+let exit_l = Prog.exit_function_label
+
+(* ------------------------------------------------------------------ *)
+(* Shape helpers mirroring [Asm_protect] / [Ferrum_pass] emission.     *)
+(* ------------------------------------------------------------------ *)
+
+(* The single GPR destination of an instruction, if any. *)
+let dest_gpr (op : Instr.t) =
+  match
+    List.filter_map
+      (function Instr.Dgpr (r, s) -> Some (r, s) | _ -> None)
+      (Instr.defs op)
+  with
+  | [ d ] -> Some d
+  | _ -> None
+
+let is_cmp_like = function Instr.Cmp _ | Instr.Test _ -> true | _ -> false
+
+(* The 64-bit value a batch-lane deposit copies, if [op] is one. *)
+let deposit_src (op : Instr.t) =
+  match op with
+  | Instr.MovQ_to_xmm (src, _) -> Some src
+  | Instr.Pinsrq (_, Instr.Psrc_reg r, _) -> Some (Instr.Reg r)
+  | Instr.Pinsrq (_, Instr.Psrc_mem m, _) -> Some (Instr.Mem m)
+  | _ -> None
+
+(* Does [dup] re-execute [orig] with only the destination renamed?
+   (the Fig. 4 duplicate-first family of [Asm_protect]) *)
+let reexec_match (dup : Instr.t) (orig : Instr.t) =
+  match (dup, orig) with
+  | Instr.Mov (w1, s1, Instr.Reg _), Instr.Mov (w2, s2, Instr.Reg _) ->
+    w1 = w2 && s1 = s2
+  | Instr.Movslq (s1, _), Instr.Movslq (s2, _) -> s1 = s2
+  | Instr.Movzbq (s1, _), Instr.Movzbq (s2, _) -> s1 = s2
+  | Instr.Lea (m1, _), Instr.Lea (m2, _) -> m1 = m2
+  | Instr.Set (c1, Instr.Reg _), Instr.Set (c2, Instr.Reg _) -> c1 = c2
+  | Instr.MovQ_from_xmm (x1, _), Instr.MovQ_from_xmm (x2, _) -> x1 = x2
+  | Instr.Pextrq (l1, x1, _), Instr.Pextrq (l2, x2, _) -> l1 = l2 && x1 = x2
+  | _ -> false
+
+(* Does [dup] apply the same accumulator operation to spare [s] that
+   [orig] applies to [d]?  ([Asm_protect] redirects a source equal to
+   the destination onto the spare, so sources need not coincide.) *)
+let acc_match (dup : Instr.t) (orig : Instr.t) ~s ~d =
+  let src_ok s1 s2 =
+    s1 = s2
+    || match (s1, s2) with
+       | Instr.Reg r1, Instr.Reg r2 -> Reg.equal_gpr r1 s && Reg.equal_gpr r2 d
+       | _ -> false
+  in
+  match (dup, orig) with
+  | Instr.Alu (o1, w1, src1, Instr.Reg r1), Instr.Alu (o2, w2, src2, Instr.Reg r2)
+    ->
+    o1 = o2 && w1 = w2 && src_ok src1 src2 && Reg.equal_gpr r1 s
+    && Reg.equal_gpr r2 d
+  | ( Instr.Shift (k1, w1, a1, Instr.Reg r1),
+      Instr.Shift (k2, w2, a2, Instr.Reg r2) ) ->
+    k1 = k2 && w1 = w2 && a1 = a2 && Reg.equal_gpr r1 s && Reg.equal_gpr r2 d
+  | Instr.Neg (w1, Instr.Reg r1), Instr.Neg (w2, Instr.Reg r2)
+  | Instr.Not (w1, Instr.Reg r1), Instr.Not (w2, Instr.Reg r2) ->
+    w1 = w2 && Reg.equal_gpr r1 s && Reg.equal_gpr r2 d
+  | _ -> false
+
+(* An instrumentation-provenance 64-bit register-to-register copy. *)
+let icopy (x : Instr.ins) =
+  match (x.Instr.prov, x.Instr.op) with
+  | Instr.Instrumentation, Instr.Mov (Reg.Q, Instr.Reg s, Instr.Reg d) ->
+    Some (s, d)
+  | _ -> None
+
+(* What a call may read in the *original* program: argument registers,
+   the stack frame, and the accumulator (for re-called results).  The
+   default "a call reads everything" conservatism would make every
+   spare acquired before a call look live. *)
+let original_call_reads =
+  Reg.[ RDI; RSI; RDX; RCX; R8; R9; RAX; RSP; RBP ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-function scan.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A comparison owed to a duplicated site and not yet discharged by a
+   checker or a pair of batch-lane deposits. *)
+type owed = {
+  o_orig : Reg.gpr;
+  o_dup : Instr.operand;
+  o_site : int;  (** index of the original instruction in its block *)
+  mutable o_reported : bool;
+}
+
+let scan_func (profile : profile) (f : Prog.func) : finding list =
+  if not profile.asm_dup then []
+  else begin
+    let findings = ref [] in
+    let liveness =
+      lazy
+        (Liveness.analyze ~call_reads:original_call_reads
+           ~keep:(fun i -> i.Instr.prov = Instr.Original)
+           f)
+    in
+    (* every setcc destination in the function: byte compares between
+       two of these are Fig. 5 flag-pair verifications *)
+    let set_regs = Hashtbl.create 8 in
+    (* labels whose block opens with the deferred pair verification *)
+    let entry_checked = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Prog.block) ->
+        List.iter
+          (fun (i : Instr.ins) ->
+            match i.op with
+            | Instr.Set (_, Instr.Reg r) -> Hashtbl.replace set_regs r ()
+            | _ -> ())
+          b.insns;
+        match b.insns with
+        | { Instr.prov = Check; op = Instr.Cmp (Reg.B, Instr.Reg _, Instr.Reg _) }
+          :: { Instr.prov = Check; op = Instr.Jcc (Cond.NE, l) }
+          :: _
+          when String.equal l exit_l ->
+          Hashtbl.replace entry_checked b.label ()
+        | _ -> ())
+      f.blocks;
+    let is_pair_check w dup_op orig =
+      w = Reg.B
+      && (match dup_op with
+         | Instr.Reg r -> Hashtbl.mem set_regs r && Hashtbl.mem set_regs orig
+         | _ -> false)
+    in
+    let walk_block (b : Prog.block) =
+      let a = Array.of_list b.insns in
+      let n = Array.length a in
+      let get i = if i >= 0 && i < n then Some a.(i) else None in
+      let add ?(severity = Error) kind i message hint =
+        let site =
+          match get i with
+          | Some ins -> Printer.string_of_instr ins.Instr.op
+          | None -> "<end of block>"
+        in
+        findings :=
+          { f_kind = kind; f_severity = severity; f_func = f.fname;
+            f_label = b.label; f_index = min i (max 0 (n - 1));
+            f_site = site; f_message = message; f_hint = hint }
+          :: !findings
+      in
+      let owed = ref [] in
+      let batch = ref [] in (* (site index, original reg) pending lanes *)
+      let saved = ref [] in (* push-saved (requisitioned) registers *)
+      let new_owed ~acq ~site ~orig ~dup =
+        (match dup with
+        | Instr.Reg s when not (List.exists (Reg.equal_gpr s) !saved) -> (
+          match Liveness.live_in_at (Lazy.force liveness) ~label:b.label ~k:acq with
+          | Some live when Liveness.GSet.mem s live ->
+            add Spare_not_dead site
+              (Fmt.str
+                 "spare %s holds the duplicate of %s but is live in the \
+                  original program at its acquisition"
+                 (Reg.gpr_name s Reg.Q) (Reg.gpr_name orig Reg.Q))
+              "pick a register that is dead here, or save/restore it with \
+               push/pop (Fig. 7)"
+          | _ -> ())
+        | _ -> ());
+        owed := { o_orig = orig; o_dup = dup; o_site = site; o_reported = false }
+                :: !owed
+      in
+      let discharge ~dup_op ~orig =
+        match
+          List.find_opt
+            (fun o -> o.o_dup = dup_op && Reg.equal_gpr o.o_orig orig)
+            !owed
+        with
+        | Some o ->
+          owed := List.filter (fun x -> x != o) !owed;
+          true
+        | None -> false
+      in
+      let batch_pair op1 op2 =
+        match op2 with
+        | Instr.Reg r2 -> (
+          match
+            List.find_opt
+              (fun o -> o.o_dup = op1 && Reg.equal_gpr o.o_orig r2)
+              !owed
+          with
+          | Some o ->
+            owed := List.filter (fun x -> x != o) !owed;
+            batch := (o.o_site, o.o_orig) :: !batch;
+            true
+          | None -> false)
+        | _ -> false
+      in
+      let sync_owed what =
+        List.iter
+          (fun o ->
+            if not o.o_reported then begin
+              o.o_reported <- true;
+              add Unchecked_sync o.o_site
+                (Fmt.str
+                   "duplicate of %s is never compared before %s retires"
+                   (Reg.gpr_name o.o_orig Reg.Q) what)
+                "emit the checker (or batch deposits) before the next sync \
+                 point"
+            end)
+          !owed
+      in
+      let sync_flush i what =
+        match !batch with
+        | [] -> ()
+        | lanes ->
+          add Simd_batch_unflushed i
+            (Fmt.str "%d batched comparison(s) still pending at %s"
+               (List.length lanes) what)
+            "flush the SIMD batch (vpxor+vptest+jne) before this point";
+          batch := []
+      in
+      let rec go i =
+        if i >= n then begin
+          sync_owed "the end of the block";
+          sync_flush (n - 1) "the end of the block"
+        end
+        else
+          let ins = a.(i) in
+          match (ins.Instr.prov, ins.Instr.op) with
+          (* -------- checks -------- *)
+          | Instr.Check, (Instr.Vpxor _ | Instr.Vpxorq512 _) -> (
+            match (get (i + 1), get (i + 2)) with
+            | ( Some { Instr.prov = Check;
+                       op = Instr.Vptest _ | Instr.Vptestmq512 _ },
+                Some { Instr.prov = Check; op = Instr.Jcc (Cond.NE, l) } )
+              when String.equal l exit_l ->
+              batch := [];
+              go (i + 3)
+            | _ -> go (i + 1))
+          | Instr.Check, Instr.Cmp (w, dup_op, Instr.Reg orig) -> (
+            match get (i + 1) with
+            | Some { Instr.prov = Check; op = Instr.Jcc (Cond.NE, l) }
+              when String.equal l exit_l ->
+              if discharge ~dup_op ~orig then go (i + 2)
+              else if is_pair_check w dup_op orig then go (i + 2)
+              else begin
+                add Checker_dead_code i
+                  "checker guards no duplicate (its shadow was never \
+                   produced)"
+                  "restore the duplicate this checker compares, or delete \
+                   the checker";
+                go (i + 2)
+              end
+            | _ ->
+              (* Not the Asm_protect checker shape (cmp + jne exit):
+                 IR-level check code lowers to Check-provenance
+                 cmp/set/branch sequences of its own — leave those to
+                 the uncovered-set analysis. *)
+              go (i + 1))
+          | Instr.Check, _ -> go (i + 1)
+          (* -------- instrumentation -------- *)
+          | Instr.Instrumentation, _ when icopy ins <> None -> (
+            let s, d = Option.get (icopy ins) in
+            (* idiv save/compute/restore/re-divide cluster *)
+            let idiv_cluster () =
+              match
+                ( get (i + 1), get (i + 2), get (i + 3), get (i + 4),
+                  get (i + 5), get (i + 6), get (i + 7) )
+              with
+              | ( Some c1, Some ({ Instr.prov = Original;
+                                   op = Instr.Idiv (sz, src) } as _div),
+                  Some c3, Some c4, Some c5, Some c6,
+                  Some { Instr.prov = Dup; op = Instr.Idiv (sz', src') } )
+                when sz = sz' && src = src' -> (
+                match (icopy c1, icopy c3, icopy c4, icopy c5, icopy c6) with
+                | ( Some (rdx, s1), Some (rax2, s2), Some (rdx2, s3),
+                    Some (s0', rax'), Some (s1', rdx') )
+                  when Reg.equal_gpr s Reg.RAX && Reg.equal_gpr rdx Reg.RDX
+                       && Reg.equal_gpr rax2 Reg.RAX
+                       && Reg.equal_gpr rdx2 Reg.RDX
+                       && Reg.equal_gpr s0' d && Reg.equal_gpr s1' s1
+                       && Reg.equal_gpr rax' Reg.RAX
+                       && Reg.equal_gpr rdx' Reg.RDX ->
+                  new_owed ~acq:i ~site:(i + 2) ~orig:Reg.RAX
+                    ~dup:(Instr.Reg s2);
+                  new_owed ~acq:i ~site:(i + 2) ~orig:Reg.RDX
+                    ~dup:(Instr.Reg s3);
+                  true
+                | _ -> false)
+              | _ -> false
+            in
+            (* icopy returns (source, destination): an accumulator copy
+               moves the original destination register [s] into the
+               spare [d] before the duplicate runs on the spare. *)
+            match (get (i + 1), get (i + 2)) with
+            | _ when Reg.equal_gpr s Reg.RAX && idiv_cluster () -> go (i + 8)
+            | ( Some { Instr.prov = Dup; op = dop },
+                Some ({ Instr.prov = Original; op = oop } as _orig) )
+              when acc_match dop oop ~s:d ~d:s ->
+              new_owed ~acq:i ~site:(i + 2) ~orig:s ~dup:(Instr.Reg d);
+              go (i + 3)
+            | _ -> go (i + 1))
+          | Instr.Instrumentation, Instr.Push (Instr.Reg r) ->
+            saved := r :: !saved;
+            go (i + 1)
+          | Instr.Instrumentation, Instr.Pop r ->
+            saved := List.filter (fun x -> not (Reg.equal_gpr x r)) !saved;
+            go (i + 1)
+          | Instr.Instrumentation, op when deposit_src op <> None -> (
+            let op1 = Option.get (deposit_src op) in
+            match get (i + 1) with
+            | Some { Instr.prov = Instrumentation; op = op2 }
+              when deposit_src op2 <> None
+                   && batch_pair op1 (Option.get (deposit_src op2)) ->
+              go (i + 2)
+            | _ -> go (i + 1))
+          | Instr.Instrumentation, _ -> go (i + 1)
+          (* -------- duplicates -------- *)
+          | Instr.Dup, dop when deposit_src dop <> None -> (
+            (* SIMD-ENABLED move: dup deposit, original, original deposit *)
+            match (get (i + 1), get (i + 2)) with
+            | ( Some { Instr.prov = Original;
+                       op = Instr.Mov (Reg.Q, _, Instr.Reg d) },
+                Some { Instr.prov = Instrumentation; op = dop2 } )
+              when deposit_src dop2 = Some (Instr.Reg d) ->
+              batch := (i + 1, d) :: !batch;
+              go (i + 3)
+            | _ -> go (i + 1))
+          | Instr.Dup, dop -> (
+            match (dest_gpr dop, get (i + 1)) with
+            | Some (s, _), Some { Instr.prov = Original; op = oop }
+              when reexec_match dop oop -> (
+              match dest_gpr oop with
+              | Some (d, _) ->
+                new_owed ~acq:i ~site:(i + 1) ~orig:d ~dup:(Instr.Reg s);
+                go (i + 2)
+              | None -> go (i + 1))
+            | _ -> go (i + 1))
+          (* -------- originals -------- *)
+          | Instr.Original, op when is_cmp_like op ->
+            sync_owed "a compare";
+            sync_flush i "a compare (the transform flushes before compares)";
+            handle_cmp i
+          | Instr.Original, Instr.Cqto -> (
+            match (get (i + 1), get (i + 2)) with
+            | Some c1, Some { Instr.prov = Dup; op = Instr.Cqto } -> (
+              match icopy c1 with
+              | Some (rdx, s) when Reg.equal_gpr rdx Reg.RDX ->
+                new_owed ~acq:(i + 1) ~site:i ~orig:Reg.RDX
+                  ~dup:(Instr.Reg s);
+                go (i + 3)
+              | _ -> missing_dup i)
+            | _ -> missing_dup i)
+          | Instr.Original, Instr.Idiv _ -> missing_dup i
+          | Instr.Original, Instr.Pop d ->
+            new_owed ~acq:i ~site:i ~orig:d
+              ~dup:(Instr.Mem (Instr.mem ~base:Reg.RSP (-8)));
+            go (i + 1)
+          | Instr.Original, Instr.Mov (_, _, Instr.Mem _) ->
+            sync_owed "a store";
+            (match !batch with
+            | [] -> ()
+            | lanes ->
+              add ~severity:Info Unchecked_sync i
+                (Fmt.str
+                   "store retires inside an open SIMD batch window (%d \
+                    lane pair(s) pending)"
+                   (List.length lanes))
+                "accepted memory-before-check exposure; flush earlier to \
+                 close the window");
+            go (i + 1)
+          | Instr.Original, (Instr.Jmp _ | Instr.Ret) ->
+            sync_owed "a control transfer";
+            sync_flush i "a jump/return";
+            go (i + 1)
+          | Instr.Original, Instr.Call _ ->
+            sync_owed "a call";
+            sync_flush i "a call";
+            go (i + 1)
+          | Instr.Original, Instr.Jcc _ ->
+            sync_owed "a branch";
+            sync_flush i "a branch";
+            if profile.pair_comparisons then
+              add ~severity:Warning Rflags_unpaired i
+                "branch without the set<cc> pair capture of its compare"
+                "protect the compare/branch with the Fig. 5 deferred \
+                 detection sequence";
+            go (i + 1)
+          | Instr.Original, op when dest_gpr op <> None ->
+            let writes_sp =
+              match dest_gpr op with
+              | Some (r, _) -> Reg.equal_gpr r Reg.RSP || Reg.equal_gpr r Reg.RBP
+              | None -> false
+            in
+            add ~severity:Warning Missing_duplicate i
+              (if writes_sp then
+                 "stack-register write carries no duplicate (requisition \
+                  around RSP/RBP is unsound; counted as unprotected by the \
+                  transform)"
+               else "protectable instruction carries no duplicate")
+              "duplicate it via Fig. 4, or record an explicit waiver";
+            go (i + 1)
+          | _ -> go (i + 1)
+      and missing_dup i =
+        add ~severity:Warning Missing_duplicate i
+          "protectable instruction carries no duplicate"
+          "duplicate it via Fig. 4, or record an explicit waiver";
+        go (i + 1)
+      and handle_cmp i =
+        (* Fig. 5 set<cc> pair capture, possibly behind two requisition
+           pushes (pair-less functions). *)
+        let capture off =
+          match (get (i + off + 1), get (i + off + 2), get (i + off + 3)) with
+          | ( Some { Instr.prov = Instrumentation;
+                     op = Instr.Set (_, Instr.Reg pa) },
+              Some { Instr.prov = Dup; op = dcmp },
+              Some { Instr.prov = Dup; op = Instr.Set (_, Instr.Reg pb) } )
+            when is_cmp_like dcmp ->
+            Some (pa, pb, i + off + 3)
+          | _ -> None
+        in
+        let cap =
+          match capture 0 with
+          | Some c -> Some c
+          | None -> (
+            match (get (i + 1), get (i + 2)) with
+            | ( Some { Instr.prov = Instrumentation; op = Instr.Push _ },
+                Some { Instr.prov = Instrumentation; op = Instr.Push _ } ) ->
+              capture 2
+            | _ -> None)
+        in
+        let pair_check_at j pa pb =
+          match (get j, get (j + 1)) with
+          | ( Some { Instr.prov = Check;
+                     op = Instr.Cmp (Reg.B, Instr.Reg b', Instr.Reg a') },
+              Some { Instr.prov = Check; op = Instr.Jcc (Cond.NE, l) } )
+            when String.equal l exit_l && Reg.equal_gpr b' pb
+                 && Reg.equal_gpr a' pa ->
+            true
+          | _ -> false
+        in
+        match cap with
+        | Some (pa, pb, c3) -> (
+          match get (c3 + 1) with
+          | Some { Instr.prov = Original; op = Instr.Jcc (_, tgt) } ->
+            if not (pair_check_at (c3 + 2) pa pb) then
+              add Rflags_unpaired (c3 + 1)
+                "protected branch retires with no fall-through pair \
+                 verification"
+                "re-verify the set<cc> pair right after the branch (Fig. 5)";
+            if
+              (not (String.equal tgt exit_l))
+              && not (Hashtbl.mem entry_checked tgt)
+            then
+              add Rflags_unpaired (c3 + 1)
+                (Fmt.str
+                   "jump target %s lacks the entry pair verification" tgt)
+                "insert the set<cc> pair check at the top of the target \
+                 block (Fig. 5 deferred detection)";
+            go (c3 + 2)
+          | Some { Instr.prov = Original; op = Instr.Set _ } ->
+            if not (pair_check_at (c3 + 2) pa pb) then
+              add Rflags_unpaired (c3 + 1)
+                "protected setcc retires with no pair verification"
+                "re-verify the set<cc> pair right after the setcc (Fig. 5)";
+            go (c3 + 2)
+          | Some { Instr.prov = Check; op = Instr.Cmp (Reg.B, _, _) } ->
+            (* requisitioned immediate-detection variant: checks, pops and
+               the re-materialising compare precede the branch *)
+            let rec fwd j =
+              if j >= n then go j
+              else
+                match (a.(j).Instr.prov, a.(j).Instr.op) with
+                | Instr.Original, Instr.Jcc _ -> go (j + 1)
+                | Instr.Original, _ -> go j
+                | _ -> fwd (j + 1)
+            in
+            fwd (c3 + 1)
+          | _ -> go (c3 + 1))
+        | None -> (
+          match get (i + 1) with
+          | Some { Instr.prov = Original; op = Instr.Jcc _ | Instr.Set _ } ->
+            if profile.pair_comparisons then
+              add ~severity:Warning Rflags_unpaired (i + 1)
+                "flag consumer without the set<cc> pair capture"
+                "protect the compare and its consumer with the Fig. 5 \
+                 sequence";
+            go (i + 2)
+          | _ ->
+            (* flags unread before redefinition: benign *)
+            go (i + 1))
+      in
+      if n > 0 then go 0
+    in
+    List.iter walk_block f.blocks;
+    List.rev !findings
+  end
+
+let scan profile (p : Prog.t) : finding list =
+  List.concat_map (scan_func profile) p.funcs

@@ -1,0 +1,75 @@
+(** Shadow-consistency abstract interpretation over protected assembly.
+
+    The protection transforms (paper Figs. 4–7) promise that every
+    duplicated value is compared against its shadow — a spare GPR, the
+    still-intact stack slot of a [pop], or a SIMD batch lane — before
+    the value can influence a sync point (store, branch, call, return).
+    This scanner walks each block recognising the exact emission shapes
+    of [Asm_protect] and [Ferrum_pass], tracks which shadows are live
+    and whether they have been checked since their defining site, and
+    reports violations as typed findings.
+
+    The scanner is exact on transform output and conservative on
+    mutations of it: an unrecognised duplicate simply never discharges
+    and surfaces at the next sync point. *)
+
+open Ferrum_asm
+
+type severity = Error | Warning | Info
+
+type kind =
+  | Unchecked_sync
+      (** a live duplicate reached a sync point (store/branch/call/
+          return/block end) without its comparison; also (at Info
+          severity) a store retiring inside an open SIMD batch window —
+          the paper's accepted memory-before-check exposure *)
+  | Missing_duplicate
+      (** a protectable original instruction carries no duplicate
+          (the transforms' own [unprotected]/[skipped] counters
+          legitimise these, hence Warning) *)
+  | Spare_not_dead
+      (** a spare register holding a duplicate is live-in at its
+          acquisition point under original-program liveness *)
+  | Simd_batch_unflushed
+      (** collected batch lanes still pending at a point where the
+          transform guarantees a flush (compare, jump, call, return,
+          block end) *)
+  | Rflags_unpaired
+      (** a flag-consuming branch/setcc without the Fig. 5 set<cc>
+          pair capture, or a protected branch whose target block lacks
+          the entry pair verification *)
+  | Checker_dead_code
+      (** a checker compare/branch that guards no duplicate (e.g. its
+          duplicate was deleted) and is not a flag-pair verification *)
+
+type finding = {
+  f_kind : kind;
+  f_severity : severity;
+  f_func : string;
+  f_label : string;  (** enclosing Prog block *)
+  f_index : int;  (** instruction index within that block *)
+  f_site : string;  (** printed instruction at the site *)
+  f_message : string;
+  f_hint : string;  (** how to fix *)
+}
+
+(** What the applied technique promises, hence what the scanner
+    enforces.  [asm_dup]: originals with a GPR destination carry
+    Fig. 4 duplicates.  [pair_comparisons]: compare/branch sequences
+    carry the Fig. 5 set<cc> pair capture (false for the hybrid
+    baseline, which protects comparisons at IR level).  [simd]:
+    duplicate comparisons may be batched through SIMD lanes
+    (Figs. 6–7). *)
+type profile = { asm_dup : bool; pair_comparisons : bool; simd : bool }
+
+val severity_name : severity -> string
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+(** Scan one function.  No findings when [profile.asm_dup] is false:
+    IR-level techniques leave no assembly-level invariants to check. *)
+val scan_func : profile -> Prog.func -> finding list
+
+(** Scan every function of a program, in layout order. *)
+val scan : profile -> Prog.t -> finding list

@@ -31,10 +31,22 @@ let find_func t name = List.find_opt (fun f -> String.equal f.fname name) t.func
 let num_instructions_func f =
   List.fold_left (fun acc b -> acc + List.length b.insns) 0 f.blocks
 
+(* Fold over every instruction in layout order — function order, then
+   block order, then instruction order within the block.  This is the
+   order the machine's loader assigns static indices in, so a visitor
+   that counts calls reproduces each instruction's global index. *)
+let fold_insns f acc (t : t) =
+  List.fold_left
+    (fun acc (fn : func) ->
+      List.fold_left
+        (fun acc (b : block) ->
+          List.fold_left (fun acc i -> f acc fn b i) acc b.insns)
+        acc fn.blocks)
+    acc t.funcs
+
 (* Static instruction count of a whole program (paper §IV-B3 correlates
    FERRUM's transform time with this number). *)
-let num_instructions t =
-  List.fold_left (fun acc f -> acc + num_instructions_func f) 0 t.funcs
+let num_instructions t = fold_insns (fun acc _ _ _ -> acc + 1) 0 t
 
 let map_funcs fn t = { t with funcs = List.map fn t.funcs }
 
@@ -101,19 +113,11 @@ let validate (t : t) =
 
 (* Provenance histogram, used in tests and reports. *)
 let provenance_counts (t : t) =
-  let orig = ref 0 and dups = ref 0 and checks = ref 0 and instr = ref 0 in
-  List.iter
-    (fun f ->
-      List.iter
-        (fun b ->
-          List.iter
-            (fun (i : Instr.ins) ->
-              match i.prov with
-              | Instr.Original -> incr orig
-              | Instr.Dup -> incr dups
-              | Instr.Check -> incr checks
-              | Instr.Instrumentation -> incr instr)
-            b.insns)
-        f.blocks)
-    t.funcs;
-  (!orig, !dups, !checks, !instr)
+  fold_insns
+    (fun (orig, dups, checks, instr) _ _ (i : Instr.ins) ->
+      match i.prov with
+      | Instr.Original -> (orig + 1, dups, checks, instr)
+      | Instr.Dup -> (orig, dups + 1, checks, instr)
+      | Instr.Check -> (orig, dups, checks + 1, instr)
+      | Instr.Instrumentation -> (orig, dups, checks, instr + 1))
+    (0, 0, 0, 0) t

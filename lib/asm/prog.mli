@@ -32,6 +32,14 @@ val find_func : t -> string -> func option
 
 val num_instructions_func : func -> int
 
+(** [fold_insns f acc t] folds [f] over every instruction in layout
+    order — function order, then block order, then instruction order
+    within the block.  This is the order the machine's loader assigns
+    static indices in, so a visitor that counts calls reproduces each
+    instruction's global index (the static-analysis flattener and the
+    fault injector both rely on this agreement). *)
+val fold_insns : ('a -> func -> block -> Instr.ins -> 'a) -> 'a -> t -> 'a
+
 (** Static instruction count of the whole program (the paper's §IV-B3
     correlates FERRUM's transform time with this number). *)
 val num_instructions : t -> int

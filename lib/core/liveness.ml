@@ -3,167 +3,31 @@
    The paper invokes liveness analysis when arguing FERRUM's register
    reuse is safe ("according to liveness analysis, after the check
    process, the register can immediately be put into new use",
-   §III-B2).  This module computes per-instruction live-in GPR sets with
-   the classic backward data-flow over the block CFG, and FERRUM's
-   requisition path uses it (when enabled) to clobber registers that are
-   provably dead at a program point without the Fig. 7 push/pop.
+   §III-B2).  The fixpoint now lives in {!Ferrum_analysis.Liveness}
+   (on the generic worklist engine over the real CFG); this module
+   keeps the historical interface — [Spare.GSet] sets, per-(label, k)
+   queries, {!Spare.preference}-ordered dead lists — that FERRUM's
+   requisition path uses to clobber provably-dead registers without
+   the Fig. 7 push/pop.
 
-   Conservatism: a [call] is treated as reading every register (callees
-   are analysed separately and their own protection may touch anything),
-   so nothing is ever "dead across a call"; [ret] reads RAX (potential
-   return value) and the stack registers; [jmp]/[jcc] feed successor
-   live-ins; a fall-through edge goes to the next block in layout
-   order. *)
+   Conservatism is unchanged: a [call] is treated as reading every
+   register (callees are analysed separately and their own protection
+   may touch anything), so nothing is ever "dead across a call";
+   partial (8/16-bit) writes do not kill; unknown positions report
+   live. *)
 
 open Ferrum_asm
+module A = Ferrum_analysis.Liveness
 module GSet = Spare.GSet
 
-(* Registers an instruction reads (including address components and the
-   read half of read-modify-write destinations). *)
-let reads (i : Instr.t) : GSet.t =
-  let of_operand = function
-    | Instr.Reg r -> [ r ]
-    | Instr.Mem m -> Instr.gprs_of_mem m
-    | Instr.Imm _ -> []
-  in
-  let addr_only = function
-    | Instr.Mem m -> Instr.gprs_of_mem m
-    | Instr.Reg _ | Instr.Imm _ -> []
-  in
-  let l =
-    match i with
-    | Instr.Mov (_, src, dst) -> of_operand src @ addr_only dst
-    | Instr.Movslq (src, _) | Instr.Movzbq (src, _) -> of_operand src
-    | Instr.Lea (m, _) -> Instr.gprs_of_mem m
-    (* two-operand ALU and shifts read their destination too *)
-    | Instr.Alu (_, _, src, dst) -> of_operand src @ of_operand dst
-    | Instr.Shift (_, _, amt, dst) ->
-      (match amt with Instr.Amt_cl -> [ Reg.RCX ] | Instr.Amt_imm _ -> [])
-      @ of_operand dst
-    | Instr.Neg (_, o) | Instr.Not (_, o) -> of_operand o
-    | Instr.Cmp (_, a, b) | Instr.Test (_, a, b) -> of_operand a @ of_operand b
-    | Instr.Set (_, dst) -> addr_only dst
-    | Instr.Jmp _ | Instr.Jcc _ -> []
-    | Instr.Call _ -> Reg.all_gprs (* conservative: see header *)
-    | Instr.Ret -> Reg.[ RAX; RSP; RBP ]
-    | Instr.Push o -> Reg.RSP :: of_operand o
-    | Instr.Pop _ -> [ Reg.RSP ]
-    | Instr.Cqto -> [ Reg.RAX ]
-    | Instr.Idiv (_, o) -> Reg.[ RAX; RDX ] @ of_operand o
-    | Instr.MovQ_to_xmm (o, _) -> of_operand o
-    | Instr.MovQ_from_xmm _ -> []
-    | Instr.Pinsrq (_, s, _) -> Instr.gprs_of_pinsr_src s
-    | Instr.Pextrq _ -> []
-    | Instr.Vinserti128 _ | Instr.Vpxor _ | Instr.Vptest _
-    | Instr.Vinserti64x4 _ | Instr.Vpxorq512 _ | Instr.Vptestmq512 _ -> []
-  in
-  GSet.of_list l
+let of_a s = GSet.of_list (A.GSet.elements s)
+let reads (i : Instr.t) : GSet.t = of_a (A.reads i)
+let writes (i : Instr.t) : GSet.t = of_a (A.writes i)
 
-(* Registers an instruction fully defines (kills).  Partial writes
-   (8/16-bit merges) do not kill; 32-bit writes zero-extend and do. *)
-let writes (i : Instr.t) : GSet.t =
-  let l =
-    List.filter_map
-      (function
-        | Instr.Dgpr (r, (Reg.Q | Reg.D)) -> Some r
-        | Instr.Dgpr (_, (Reg.B | Reg.W)) -> None
-        | Instr.Dsimd _ | Instr.Dflags _ -> None)
-      (Instr.defs i)
-  in
-  let l =
-    match i with
-    | Instr.Push _ | Instr.Pop _ -> Reg.RSP :: l
-    | _ -> l
-  in
-  GSet.of_list l
+type t = A.t
 
-(* Per-function result: live-in set for each (block label, instruction
-   index) position, and per-block live-out. *)
-type t = {
-  live_in : (string * int, GSet.t) Hashtbl.t;
-  block_live_out : (string, GSet.t) Hashtbl.t;
-}
+let analyze (f : Prog.func) : t = A.analyze f
+let dead_at (t : t) ~label ~k r = A.dead_at t ~label ~k r
 
-let analyze (f : Prog.func) : t =
-  let blocks = Array.of_list f.blocks in
-  let n = Array.length blocks in
-  let index = Hashtbl.create n in
-  Array.iteri (fun i (b : Prog.block) -> Hashtbl.replace index b.label i) blocks;
-  (* successor indices per block: explicit targets + fall-through *)
-  let successors i =
-    let b = blocks.(i) in
-    let rec last_barrier = function
-      | [] -> false
-      | [ (ins : Instr.ins) ] -> Instr.is_barrier ins.op
-      | _ :: rest -> last_barrier rest
-    in
-    let explicit =
-      List.concat_map
-        (fun (ins : Instr.ins) ->
-          List.filter_map (Hashtbl.find_opt index) (Instr.targets ins.op))
-        b.insns
-    in
-    let fallthrough =
-      if (not (last_barrier b.insns)) && i + 1 < n then [ i + 1 ] else []
-    in
-    explicit @ fallthrough
-  in
-  let live_in_block = Array.make n GSet.empty in
-  let live_out_block = Array.make n GSet.empty in
-  (* transfer through a whole block *)
-  let through (b : Prog.block) out =
-    List.fold_left
-      (fun live (ins : Instr.ins) ->
-        GSet.union (reads ins.op) (GSet.diff live (writes ins.op)))
-      out
-      (List.rev b.insns)
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = n - 1 downto 0 do
-      let out =
-        List.fold_left
-          (fun acc s -> GSet.union acc live_in_block.(s))
-          GSet.empty (successors i)
-      in
-      let inn = through blocks.(i) out in
-      if not (GSet.equal out live_out_block.(i)) then begin
-        live_out_block.(i) <- out;
-        changed := true
-      end;
-      if not (GSet.equal inn live_in_block.(i)) then begin
-        live_in_block.(i) <- inn;
-        changed := true
-      end
-    done
-  done;
-  (* expand to per-instruction live-in *)
-  let live_in = Hashtbl.create 256 in
-  let block_live_out = Hashtbl.create n in
-  Array.iteri
-    (fun i (b : Prog.block) ->
-      Hashtbl.replace block_live_out b.label live_out_block.(i);
-      let arr = Array.of_list b.insns in
-      let m = Array.length arr in
-      let live = ref live_out_block.(i) in
-      for k = m - 1 downto 0 do
-        live := GSet.union (reads arr.(k).op) (GSet.diff !live (writes arr.(k).op));
-        Hashtbl.replace live_in (b.label, k) !live
-      done)
-    blocks;
-  { live_in; block_live_out }
-
-(* Is [r] dead immediately before instruction [k] of block [label]?
-   (i.e. safe to clobber at that point — nothing reads it before its
-   next full definition on any path).  Missing positions are treated as
-   live (conservative). *)
-let dead_at (t : t) ~label ~k r =
-  match Hashtbl.find_opt t.live_in (label, k) with
-  | Some live -> not (GSet.mem r live)
-  | None -> false
-
-(* Registers dead immediately before instruction [k] of block [label],
-   in {!Spare.preference} order. *)
 let dead_regs_at (t : t) ~label ~k =
   List.filter (fun r -> dead_at t ~label ~k r) Spare.preference

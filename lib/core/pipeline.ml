@@ -120,6 +120,35 @@ let protect ?recorder ?(ferrum_config = Ferrum_pass.default_config)
     in
     { technique = Some technique; program = p; transform_seconds = secs }
 
+module Lint = Ferrum_analysis.Lint
+
+let lint_profile (t : Technique.t option) : Lint.profile =
+  match t with
+  | None -> Lint.profile_unprotected
+  | Some Technique.Ir_level_eddi -> Lint.profile_ir_eddi
+  | Some Technique.Hybrid_assembly_eddi -> Lint.profile_hybrid
+  | Some Technique.Ferrum -> Lint.profile_ferrum
+
+exception Lint_failed of string
+
+let lint ?recorder ?(assert_clean = false) (r : result) : Lint.report =
+  in_span recorder "lint" (fun () ->
+      let report = Lint.run (lint_profile r.technique) r.program in
+      counter recorder "findings" (List.length report.Lint.r_findings);
+      counter recorder "lint_errors" (Lint.errors report);
+      counter recorder "uncovered_sites"
+        (List.length report.Lint.r_uncovered);
+      if assert_clean && Lint.errors report > 0 then
+        raise
+          (Lint_failed
+             (Fmt.str "%d error-severity lint finding(s) under %s:@.%a"
+                (Lint.errors report)
+                (match r.technique with
+                | Some t -> Technique.short_name t
+                | None -> "raw")
+                Lint.pp_report report));
+      report)
+
 let raw ?recorder ?(optimize = false) (m : Ferrum_ir.Ir.modul) : result =
   { technique = None; program = compile_raw ?recorder ~optimize m;
     transform_seconds = 0.0 }

@@ -40,6 +40,27 @@ val raw :
   Ferrum_ir.Ir.modul ->
   result
 
+(** {1 Static verification}
+
+    The shadow-consistency profile each technique promises (what
+    `ferrum lint` enforces): [None]/IR-EDDI have no assembly-level
+    invariants; hybrid adds Fig. 4 duplication; FERRUM adds pair
+    comparisons and SIMD batching. *)
+val lint_profile : Technique.t option -> Ferrum_analysis.Lint.profile
+
+exception Lint_failed of string
+
+(** Lint a pipeline result under its technique's profile.  With
+    [assert_clean] (default false), raise {!Lint_failed} when any
+    error-severity finding survives — lets callers assert transform
+    output is provably well-formed.  Spans carry finding/uncovered
+    counters when a recorder is supplied. *)
+val lint :
+  ?recorder:Ferrum_telemetry.Span.recorder ->
+  ?assert_clean:bool ->
+  result ->
+  Ferrum_analysis.Lint.report
+
 (** Raw followed by each technique, in {!Technique.all} order. *)
 val all_configurations :
   ?recorder:Ferrum_telemetry.Span.recorder ->

@@ -1,0 +1,88 @@
+open Ferrum_asm
+module F = Ferrum_faultsim.Faultsim
+module Machine = Ferrum_machine.Machine
+module Lint = Ferrum_analysis.Lint
+module Propagation = F.Propagation
+
+type violation = { x_sample : int; x_static_index : int; x_escape : string }
+
+type outcome = {
+  c_samples : int;
+  c_sdc : int;
+  c_checkable : int;
+  c_confirmed : int;
+  c_violations : violation list;
+  c_uncovered : int;
+  c_eligible : int;
+}
+
+let passed o = o.c_violations = []
+
+let checkable (e : Propagation.escape) =
+  match e with
+  | Propagation.Unchecked_site | Propagation.Output_before_check
+  (* no checkers in the image at all: every escape path is check-free *)
+  | Propagation.Unprotected_program ->
+    true
+  | _ -> false
+
+let run ?(seed = 2024L) ?(fault_bits = 1) ~samples (p : Prog.t) : outcome =
+  let sites, eligible = Lint.uncovered p in
+  let covered = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Lint.site) -> Hashtbl.replace covered s.u_static_index ())
+    sites;
+  (* v_escapes is keyed by sample index; collect each sample's injected
+     static site from the record stream to join the two. *)
+  let site_of_sample = Hashtbl.create samples in
+  let on_record (r : F.record) =
+    Hashtbl.replace site_of_sample r.F.sample r.F.r_static_index
+  in
+  let img = Machine.load p in
+  let v = F.vulnmap_campaign ~seed ~fault_bits ~on_record ~samples img in
+  let checkables =
+    List.filter (fun (_, e) -> checkable e) v.F.v_escapes
+  in
+  let confirmed = ref 0 and violations = ref [] in
+  List.iter
+    (fun (sample, e) ->
+      let ix =
+        Option.value ~default:(-1) (Hashtbl.find_opt site_of_sample sample)
+      in
+      if Hashtbl.mem covered ix then incr confirmed
+      else
+        violations :=
+          { x_sample = sample; x_static_index = ix;
+            x_escape = Propagation.escape_name e }
+          :: !violations)
+    checkables;
+  {
+    c_samples = samples;
+    c_sdc = List.length v.F.v_escapes;
+    c_checkable = List.length checkables;
+    c_confirmed = !confirmed;
+    c_violations = List.rev !violations;
+    c_uncovered = List.length sites;
+    c_eligible = eligible;
+  }
+
+let pp ppf o =
+  Fmt.pf ppf
+    "crossval: %d samples, %d SDC escapes, %d checkable \
+     (unchecked-site/output-before-check)@."
+    o.c_samples o.c_sdc o.c_checkable;
+  Fmt.pf ppf "static uncovered set: %d of %d eligible sites@." o.c_uncovered
+    o.c_eligible;
+  if passed o then
+    Fmt.pf ppf
+      "PASS: all %d checkable escapes lie inside the static uncovered set@."
+      o.c_confirmed
+  else begin
+    Fmt.pf ppf "FAIL: %d escape(s) outside the static uncovered set:@."
+      (List.length o.c_violations);
+    List.iter
+      (fun x ->
+        Fmt.pf ppf "  sample %d at static index %d (%s)@." x.x_sample
+          x.x_static_index x.x_escape)
+      o.c_violations
+  end
