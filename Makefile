@@ -1,9 +1,11 @@
 CLI = dune exec --display=quiet bin/ferrum_cli.exe --
+BENCH = dune exec --display=quiet bench/main.exe --
 SMOKE = /tmp/ferrum_smoke.jsonl
 VMAP = /tmp/ferrum_vulnmap.jsonl
 LINTM = /tmp/ferrum_lint.jsonl
+CAMP = /tmp/ferrum_campaign
 
-.PHONY: all build test fmt smoke lint check clean
+.PHONY: all build test fmt smoke lint campaign bench-snapshot check clean
 
 all: build
 
@@ -54,8 +56,36 @@ lint: build
 	cmp $(LINTM) $(LINTM).2
 	@echo "lint: catalogue clean under all techniques"
 
-check: fmt build test smoke lint
+# Sharded campaign smoke: a 2-shard fork-pool run must produce a
+# schema-valid event log, byte-reproducible run files, and injection
+# output byte-identical to the sequential campaign.
+campaign: build
+	rm -rf $(CAMP) $(CAMP).2
+	$(CLI) campaign kmeans -p ferrum --samples 40 --shards 2 \
+	  --out $(CAMP) --html $(CAMP).html > /dev/null
+	$(CLI) metrics $(CAMP)/events.jsonl
+	$(CLI) metrics $(CAMP)/injection.jsonl > /dev/null
+	$(CLI) metrics $(CAMP)/vulnmap.jsonl > /dev/null
+	$(CLI) campaign kmeans -p ferrum --samples 40 --shards 2 \
+	  --out $(CAMP).2 > /dev/null
+	cmp $(CAMP)/injection.jsonl $(CAMP).2/injection.jsonl
+	cmp $(CAMP)/vulnmap.jsonl $(CAMP).2/vulnmap.jsonl
+	cmp $(CAMP)/events.jsonl $(CAMP).2/events.jsonl
+	$(CLI) inject kmeans -p ferrum --samples 40 --metrics $(CAMP).seq > /dev/null
+	cmp $(CAMP)/injection.jsonl $(CAMP).seq
+	@echo "campaign: sharded run valid, reproducible and sequential-identical"
+
+# Append-only benchmark snapshots: writes the next free BENCH_<n>.json
+# (ferrum.bench.v1) from a small seeded run.
+bench-snapshot: build
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	$(BENCH) --samples 60 --metrics BENCH_$$n.json > /dev/null && \
+	$(CLI) metrics BENCH_$$n.json && \
+	echo "bench-snapshot: wrote BENCH_$$n.json"
+
+check: fmt build test smoke lint campaign
 
 clean:
 	dune clean
 	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2 $(LINTM) $(LINTM).2
+	rm -rf $(CAMP) $(CAMP).2 $(CAMP).html $(CAMP).seq

@@ -26,8 +26,8 @@ let usage () =
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
     \                 ablation|allsites|multibit|peephole|selective|vulnmap|\n\
     \                 lint|micro|all]\n\
-    \                [--samples N] [--seed N] [--csv PATH] [--metrics PATH]\n\
-    \                [--vulnmap DIR]";
+    \                [--samples N] [--seed N] [--shards N] [--csv PATH]\n\
+    \                [--metrics PATH] [--vulnmap DIR]";
   exit 2
 
 type cmd =
@@ -40,6 +40,7 @@ let parse_args () =
   let cmd = ref Default in
   let samples = ref 400 in
   let seed = ref 2024L in
+  let shards = ref 1 in
   let csv = ref None in
   let metrics = ref None in
   let vulnmap_dir = ref None in
@@ -50,6 +51,9 @@ let parse_args () =
       go rest
     | "--seed" :: n :: rest ->
       seed := Int64.of_string n;
+      go rest
+    | "--shards" :: n :: rest ->
+      shards := int_of_string n;
       go rest
     | "--csv" :: path :: rest ->
       csv := Some path;
@@ -83,7 +87,7 @@ let parse_args () =
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!cmd, !samples, !seed, !csv, !metrics, !vulnmap_dir)
+  (!cmd, !samples, !seed, !shards, !csv, !metrics, !vulnmap_dir)
 
 (* ------------------------------------------------------------------ *)
 (* Detection-latency comparison across techniques (vulnmap campaigns). *)
@@ -97,7 +101,7 @@ module Metrics = Ferrum_telemetry.Metrics
    fast does each checking scheme catch the faults it catches, and how
    much escapes?  With [dir] set, each per-benchmark map is exported as
    DIR/<bench>.<technique>.jsonl (ferrum.vulnmap.v1). *)
-let vulnmap_compare ~samples ~seed dir =
+let vulnmap_compare ~samples ~seed ~shards dir =
   (match dir with
   | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
   | _ -> ());
@@ -112,7 +116,18 @@ let vulnmap_compare ~samples ~seed dir =
             let m = entry.build () in
             let p = (Ferrum_eddi.Pipeline.protect tech m).program in
             let img = Ferrum_machine.Machine.load p in
-            let v = F.vulnmap_campaign ~seed ~samples img in
+            (* shards > 1 routes through the fork pool; the shard/merge
+               discipline makes the map identical to the sequential one. *)
+            let v =
+              if shards <= 1 then F.vulnmap_campaign ~seed ~samples img
+              else
+                let target = F.prepare img in
+                Option.get
+                  (Ferrum_campaign.Runner.run
+                     ~mode:Ferrum_campaign.Runner.Traced ~shards ~seed
+                     ~samples target)
+                    .Ferrum_campaign.Runner.vulnmap
+            in
             latencies := List.rev_append v.F.v_latencies !latencies;
             counts :=
               {
@@ -326,11 +341,11 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd, samples, seed, csv, metrics, vulnmap_dir = parse_args () in
+  let cmd, samples, seed, shards, csv, metrics, vulnmap_dir = parse_args () in
   let options perf_only =
     { Experiments.default_options with
       samples = (if perf_only then 0 else samples);
-      seed }
+      seed; shards }
   in
   (* Per-experiment wall-clock timings and the last full result set, for
      the --metrics JSON (wall time lives only there, never in the
@@ -411,7 +426,8 @@ let () =
   | Selective -> print_endline (R.Selective.render ~samples ())
   | VulnmapCmd ->
     print_endline
-      (timed "vulnmap" (fun () -> vulnmap_compare ~samples ~seed vulnmap_dir))
+      (timed "vulnmap" (fun () ->
+           vulnmap_compare ~samples ~seed ~shards vulnmap_dir))
   | LintCmd ->
     print_endline (timed "lint" (fun () -> lint_compare ~samples ~seed))
   | Micro -> micro ());

@@ -12,6 +12,7 @@
      vulnmap BENCH [-p TECH]   per-site vulnerability map + detection latency
      lint BENCH [-p TECH]      static protection verifier (+ --crossval)
      explain BENCH --fault S:I propagation trace of one campaign sample
+     campaign BENCH --shards N sharded fork-pool campaign -> run directory
      report [ARTEFACT]         regenerate the paper's tables/figures *)
 
 module Machine = Ferrum_machine.Machine
@@ -27,6 +28,12 @@ module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Span = Ferrum_telemetry.Span
 module Profile = Ferrum_telemetry.Profile
+module Events = Ferrum_telemetry.Events
+module Runner = Ferrum_campaign.Runner
+module Manifest = Ferrum_campaign.Manifest
+module Store = Ferrum_campaign.Store
+module Fsutil = Ferrum_campaign.Fsutil
+module Html = Ferrum_report.Html
 open Cmdliner
 
 let find_bench name =
@@ -186,23 +193,9 @@ let run_cmd =
 
 (* ---- inject ---- *)
 
-(* Header line of an injection-campaign metrics file.  Every field is
-   campaign configuration — no wall-clock values — so the whole file is
-   byte-identical for a given seed. *)
-let metrics_header ~bench ~technique ~samples ~seed ~all_sites ~fault_bits =
-  Metrics.header ~kind:F.metrics_kind
-    [
-      ("benchmark", Json.Str bench);
-      ("technique",
-       Json.Str
-         (match technique with
-         | Some t -> Technique.short_name t
-         | None -> "raw"));
-      ("samples", Json.Int samples);
-      ("seed", Json.Str (Int64.to_string seed));
-      ("scope", Json.Str (if all_sites then "all-sites" else "original"));
-      ("fault_bits", Json.Int fault_bits);
-    ]
+let technique_name = function
+  | Some t -> Technique.short_name t
+  | None -> "raw"
 
 let metrics_arg =
   let doc =
@@ -213,42 +206,108 @@ let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"PATH" ~doc)
 
-(* Periodic progress on stderr (stdout stays deterministic). *)
-let progress_line samples =
+(* Live progress on stderr, driven by ferrum.events.v1 heartbeats —
+   the one renderer behind `campaign`, `inject --progress` and
+   `vulnmap --progress`.  Stdout stays deterministic; the carriage
+   return keeps it to a single updating line. *)
+let progress_renderer label =
+  let shards = Hashtbl.create 8 in
+  fun (e : Events.t) ->
+    (match e.Events.body with
+    | Events.Shard_started { lo; hi } ->
+      Hashtbl.replace shards e.Events.shard (0, hi - lo, 0)
+    | Events.Progress { done_; total; clock; _ }
+    | Events.Shard_finished { done_; total; clock; _ } ->
+      Hashtbl.replace shards e.Events.shard (done_, total, clock)
+    | _ -> ());
+    let done_, total, clock =
+      Hashtbl.fold
+        (fun _ (d, t, c) (ad, at, ac) -> (ad + d, at + t, ac + c))
+        shards (0, 0, 0)
+    in
+    if total > 0 then begin
+      let eta = Events.eta ~done_ ~total ~clock in
+      Fmt.epr "\r[%s] %d/%d samples  clock %d  eta ~%.0f steps   %!" label
+        done_ total clock eta;
+      if done_ = total then Fmt.epr "@."
+    end
+
+(* Synthesize heartbeat events from a sequential record stream so the
+   sequential paths drive the same renderer as the sharded runner. *)
+let sequential_heartbeats ~samples fire =
+  let tally = ref Events.zero_tally in
+  let clock = ref 0 and done_ = ref 0 in
   let every = max 1 (samples / 10) in
-  fun done_ total ->
-    if done_ mod every = 0 || done_ = total then
-      Fmt.epr "[inject] %d/%d samples@." done_ total
+  fire
+    {
+      Events.seq = 0;
+      shard = 0;
+      attempt = 0;
+      body = Events.Shard_started { lo = 0; hi = samples };
+    };
+  fun (r : F.record) ->
+    incr done_;
+    clock := !clock + r.F.steps;
+    (match
+       Events.tally_of_name !tally (F.classification_name r.F.r_class)
+     with
+    | Some t -> tally := t
+    | None -> ());
+    if !done_ mod every = 0 || !done_ = samples then
+      fire
+        {
+          Events.seq = 0;
+          shard = 0;
+          attempt = 0;
+          body =
+            Events.Progress
+              { done_ = !done_; total = samples; tally = !tally;
+                clock = !clock };
+        }
+
+let progress_arg =
+  let doc =
+    "Render live progress on stderr (heartbeat-driven; quiet by \
+     default)."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
 
 let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-    ~metrics img =
+    ~metrics ~progress img =
   let scope = if all_sites then F.All_sites else F.Original_only in
+  let heartbeat =
+    if progress then
+      sequential_heartbeats ~samples (progress_renderer "inject")
+    else fun _ -> ()
+  in
   match metrics with
-  | None -> F.campaign ~scope ~seed ~samples ~fault_bits img
+  | None -> F.campaign ~scope ~seed ~samples ~fault_bits ~on_record:heartbeat img
   | Some path ->
     let sink = Metrics.file_sink path in
     Metrics.emit sink
-      (metrics_header ~bench ~technique ~samples ~seed ~all_sites
+      (Store.injection_header ~benchmark:bench
+         ~technique:(technique_name technique) ~samples ~seed ~all_sites
          ~fault_bits);
-    let on_record r = Metrics.emit sink (F.record_to_json r) in
+    let on_record r =
+      Metrics.emit sink (F.record_to_json r);
+      heartbeat r
+    in
     let res =
       Fun.protect
         ~finally:(fun () -> Metrics.close sink)
-        (fun () ->
-          F.campaign ~scope ~seed ~samples ~fault_bits ~on_record
-            ~progress:(progress_line samples) img)
+        (fun () -> F.campaign ~scope ~seed ~samples ~fault_bits ~on_record img)
     in
     Fmt.epr "[inject] wrote %s@." path;
     res
 
 let inject_cmd =
   let run bench technique knobs samples seed all_sites fault_bits verbose
-      metrics =
+      metrics progress =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
     let res =
       run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-        ~metrics img
+        ~metrics ~progress img
     in
     Fmt.pr "%a@." F.pp_counts res.F.counts;
     Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
@@ -272,7 +331,7 @@ let inject_cmd =
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ verbose_arg
-      $ metrics_arg)
+      $ metrics_arg $ progress_arg)
 
 (* ---- trace: annotated execution trace / flight-recorder dump ---- *)
 
@@ -644,6 +703,67 @@ let metrics_cmd =
         | None -> ())
       (List.map Shadow.kind_name Shadow.all_kinds @ [ "uncovered-site" ])
   in
+  (* Event logs: event-type histogram plus a full replay check. *)
+  let summarize_events lines =
+    let by_event = Hashtbl.create 8 in
+    List.iteri
+      (fun i line ->
+        if i > 0 then
+          match Json.member "event" (Json.of_string line) with
+          | Some (Json.Str e) ->
+            Hashtbl.replace by_event e
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_event e))
+          | _ -> ())
+      lines;
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt by_event e with
+        | Some n -> Fmt.pr "  %-18s %d@." e n
+        | None -> ())
+      [ "campaign_started"; "shard_started"; "progress"; "shard_retry";
+        "shard_finished"; "campaign_finished" ];
+    match Events.replay (List.tl lines) with
+    | Ok (tally, clock) ->
+      Fmt.pr "  replay: %d samples (%d sdc, %d detected), clock %d@."
+        (Events.tally_total tally) tally.Events.sdc tally.Events.detected
+        clock
+    | Error e ->
+      Fmt.epr "event log does not replay: %s@." e;
+      exit 1
+  in
+  (* Bench documents are one JSON object, not JSONL: validated by the
+     header check alone; summarised by their experiment wall times. *)
+  let summarize_bench lines =
+    match lines with
+    | [ doc ] -> (
+      let j = Json.of_string doc in
+      match Json.member "experiments" j with
+      | Some (Json.Arr exps) ->
+        List.iter
+          (fun e ->
+            match (Json.member "name" e, Json.member "wall_seconds" e) with
+            | Some (Json.Str n), Some (Json.Float w) ->
+              Fmt.pr "  %-24s %8.3f s@." n w
+            | Some (Json.Str n), Some (Json.Int w) ->
+              Fmt.pr "  %-24s %8d s@." n w
+            | _ -> ())
+          exps
+      | _ -> ())
+    | _ -> ()
+  in
+  (* The schema registry: adding a schema to `ferrum metrics` is one
+     entry here.  [s_fields] validates each record line; [s_summarize]
+     renders the post-validation summary. *)
+  let registry =
+    [
+      (F.metrics_kind, F.record_fields, summarize_injections);
+      (F.metrics_kind_v1, F.record_fields_v1, summarize_injections);
+      (F.vulnmap_kind, F.vulnmap_fields, summarize_vulnmap);
+      (Lint.metrics_kind, Lint.record_fields, summarize_lint);
+      (Events.kind, Events.fields, summarize_events);
+      (Ferrum_report.Export.bench_kind, [], summarize_bench);
+    ]
+  in
   let run file =
     let lines =
       try Metrics.read_lines file
@@ -651,8 +771,6 @@ let metrics_cmd =
         Fmt.epr "%s@." msg;
         exit 1
     in
-    (* Dispatch validation on the header's schema name: injection v2/v1
-       records or vulnerability-map rows. *)
     let schema =
       match lines with
       | [] ->
@@ -662,20 +780,18 @@ let metrics_cmd =
         match Option.bind (Json.of_string_opt hdr) (Json.member "schema") with
         | Some (Json.Str k) -> k
         | _ ->
-          Fmt.epr "%s: header lacks a schema field@." file;
+          Fmt.epr "%s: line 1: header lacks a schema field@." file;
           exit 1)
     in
-    let record_fields =
-      if schema = F.metrics_kind then F.record_fields
-      else if schema = F.metrics_kind_v1 then F.record_fields_v1
-      else if schema = F.vulnmap_kind then F.vulnmap_fields
-      else if schema = Lint.metrics_kind then Lint.record_fields
-      else begin
-        Fmt.epr "%s: unknown schema %S (expected %s, %s, %s or %s)@." file
-          schema F.metrics_kind F.metrics_kind_v1 F.vulnmap_kind
-          Lint.metrics_kind;
+    let record_fields, summarize =
+      match
+        List.find_opt (fun (kind, _, _) -> kind = schema) registry
+      with
+      | Some (_, fields, summarize) -> (fields, summarize)
+      | None ->
+        Fmt.epr "%s: unknown schema %S (expected one of: %s)@." file schema
+          (String.concat ", " (List.map (fun (k, _, _) -> k) registry));
         exit 1
-      end
     in
     match Metrics.validate_lines ~kind:schema ~record_fields lines with
     | Error e ->
@@ -686,9 +802,7 @@ let metrics_cmd =
       | hdr :: _ -> Fmt.pr "header: %s@." hdr
       | [] -> ());
       Fmt.pr "valid: %d records (%s)@." n schema;
-      if schema = F.vulnmap_kind then summarize_vulnmap lines
-      else if schema = Lint.metrics_kind then summarize_lint lines
-      else summarize_injections lines
+      summarize lines
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None
@@ -707,14 +821,19 @@ let metrics_cmd =
 
 let vulnmap_cmd =
   let run bench technique knobs samples seed all_sites fault_bits metrics
-      only_sampled =
+      only_sampled progress =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
     let scope = if all_sites then F.All_sites else F.Original_only in
+    let heartbeat =
+      if progress then
+        sequential_heartbeats ~samples (progress_renderer "vulnmap")
+      else fun _ -> ()
+    in
     let v =
       try
         F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits
-          ~progress:(progress_line samples) img
+          ~on_record:heartbeat img
       with Invalid_argument msg ->
         Fmt.epr "%s@." msg;
         exit 1
@@ -724,20 +843,9 @@ let vulnmap_cmd =
     | Some path ->
       let sink = Metrics.file_sink path in
       Metrics.emit sink
-        (Metrics.header ~kind:F.vulnmap_kind
-           [
-             ("benchmark", Json.Str bench);
-             ("technique",
-              Json.Str
-                (match technique with
-                | Some t -> Technique.short_name t
-                | None -> "raw"));
-             ("samples", Json.Int samples);
-             ("seed", Json.Str (Int64.to_string seed));
-             ("scope",
-              Json.Str (if all_sites then "all-sites" else "original"));
-             ("fault_bits", Json.Int fault_bits);
-           ]);
+        (Store.vulnmap_header ~benchmark:bench
+           ~technique:(technique_name technique) ~samples ~seed ~all_sites
+           ~fault_bits);
       List.iter (Metrics.emit sink) (F.vulnmap_rows v);
       Metrics.close sink;
       Fmt.epr "[vulnmap] wrote %s@." path);
@@ -758,7 +866,7 @@ let vulnmap_cmd =
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ metrics_arg
-      $ only_sampled_arg)
+      $ only_sampled_arg $ progress_arg)
 
 (* ---- lint: static protection verifier ---- *)
 
@@ -976,7 +1084,7 @@ let cc_cmd =
       let img = Machine.load (program ()) in
       let res =
         run_campaign ?technique ~bench:file ~samples ~seed ~all_sites:false
-          ~fault_bits ~metrics img
+          ~fault_bits ~metrics ~progress:false img
       in
       Fmt.pr "%a@." F.pp_counts res.F.counts;
       Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
@@ -1002,6 +1110,193 @@ let cc_cmd =
     Term.(
       const run $ file_arg $ protect_arg $ knobs_term $ emit_arg
       $ samples_arg $ seed_arg $ fault_bits_arg $ metrics_arg)
+
+(* ---- campaign: sharded fork-pool campaign -> run directory ---- *)
+
+let campaign_cmd =
+  let run bench technique knobs samples seed all_sites fault_bits shards
+      workers no_trace out events_path html_path resume progress =
+    (* Configuration comes from the command line (BENCH given) or from a
+       previous run's manifest (--resume DIR); the manifest's program
+       digest gates resume against workload or knob drift. *)
+    let bench, technique, samples, seed, all_sites, fault_bits, shards,
+        traced, out, prior =
+      match resume with
+      | Some dir -> (
+        match Manifest.load ~dir with
+        | Error e ->
+          Fmt.epr "--resume %s: %s@." dir e;
+          exit 1
+        | Ok m ->
+          let technique =
+            if m.Manifest.technique = "raw" then None
+            else
+              match Technique.of_short_name m.Manifest.technique with
+              | Some t -> Some t
+              | None ->
+                Fmt.epr "--resume %s: unknown technique %S in manifest@."
+                  dir m.Manifest.technique;
+                exit 1
+          in
+          ( m.Manifest.benchmark, technique, m.Manifest.samples,
+            m.Manifest.seed, m.Manifest.scope = "all-sites",
+            m.Manifest.fault_bits, m.Manifest.shards, m.Manifest.traced,
+            dir, Some m ))
+      | None -> (
+        match bench with
+        | None ->
+          Fmt.epr "a BENCH argument or --resume DIR is required@.";
+          exit 1
+        | Some bench ->
+          let out =
+            match out with
+            | Some d -> d
+            | None ->
+              Filename.concat "_campaign"
+                (bench ^ "." ^ technique_name technique)
+          in
+          ( bench, technique, samples, seed, all_sites, fault_bits,
+            shards, not no_trace, out, None ))
+    in
+    let p = program_of ?technique knobs (find_bench bench) in
+    (match prior with
+    | Some m when m.Manifest.program_digest <> Manifest.program_digest p ->
+      Fmt.epr
+        "--resume %s: program digest mismatch — the workload or the \
+         transform knobs changed since the recorded run@."
+        out;
+      exit 1
+    | _ -> ());
+    let img = Machine.load p in
+    let scope = if all_sites then F.All_sites else F.Original_only in
+    let target =
+      try F.prepare ~scope img
+      with Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    let manifest =
+      Manifest.make ~benchmark:bench
+        ~technique:(technique_name technique) ~samples ~seed ~shards
+        ~fault_bits ~all_sites ~traced ~program:p target
+    in
+    let on_event =
+      if progress || Unix.isatty Unix.stderr then
+        Some (progress_renderer "campaign")
+      else None
+    in
+    let mode = if traced then Runner.Traced else Runner.Inject in
+    let result =
+      try
+        Runner.run ?workers ?on_event ~fault_bits
+          ~part_dir:(Store.parts_dir out) ~mode ~shards ~seed ~samples
+          target
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    Store.write_run ~dir:out ~manifest ~result;
+    (match events_path with
+    | None -> ()
+    | Some path ->
+      let header =
+        Store.events_header ~benchmark:bench
+          ~technique:(technique_name technique) ~samples ~seed ~all_sites
+          ~fault_bits ~shards
+      in
+      let lines =
+        List.map
+          (fun e -> Json.to_string (Events.to_json e))
+          result.Runner.events
+      in
+      Fsutil.write_file path (Store.jsonl header lines);
+      Fmt.epr "[campaign] wrote %s@." path);
+    (match html_path with
+    | None -> ()
+    | Some path -> (
+      match Html.render_dir out with
+      | Ok html ->
+        Fsutil.write_file path html;
+        Fmt.epr "[campaign] wrote %s@." path
+      | Error e ->
+        Fmt.epr "--html: %s@." e;
+        exit 1));
+    Fmt.pr "%a@." F.pp_counts result.Runner.counts;
+    Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
+      (F.sdc_probability result.Runner.counts)
+      (F.confidence95 result.Runner.counts);
+    Fmt.pr "logical clock: %d steps over %d shards@." result.Runner.clock
+      shards;
+    if result.Runner.retried > 0 then
+      Fmt.pr "worker retries: %d@." result.Runner.retried;
+    Fmt.pr "run directory: %s@." out
+  in
+  let bench_opt_arg =
+    let doc = "Benchmark name (omit only with $(b,--resume))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Split the campaign into $(docv) shards; merged output is \
+       byte-identical to the sequential campaign for any value."
+    in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Concurrent forked workers (default: min shards 4)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let no_trace_arg =
+    let doc =
+      "Skip lockstep tracing: outcome counts and injection records \
+       only, no vulnerability map (faster)."
+    in
+    Arg.(value & flag & info [ "no-trace" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Run directory (default: _campaign/BENCH.TECH).  Receives \
+       manifest.json, injection.jsonl, events.jsonl, vulnmap.jsonl and \
+       parts/."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let events_arg =
+    let doc = "Also write the ferrum.events.v1 log to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"PATH" ~doc)
+  in
+  let html_arg =
+    let doc =
+      "Render the run directory as a self-contained HTML dashboard at \
+       $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"PATH" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume the run recorded in $(docv): configuration comes from its \
+       manifest, finished shards are loaded from parts/ instead of \
+       re-running."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Sharded fault-injection campaign on a fork worker pool: \
+          byte-identical to the sequential campaign for any shard \
+          count, with a typed event log, a replayable manifest, \
+          crash-safe per-shard resume state and an optional HTML \
+          dashboard.")
+    Term.(
+      const run $ bench_opt_arg $ protect_arg $ knobs_term $ samples_arg
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ shards_arg
+      $ workers_arg $ no_trace_arg $ out_arg $ events_arg $ html_arg
+      $ resume_arg $ progress_arg)
 
 (* ---- report ---- *)
 
@@ -1037,4 +1332,5 @@ let () =
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
             check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            vulnmap_cmd; lint_cmd; explain_cmd; report_cmd ]))
+            vulnmap_cmd; lint_cmd; explain_cmd; campaign_cmd;
+            report_cmd ]))

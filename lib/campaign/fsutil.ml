@@ -1,0 +1,17 @@
+(* Small filesystem helpers shared by the campaign modules. *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Atomic whole-file write: temp file in place, then rename. *)
+let write_file path content =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path

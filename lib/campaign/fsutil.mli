@@ -1,0 +1,7 @@
+(** Small filesystem helpers shared by the campaign modules. *)
+
+(** Create a directory and any missing parents. *)
+val mkdir_p : string -> unit
+
+(** Atomic whole-file write: temp file, then rename into place. *)
+val write_file : string -> string -> unit

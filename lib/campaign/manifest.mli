@@ -1,0 +1,50 @@
+(** Replayable run manifests ([ferrum.manifest.v1]).
+
+    One JSON object per run directory: campaign configuration, shard
+    map, the schema versions of the files alongside it, and workload
+    digests (printed-program MD5 plus golden-run invariants) that gate
+    resume — a part file is only trusted if the manifest still matches
+    the workload. *)
+
+module F = Ferrum_faultsim.Faultsim
+
+val kind : string
+(** ["ferrum.manifest.v1"] *)
+
+type t = {
+  benchmark : string;
+  technique : string;  (** short name, or "raw" *)
+  samples : int;
+  seed : int64;
+  shards : int;
+  fault_bits : int;
+  scope : string;  (** "original" | "all-sites" *)
+  traced : bool;
+  shard_map : Shard.range array;
+  program_digest : string;  (** MD5 hex of the printed assembly *)
+  static_instructions : int;
+  golden_steps : int;
+  golden_cycles : float;
+  eligible_steps : int;
+  profile : (string * float) list;
+      (** provenance name -> golden cycles (overhead split) *)
+  schemas : (string * string) list;  (** file -> schema kind *)
+}
+
+(** MD5 hex of the printed assembly — the workload identity a resume
+    checks against. *)
+val program_digest : Ferrum_asm.Prog.t -> string
+
+val make :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  shards:int -> fault_bits:int -> all_sites:bool -> traced:bool ->
+  program:Ferrum_asm.Prog.t -> F.target -> t
+
+val to_json : t -> Ferrum_telemetry.Json.t
+val of_json : Ferrum_telemetry.Json.t -> (t, string) result
+
+val file : string
+(** ["manifest.json"] *)
+
+val save : dir:string -> t -> unit
+val load : dir:string -> (t, string) result

@@ -1,0 +1,426 @@
+(* Sharded campaign execution on a Unix.fork worker pool.
+
+   Each worker runs one shard (a contiguous global-sample range) and
+   streams a line protocol back over its pipe: typed events, per-sample
+   outputs, then an explicit done marker.  The parent multiplexes the
+   pipes with Unix.select, detects worker death (EOF without the done
+   marker) and retries the shard, then merges shard outputs in global
+   sample order — which, with index-keyed per-sample RNG, makes the
+   merged result byte-identical to the sequential campaign.
+
+   Wire protocol (one JSON object per line, worker -> parent):
+     {"t":"ev","ev":{...}}   a Ferrum_telemetry.Events event
+     {"t":"s","d":{...}}     a Shard.sample_out
+     {"t":"done"}            clean end of stream
+
+   A shard's successful raw stream is also persisted verbatim to
+   [part_dir]/shard-<i>.jsonl (write-then-rename), so an interrupted
+   campaign resumes by replaying finished shards from disk. *)
+
+module F = Ferrum_faultsim.Faultsim
+module Events = Ferrum_telemetry.Events
+module Json = Ferrum_telemetry.Json
+
+type mode = Inject | Traced
+
+type result = {
+  counts : F.counts;
+  record_lines : string list;  (** global sample order *)
+  vulnmap : F.vulnmap option;  (** [Traced] mode only *)
+  clock : int;  (** logical clock: summed injected-run steps *)
+  events : Events.t list;  (** canonical merged log, seq 0.. *)
+  retried : int;  (** worker deaths recovered by retry *)
+}
+
+let tally_of_counts (c : F.counts) : Events.tally =
+  {
+    Events.benign = c.F.benign;
+    sdc = c.F.sdc;
+    detected = c.F.detected;
+    crash = c.F.crash;
+    timeout = c.F.timeout;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type wire =
+  | W_event of Events.t
+  | W_sample of Shard.sample_out
+  | W_done
+
+let parse_wire line : (wire, string) Stdlib.result =
+  match Json.of_string_opt line with
+  | None -> Error "worker line is not valid JSON"
+  | Some j -> (
+    match Json.member "t" j with
+    | Some (Json.Str "ev") -> (
+      match Json.member "ev" j with
+      | Some ev -> Result.map (fun e -> W_event e) (Events.of_json ev)
+      | None -> Error "ev line lacks payload")
+    | Some (Json.Str "s") -> (
+      match Json.member "d" j with
+      | Some d -> Result.map (fun s -> W_sample s) (Shard.sample_out_of_json d)
+      | None -> Error "sample line lacks payload")
+    | Some (Json.Str "done") -> Ok W_done
+    | _ -> Error "worker line lacks a known tag")
+
+(* ------------------------------------------------------------------ *)
+(* Worker side.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs in the forked child; never returns.  Exits with Unix._exit so
+   no parent at_exit handler (test runners, sinks) fires twice. *)
+let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
+    ~die_after target (range : Shard.range) wfd =
+  let oc = Unix.out_channel_of_descr wfd in
+  let emit_line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  let emit_event body =
+    emit_line
+      (Json.Obj
+         [
+           ("t", Json.Str "ev");
+           ("ev", Events.to_json { Events.seq = 0; shard; attempt; body });
+         ])
+  in
+  let total = Shard.range_samples range in
+  let every = max 1 (total / max 1 heartbeats) in
+  (try
+     emit_event (Events.Shard_started { lo = range.Shard.lo; hi = range.hi });
+     let done_ = ref 0 and tally = ref Events.zero_tally and clock = ref 0 in
+     Shard.run_range ~fault_bits ~traced ~seed target range
+       ~on_sample:(fun out ->
+         (match die_after with
+         | Some k when !done_ >= k ->
+           flush oc;
+           Unix._exit 66
+         | _ -> ());
+         emit_line
+           (Json.Obj
+              [ ("t", Json.Str "s"); ("d", Shard.sample_out_to_json out) ]);
+         incr done_;
+         clock := !clock + out.Shard.o_steps;
+         (match
+            Events.tally_of_name !tally
+              (F.classification_name out.Shard.o_class)
+          with
+         | Some t -> tally := t
+         | None -> ());
+         if !done_ mod every = 0 && !done_ < total then
+           emit_event
+             (Events.Progress
+                { done_ = !done_; total; tally = !tally; clock = !clock }));
+     emit_event
+       (Events.Shard_finished
+          { done_ = !done_; total; tally = !tally; clock = !clock });
+     emit_line (Json.Obj [ ("t", Json.Str "done") ]);
+     flush oc;
+     Unix._exit 0
+   with _ ->
+     (try flush oc with _ -> ());
+     Unix._exit 70)
+
+(* ------------------------------------------------------------------ *)
+(* Parent side.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One shard's parsed successful stream, plus the raw lines for the
+   part file. *)
+type shard_data = {
+  d_events : Events.t list;  (** stream order *)
+  d_samples : Shard.sample_out list;  (** stream order *)
+  d_lines : string list;  (** raw protocol lines, stream order *)
+}
+
+type running = {
+  r_shard : int;
+  r_attempt : int;
+  r_pid : int;
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;  (** partial trailing line *)
+  mutable r_events : Events.t list;  (** reversed *)
+  mutable r_samples : Shard.sample_out list;  (** reversed *)
+  mutable r_lines : string list;  (** reversed *)
+  mutable r_done : bool;
+}
+
+let part_path dir shard = Filename.concat dir (Fmt.str "shard-%d.jsonl" shard)
+
+(* Parse a saved part stream; [None] unless it is a complete, coherent
+   stream for [range] (ends with the done marker, samples are exactly
+   [lo, hi) in order). *)
+let load_part (range : Shard.range) path : shard_data option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let lines = Ferrum_telemetry.Metrics.read_lines path in
+    let rec go events samples expected = function
+      | [] -> None (* no done marker *)
+      | [ last ] -> (
+        match parse_wire last with
+        | Ok W_done when expected = range.Shard.hi ->
+          Some
+            {
+              d_events = List.rev events;
+              d_samples = List.rev samples;
+              d_lines = lines;
+            }
+        | _ -> None)
+      | line :: rest -> (
+        match parse_wire line with
+        | Ok (W_event e) -> go (e :: events) samples expected rest
+        | Ok (W_sample s) ->
+          if s.Shard.o_sample = expected then
+            go events (s :: samples) (expected + 1) rest
+          else None
+        | Ok W_done | Error _ -> None)
+    in
+    go [] [] range.Shard.lo lines
+  end
+
+let save_part dir shard (d : shard_data) =
+  Fsutil.mkdir_p dir;
+  let path = part_path dir shard in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    d.d_lines;
+  close_out oc;
+  Sys.rename tmp path
+
+let status_reason status ~got ~total =
+  match status with
+  | Unix.WEXITED c -> Fmt.str "worker exited %d after %d/%d samples" c got total
+  | Unix.WSIGNALED s ->
+    Fmt.str "worker killed by signal %d after %d/%d samples" s got total
+  | Unix.WSTOPPED s ->
+    Fmt.str "worker stopped by signal %d after %d/%d samples" s got total
+
+let rec select_read fds =
+  match Unix.select fds [] [] (-1.0) with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fds
+
+let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
+    ?part_dir ?sabotage ~mode ~shards ~seed ~samples (target : F.target) :
+    result =
+  let traced = mode = Traced in
+  let ranges = Shard.plan ~shards ~samples in
+  let k = Array.length ranges in
+  if k = 0 then invalid_arg "Runner.run: samples must be positive";
+  let workers = match workers with Some w -> max 1 w | None -> min k 4 in
+  let fire = match on_event with Some f -> f | None -> ignore in
+  (* Resume: replay finished shards from their part files. *)
+  let completed : shard_data option array = Array.make k None in
+  (match part_dir with
+  | Some dir ->
+    Array.iteri
+      (fun i range -> completed.(i) <- load_part range (part_path dir i))
+      ranges
+  | None -> ());
+  fire
+    {
+      Events.seq = 0;
+      shard = -1;
+      attempt = 0;
+      body = Events.Campaign_started { shards = k; samples };
+    };
+  Array.iter
+    (function
+      | Some d -> List.iter fire d.d_events
+      | None -> ())
+    completed;
+  let retry_markers : Events.t list array = Array.make k [] (* reversed *) in
+  let retried = ref 0 in
+  let running : running list ref = ref [] in
+  let spawn i attempt =
+    let rfd, wfd = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (* Child: drop every parent-side read end so a long-lived sibling
+         cannot hold another shard's pipe open past its worker's exit. *)
+      Unix.close rfd;
+      List.iter (fun r -> try Unix.close r.r_fd with _ -> ()) !running;
+      let die_after =
+        match sabotage with
+        | Some f -> f ~shard:i ~attempt
+        | None -> None
+      in
+      worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard:i ~attempt
+        ~die_after target ranges.(i) wfd
+    | pid ->
+      Unix.close wfd;
+      running :=
+        {
+          r_shard = i;
+          r_attempt = attempt;
+          r_pid = pid;
+          r_fd = rfd;
+          r_buf = Buffer.create 4096;
+          r_events = [];
+          r_samples = [];
+          r_lines = [];
+          r_done = false;
+        }
+        :: !running
+  in
+  let feed r chunk =
+    Buffer.add_string r.r_buf chunk;
+    let data = Buffer.contents r.r_buf in
+    let rec consume start =
+      match String.index_from_opt data start '\n' with
+      | None ->
+        Buffer.clear r.r_buf;
+        Buffer.add_substring r.r_buf data start (String.length data - start)
+      | Some nl ->
+        let line = String.sub data start (nl - start) in
+        if String.trim line <> "" then begin
+          (match parse_wire line with
+          | Ok (W_event e) ->
+            fire e;
+            r.r_events <- e :: r.r_events
+          | Ok (W_sample s) -> r.r_samples <- s :: r.r_samples
+          | Ok W_done -> r.r_done <- true
+          | Error e ->
+            failwith (Fmt.str "campaign shard %d: %s" r.r_shard e));
+          r.r_lines <- line :: r.r_lines
+        end;
+        consume (nl + 1)
+    in
+    consume 0
+  in
+  let finish r =
+    (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
+    let _, status = Unix.waitpid [] r.r_pid in
+    running := List.filter (fun x -> x != r) !running;
+    let total = Shard.range_samples ranges.(r.r_shard) in
+    let got = List.length r.r_samples in
+    if r.r_done && got = total then begin
+      let d =
+        {
+          d_events = List.rev r.r_events;
+          d_samples = List.rev r.r_samples;
+          d_lines = List.rev r.r_lines;
+        }
+      in
+      completed.(r.r_shard) <- Some d;
+      match part_dir with
+      | Some dir -> save_part dir r.r_shard d
+      | None -> ()
+    end
+    else begin
+      let reason = status_reason status ~got ~total in
+      let marker =
+        {
+          Events.seq = 0;
+          shard = r.r_shard;
+          attempt = r.r_attempt;
+          body = Events.Shard_retry { reason };
+        }
+      in
+      fire marker;
+      retry_markers.(r.r_shard) <- marker :: retry_markers.(r.r_shard);
+      incr retried;
+      if r.r_attempt + 1 > retries then
+        failwith
+          (Fmt.str "campaign shard %d failed after %d attempts: %s" r.r_shard
+             (r.r_attempt + 1) reason)
+      else spawn r.r_shard (r.r_attempt + 1)
+    end
+  in
+  let next = ref 0 in
+  let buf = Bytes.create 65536 in
+  while !next < k || !running <> [] do
+    while
+      !next < k
+      && (completed.(!next) <> None || List.length !running < workers)
+    do
+      let i = !next in
+      incr next;
+      if completed.(i) = None then spawn i 0
+    done;
+    if !running <> [] then begin
+      let ready = select_read (List.map (fun r -> r.r_fd) !running) in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun r -> r.r_fd = fd) !running with
+          | None -> ()
+          | Some r -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> finish r
+            | n -> feed r (Bytes.sub_string buf 0 n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        ready
+    end
+  done;
+  (* Merge in global sample order: shard ranges are contiguous and
+     ascending, so shard index order is sample order.  The traced fold
+     re-runs the float summation in exactly the sequential order. *)
+  let datas =
+    Array.map
+      (function Some d -> d | None -> assert false (* loop invariant *))
+      completed
+  in
+  let all_samples =
+    List.concat_map (fun d -> d.d_samples) (Array.to_list datas)
+  in
+  let record_lines = List.map (fun s -> s.Shard.o_record) all_samples in
+  let clock =
+    List.fold_left (fun acc s -> acc + s.Shard.o_steps) 0 all_samples
+  in
+  let counts, vulnmap =
+    match mode with
+    | Inject ->
+      ( List.fold_left
+          (fun c s -> F.add_count c s.Shard.o_class)
+          F.zero_counts all_samples,
+        None )
+    | Traced ->
+      let b = F.vulnmap_builder target in
+      List.iter
+        (fun (s : Shard.sample_out) ->
+          F.vulnmap_add b ~sample:s.o_sample ~static_index:s.o_static
+            s.o_class ~latency:s.o_latency ~escape:s.o_escape)
+        all_samples;
+      let v = F.vulnmap_build b in
+      (v.F.v_counts, Some v)
+  in
+  let tally = tally_of_counts counts in
+  let finished =
+    {
+      Events.seq = 0;
+      shard = -1;
+      attempt = 0;
+      body = Events.Campaign_finished { total = samples; tally; clock };
+    }
+  in
+  fire finished;
+  (* Canonical log: campaign start, then per shard (index order) its
+     retry markers followed by the successful attempt's events, then
+     campaign finish — renumbered into one contiguous sequence. *)
+  let body =
+    List.concat
+      (List.init k (fun i ->
+           List.rev retry_markers.(i) @ datas.(i).d_events))
+  in
+  let events =
+    List.mapi
+      (fun i e -> { e with Events.seq = i })
+      (({
+          Events.seq = 0;
+          shard = -1;
+          attempt = 0;
+          body = Events.Campaign_started { shards = k; samples };
+        }
+       :: body)
+      @ [ finished ])
+  in
+  { counts; record_lines; vulnmap; clock; events; retried = !retried }

@@ -1,0 +1,60 @@
+(** Sharded campaign execution on a [Unix.fork] worker pool.
+
+    Workers stream typed events and per-sample outputs over pipes; the
+    parent multiplexes them with [Unix.select], detects worker death
+    (EOF before the protocol's done marker), retries dead shards, and
+    merges shard outputs in global sample order — byte-identical to the
+    sequential campaign for any shard count. *)
+
+module F = Ferrum_faultsim.Faultsim
+module Events = Ferrum_telemetry.Events
+
+type mode =
+  | Inject  (** plain campaign: outcome counts + record stream *)
+  | Traced  (** lockstep-traced campaign: vulnerability map as well *)
+
+(** View a campaign's outcome counts as an event tally. *)
+val tally_of_counts : F.counts -> Events.tally
+
+type result = {
+  counts : F.counts;
+  record_lines : string list;
+      (** serialized per-injection records, global sample order —
+          concatenating them under the usual header reproduces the
+          sequential [--metrics] file byte-for-byte *)
+  vulnmap : F.vulnmap option;  (** [Traced] mode only *)
+  clock : int;  (** logical clock: summed injected-run steps *)
+  events : Events.t list;
+      (** canonical merged event log: campaign_started, then per shard
+          (index order) its retry markers and successful attempt's
+          events, then campaign_finished; [seq] contiguous from 0 *)
+  retried : int;  (** worker deaths recovered by retry *)
+}
+
+(** Run a campaign split into [shards] ranges on at most [workers]
+    (default [min shards 4]) concurrent forked workers.
+
+    [heartbeats] (default 8) progress events per shard; [retries]
+    (default 2) extra attempts per shard before the campaign fails;
+    [on_event] observes events live in arrival order (the [result]'s
+    canonical log is ordered and renumbered); [part_dir] persists each
+    finished shard's stream (write-then-rename) and, when present
+    beforehand, resumes from any complete part files found there;
+    [sabotage] (tests) makes a worker die after [k] samples when it
+    returns [Some k] for a (shard, attempt).
+
+    Raises [Failure] if a shard exhausts its retries. *)
+val run :
+  ?fault_bits:int ->
+  ?heartbeats:int ->
+  ?retries:int ->
+  ?workers:int ->
+  ?on_event:(Events.t -> unit) ->
+  ?part_dir:string ->
+  ?sabotage:(shard:int -> attempt:int -> int option) ->
+  mode:mode ->
+  shards:int ->
+  seed:int64 ->
+  samples:int ->
+  F.target ->
+  result

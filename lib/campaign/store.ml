@@ -1,0 +1,97 @@
+(* Campaign run directories.
+
+   A finished run is a directory:
+
+     manifest.json      ferrum.manifest.v1 (config, shard map, digests)
+     injection.jsonl    ferrum.injection.v2 (header + per-sample records)
+     vulnmap.jsonl      ferrum.vulnmap.v1 (traced runs only)
+     events.jsonl       ferrum.events.v1 (canonical merged event log)
+     parts/             per-shard raw streams (resume state)
+
+   The header builders here are the single source of the campaign
+   metrics headers: the CLI's sequential `inject --metrics` and
+   `vulnmap --metrics` paths and the sharded runner both use them, which
+   is what makes the sharded files byte-comparable to sequential ones. *)
+
+module F = Ferrum_faultsim.Faultsim
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+module Events = Ferrum_telemetry.Events
+
+(* Campaign configuration fields shared by every header, in the field
+   order the v2 files have always used. *)
+let config_fields ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
+    =
+  [
+    ("benchmark", Json.Str benchmark);
+    ("technique", Json.Str technique);
+    ("samples", Json.Int samples);
+    ("seed", Json.Str (Int64.to_string seed));
+    ("scope", Json.Str (if all_sites then "all-sites" else "original"));
+    ("fault_bits", Json.Int fault_bits);
+  ]
+
+let injection_header ~benchmark ~technique ~samples ~seed ~all_sites
+    ~fault_bits =
+  Metrics.header ~kind:F.metrics_kind
+    (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
+       ~fault_bits)
+
+let vulnmap_header ~benchmark ~technique ~samples ~seed ~all_sites
+    ~fault_bits =
+  Metrics.header ~kind:F.vulnmap_kind
+    (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
+       ~fault_bits)
+
+let events_header ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
+    ~shards =
+  Events.header
+    (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
+       ~fault_bits
+    @ [ ("shards", Json.Int shards) ])
+
+let injection_file = "injection.jsonl"
+let vulnmap_file = "vulnmap.jsonl"
+let events_file = "events.jsonl"
+let parts_dir dir = Filename.concat dir "parts"
+
+let jsonl header lines =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Json.to_string header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines;
+  Buffer.contents buf
+
+(* Write a finished run.  All files are written atomically so a
+   directory either has a coherent set or is still resumable. *)
+let write_run ~dir ~(manifest : Manifest.t) ~(result : Runner.result) =
+  Fsutil.mkdir_p dir;
+  let m = manifest in
+  let technique = m.Manifest.technique in
+  let all_sites = m.Manifest.scope = "all-sites" in
+  let header_of f =
+    f ~benchmark:m.Manifest.benchmark ~technique ~samples:m.Manifest.samples
+      ~seed:m.Manifest.seed ~all_sites ~fault_bits:m.Manifest.fault_bits
+  in
+  Fsutil.write_file
+    (Filename.concat dir injection_file)
+    (jsonl (header_of injection_header) result.Runner.record_lines);
+  (match result.Runner.vulnmap with
+  | Some v ->
+    Fsutil.write_file
+      (Filename.concat dir vulnmap_file)
+      (jsonl (header_of vulnmap_header)
+         (List.map Json.to_string (F.vulnmap_rows v)))
+  | None -> ());
+  Fsutil.write_file
+    (Filename.concat dir events_file)
+    (jsonl
+       (header_of events_header ~shards:m.Manifest.shards)
+       (List.map
+          (fun e -> Json.to_string (Events.to_json e))
+          result.Runner.events));
+  Manifest.save ~dir m

@@ -1,0 +1,36 @@
+(** Campaign run directories and canonical metrics headers.
+
+    A finished run directory holds [manifest.json], [injection.jsonl],
+    [events.jsonl], optionally [vulnmap.jsonl], and a [parts/]
+    directory of per-shard resume state.  The header builders here are
+    the single source of campaign metrics headers — sequential CLI
+    paths and the sharded runner share them, which is what makes
+    sharded output byte-comparable to sequential output. *)
+
+module Json = Ferrum_telemetry.Json
+
+val injection_header :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  all_sites:bool -> fault_bits:int -> Json.t
+
+val vulnmap_header :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  all_sites:bool -> fault_bits:int -> Json.t
+
+val events_header :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  all_sites:bool -> fault_bits:int -> shards:int -> Json.t
+
+val injection_file : string
+val vulnmap_file : string
+val events_file : string
+
+(** [parts_dir dir] is the per-shard resume-state directory of run
+    directory [dir]. *)
+val parts_dir : string -> string
+
+(** One JSONL document: header line then record lines. *)
+val jsonl : Json.t -> string list -> string
+
+(** Write a finished run's files (atomically, write-then-rename). *)
+val write_run : dir:string -> manifest:Manifest.t -> result:Runner.result -> unit

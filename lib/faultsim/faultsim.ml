@@ -31,6 +31,14 @@ let classification_name = function
   | Crash -> "crash"
   | Timeout -> "timeout"
 
+let classification_of_name = function
+  | "benign" -> Some Benign
+  | "sdc" -> Some Sdc
+  | "detected" -> Some Detected
+  | "crash" -> Some Crash
+  | "timeout" -> Some Timeout
+  | _ -> None
+
 type counts = {
   samples : int;
   benign : int;
@@ -341,6 +349,43 @@ type campaign_result = {
   faults : (classification * fault) list; (* newest first *)
 }
 
+(* The record of one injected run, shared by the plain and the traced
+   campaign paths (a traced run's [end_steps]/[end_cycles] are the final
+   state's, so both paths render byte-identical record streams). *)
+let make_record (t : target) ~sample cls (fault : fault) ~steps ~cycles :
+    record =
+  let opcode =
+    if fault.static_index < 0 then "?"
+    else Instr.mnemonic t.img.Machine.code.(fault.static_index).Instr.op
+  in
+  {
+    sample;
+    r_dyn_index = fault.dyn_index;
+    r_static_index = fault.static_index;
+    opcode;
+    dest = fault.dest_desc;
+    r_dest = fault.dest_info;
+    r_bit = fault.bit;
+    r_class = cls;
+    steps;
+    cycles;
+  }
+
+(* One campaign sample, addressed by its global index alone: the
+   per-sample generator is [Rng.split_at ~seed sample], exactly the
+   stream the (sample+1)-th split of a fresh generator yields, so a
+   shard can run any contiguous slice of a campaign and the union over
+   shards reproduces the sequential run bit for bit. *)
+let campaign_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
+    classification * fault * record =
+  let rng = Rng.split_at ~seed sample in
+  let dyn_index = Rng.int rng t.eligible_steps in
+  let cls, fault, st = inject_full ~fault_bits t rng ~dyn_index in
+  ( cls,
+    fault,
+    make_record t ~sample cls fault ~steps:st.Machine.steps
+      ~cycles:st.Machine.cycles )
+
 (* Sample [samples] single-fault runs with the given seed.  [on_record]
    streams one structured record per injection, in sample order;
    [progress] is called after every sample with (done, total). *)
@@ -349,41 +394,17 @@ let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
   let t = prepare ~scope img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.campaign: no eligible injection sites";
-  let rng = Rng.create ~seed in
-  let rec go n counts faults =
-    if n = 0 then { counts; target = t; faults }
+  let rec go sample counts faults =
+    if sample = samples then { counts; target = t; faults }
     else
-      let sample_rng = Rng.split rng in
-      let dyn_index = Rng.int sample_rng t.eligible_steps in
-      let cls, fault, st = inject_full ~fault_bits t sample_rng ~dyn_index in
-      let sample = samples - n in
-      (match on_record with
-      | Some f ->
-        let opcode =
-          if fault.static_index < 0 then "?"
-          else
-            Instr.mnemonic t.img.Machine.code.(fault.static_index).Instr.op
-        in
-        f
-          {
-            sample;
-            r_dyn_index = fault.dyn_index;
-            r_static_index = fault.static_index;
-            opcode;
-            dest = fault.dest_desc;
-            r_dest = fault.dest_info;
-            r_bit = fault.bit;
-            r_class = cls;
-            steps = st.Machine.steps;
-            cycles = st.Machine.cycles;
-          }
-      | None -> ());
+      let cls, fault, record = campaign_sample ~fault_bits t ~seed ~sample in
+      (match on_record with Some f -> f record | None -> ());
       (match progress with
       | Some f -> f (sample + 1) samples
       | None -> ());
-      go (n - 1) (add_count counts cls) ((cls, fault) :: faults)
+      go (sample + 1) (add_count counts cls) ((cls, fault) :: faults)
   in
-  go samples zero_counts []
+  go 0 zero_counts []
 
 (* SDC coverage of a protected program relative to the raw baseline
    (paper §IV-A3): (SDC_raw - SDC_prot) / SDC_raw. *)
@@ -439,6 +460,75 @@ type vulnmap = {
   v_escapes : (int * Propagation.escape) list; (* sample index, per SDC *)
 }
 
+(* One traced campaign sample, addressed by its global index — same RNG
+   stream as {!campaign_sample}, so the record stream is byte-identical
+   whether or not tracing is on. *)
+let vulnmap_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
+    classification * fault * record * Propagation.summary =
+  let rng = Rng.split_at ~seed sample in
+  let dyn_index = Rng.int rng t.eligible_steps in
+  let cls, fault, summary = trace_propagation ~fault_bits t rng ~dyn_index in
+  ( cls,
+    fault,
+    make_record t ~sample cls fault ~steps:summary.Propagation.end_steps
+      ~cycles:summary.Propagation.end_cycles,
+    summary )
+
+(* Vulnerability-map aggregation, one traced sample at a time.  Kept
+   separate from the sampling loop so a sharded campaign can replay the
+   reduction in global sample order: detection-latency cycle sums are
+   floating-point, and only identical fold order makes the merged map
+   byte-identical to the sequential one. *)
+type vulnmap_builder = {
+  b_target : target;
+  b_sites : site_stat array;
+  mutable b_counts : counts;
+  mutable b_samples : int;
+  mutable b_latencies : (int * float) list; (* newest first *)
+  mutable b_escapes : (int * Propagation.escape) list; (* newest first *)
+}
+
+let vulnmap_builder (t : target) =
+  {
+    b_target = t;
+    b_sites = Array.make (Array.length t.img.Machine.code) zero_site;
+    b_counts = zero_counts;
+    b_samples = 0;
+    b_latencies = [];
+    b_escapes = [];
+  }
+
+let vulnmap_add b ~sample ~static_index cls ~latency ~escape =
+  (if static_index >= 0 then
+     let s = b.b_sites.(static_index) in
+     let dl_steps, dl_cycles =
+       match latency with Some l -> l | None -> (0, 0.0)
+     in
+     b.b_sites.(static_index) <-
+       {
+         s_counts = add_count s.s_counts cls;
+         s_det_steps = s.s_det_steps + dl_steps;
+         s_det_cycles = s.s_det_cycles +. dl_cycles;
+       });
+  b.b_counts <- add_count b.b_counts cls;
+  b.b_samples <- b.b_samples + 1;
+  (match latency with
+  | Some l -> b.b_latencies <- l :: b.b_latencies
+  | None -> ());
+  match (cls, escape) with
+  | Sdc, Some e -> b.b_escapes <- (sample, e) :: b.b_escapes
+  | _ -> ()
+
+let vulnmap_build b : vulnmap =
+  {
+    v_target = b.b_target;
+    v_sites = b.b_sites;
+    v_counts = b.b_counts;
+    v_samples = b.b_samples;
+    v_latencies = List.rev b.b_latencies;
+    v_escapes = List.rev b.b_escapes;
+  }
+
 (* Sample [samples] single-fault runs exactly as {!campaign} does (the
    same seed yields the same faults), but trace each injection against
    the golden run and aggregate outcomes and detection latencies per
@@ -449,66 +539,23 @@ let vulnmap_campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
   let t = prepare ~scope img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.vulnmap_campaign: no eligible injection sites";
-  let sites = Array.make (Array.length t.img.Machine.code) zero_site in
-  let rng = Rng.create ~seed in
-  let counts = ref zero_counts in
-  let latencies = ref [] and escapes = ref [] in
+  let b = vulnmap_builder t in
   for sample = 0 to samples - 1 do
-    let sample_rng = Rng.split rng in
-    let dyn_index = Rng.int sample_rng t.eligible_steps in
-    let cls, fault, summary =
-      trace_propagation ~fault_bits t sample_rng ~dyn_index
+    let cls, fault, record, summary =
+      vulnmap_sample ~fault_bits t ~seed ~sample
     in
     let latency =
       if cls = Detected then Propagation.detection_latency summary else None
     in
-    (if fault.static_index >= 0 then
-       let s = sites.(fault.static_index) in
-       let dl_steps, dl_cycles =
-         match latency with Some l -> l | None -> (0, 0.0)
-       in
-       sites.(fault.static_index) <-
-         {
-           s_counts = add_count s.s_counts cls;
-           s_det_steps = s.s_det_steps + dl_steps;
-           s_det_cycles = s.s_det_cycles +. dl_cycles;
-         });
-    counts := add_count !counts cls;
-    (match latency with
-    | Some l -> latencies := l :: !latencies
-    | None -> ());
-    if cls = Sdc then
-      escapes := (sample, Propagation.explain_escape summary) :: !escapes;
-    (match on_record with
-    | Some f ->
-      let opcode =
-        if fault.static_index < 0 then "?"
-        else Instr.mnemonic t.img.Machine.code.(fault.static_index).Instr.op
-      in
-      f
-        {
-          sample;
-          r_dyn_index = fault.dyn_index;
-          r_static_index = fault.static_index;
-          opcode;
-          dest = fault.dest_desc;
-          r_dest = fault.dest_info;
-          r_bit = fault.bit;
-          r_class = cls;
-          steps = summary.Propagation.end_steps;
-          cycles = summary.Propagation.end_cycles;
-        }
-    | None -> ());
+    let escape =
+      if cls = Sdc then Some (Propagation.explain_escape summary) else None
+    in
+    vulnmap_add b ~sample ~static_index:fault.static_index cls ~latency
+      ~escape;
+    (match on_record with Some f -> f record | None -> ());
     match progress with Some f -> f (sample + 1) samples | None -> ()
   done;
-  {
-    v_target = t;
-    v_sites = sites;
-    v_counts = !counts;
-    v_samples = samples;
-    v_latencies = List.rev !latencies;
-    v_escapes = List.rev !escapes;
-  }
+  vulnmap_build b
 
 let mean_latency (s : site_stat) =
   if s.s_counts.detected = 0 then None

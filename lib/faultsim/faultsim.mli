@@ -26,6 +26,9 @@ type classification =
 
 val classification_name : classification -> string
 
+(** Inverse of {!classification_name}; [None] on unknown names. *)
+val classification_of_name : string -> classification option
+
 type counts = {
   samples : int;
   benign : int;
@@ -144,6 +147,15 @@ type campaign_result = {
   faults : (classification * fault) list;  (** newest first *)
 }
 
+(** One campaign sample, addressed by its global 0-based index.  The
+    per-sample RNG is a pure function of [seed] and [sample]
+    ({!Rng.split_at}), so any subrange of a campaign can run anywhere —
+    a shard needs only its index range — and still reproduce the
+    sequential run bit-for-bit. *)
+val campaign_sample :
+  ?fault_bits:int -> target -> seed:int64 -> sample:int ->
+  classification * fault * record
+
 (** Sample [samples] single-fault runs; bit-reproducible per seed.
     [on_record] streams one {!record} per injection in sample order;
     [progress] is called after every sample with [done_so_far total]. *)
@@ -197,6 +209,30 @@ type vulnmap = {
   v_escapes : (int * Propagation.escape) list;
       (** sample index and explanation of every SDC, in sample order *)
 }
+
+(** One traced campaign sample, addressed by its global index — the
+    same RNG stream as {!campaign_sample}, so the record stream is
+    byte-identical whether or not tracing is on. *)
+val vulnmap_sample :
+  ?fault_bits:int -> target -> seed:int64 -> sample:int ->
+  classification * fault * record * Propagation.summary
+
+(** Incremental vulnerability-map aggregation.  Feed samples in global
+    order: the latency cycle sums are floating-point, so only an
+    identical fold order reproduces the sequential map byte-for-byte —
+    this is what a sharded campaign's merge step uses. *)
+type vulnmap_builder
+
+val vulnmap_builder : target -> vulnmap_builder
+
+(** Add one sample's outcome.  [latency] is the detection latency of a
+    [Detected] run ([None] otherwise); [escape] the explanation of an
+    [Sdc] ([None] otherwise). *)
+val vulnmap_add :
+  vulnmap_builder -> sample:int -> static_index:int -> classification ->
+  latency:(int * float) option -> escape:Propagation.escape option -> unit
+
+val vulnmap_build : vulnmap_builder -> vulnmap
 
 (** Sample exactly as {!campaign} does (same seed, same faults), but
     trace each injection and aggregate per static site.  [on_record]

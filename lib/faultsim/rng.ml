@@ -27,3 +27,15 @@ let int t bound =
 
 (* Derive an independent stream, for per-sample reproducibility. *)
 let split t = create ~seed:(next_int64 t)
+
+(* The n-th (0-based) split of a fresh generator, derived directly: a
+   splitmix state only ever advances by [golden_gamma] per draw, so the
+   root's state at its (n+1)-th draw is [seed + (n+1)*gamma] regardless
+   of what happened in between.  This is what lets a campaign shard
+   start mid-stream: sample k's generator is a pure function of the
+   campaign seed and k, never of the samples before it. *)
+let split_at ~seed n =
+  if n < 0 then invalid_arg "Rng.split_at: negative index";
+  create
+    ~seed:
+      (mix (Int64.add seed (Int64.mul (Int64.of_int (n + 1)) golden_gamma)))

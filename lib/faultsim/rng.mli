@@ -14,3 +14,10 @@ val int : t -> int -> int
 
 (** Derive an independent stream (per-sample reproducibility). *)
 val split : t -> t
+
+(** [split_at ~seed n] is the [n]-th (0-based) stream that [n+1]
+    successive {!split}s of [create ~seed] would produce, computed
+    directly — the keyed derivation that lets campaign shards address
+    any sample without replaying the ones before it.  Raises on
+    negative [n]. *)
+val split_at : seed:int64 -> int -> t

@@ -41,6 +41,8 @@ type options = {
   cost_model : Cost.model;
   ferrum_config : Ferrum_eddi.Ferrum_pass.config;
   benchmarks : string list option; (* None = all *)
+  shards : int; (* >1 = fork-pool campaigns (identical counts) *)
+  workers : int option;
 }
 
 let default_options =
@@ -51,7 +53,23 @@ let default_options =
     cost_model = Cost.default;
     ferrum_config = Ferrum_eddi.Ferrum_pass.default_config;
     benchmarks = None;
+    shards = 1;
+    workers = None;
   }
+
+(* Campaign outcome counts, sequentially or on the fork pool — the
+   shard/merge discipline makes the two byte-identical, so [shards] is
+   purely a wall-clock knob. *)
+let campaign_counts opts img =
+  if opts.shards <= 1 then
+    (F.campaign ~scope:opts.scope ~seed:opts.seed ~samples:opts.samples img)
+      .F.counts
+  else
+    let target = F.prepare ~scope:opts.scope img in
+    (Ferrum_campaign.Runner.run ?workers:opts.workers
+       ~mode:Ferrum_campaign.Runner.Inject ~shards:opts.shards
+       ~seed:opts.seed ~samples:opts.samples target)
+      .Ferrum_campaign.Runner.counts
 
 let selected_entries opts =
   match opts.benchmarks with
@@ -88,12 +106,7 @@ let run_entry opts (e : Catalog.entry) : bench_result =
     Fmt.failwith "benchmark %s: raw golden run failed: %a" e.name
       Machine.pp_outcome o);
   let raw_counts =
-    if opts.samples > 0 then
-      Some
-        (F.campaign ~scope:opts.scope ~seed:opts.seed ~samples:opts.samples
-           raw_img)
-          .F.counts
-    else None
+    if opts.samples > 0 then Some (campaign_counts opts raw_img) else None
   in
   let techniques =
     List.map
@@ -111,11 +124,7 @@ let run_entry opts (e : Catalog.entry) : bench_result =
           Fmt.failwith "benchmark %s under %s: protected output wrong: %a"
             e.name (Technique.name t) Machine.pp_outcome o);
         let counts =
-          if opts.samples > 0 then
-            Some
-              (F.campaign ~scope:opts.scope ~seed:opts.seed
-                 ~samples:opts.samples img)
-                .F.counts
+          if opts.samples > 0 then Some (campaign_counts opts img)
           else None
         in
         let coverage =

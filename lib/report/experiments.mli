@@ -41,10 +41,14 @@ type options = {
   cost_model : Cost.model;
   ferrum_config : Ferrum_eddi.Ferrum_pass.config;
   benchmarks : string list option;  (** [None] = the whole suite *)
+  shards : int;
+      (** >1 runs campaigns on the fork worker pool; outcome counts are
+          identical for any value, so this is purely a wall-clock knob *)
+  workers : int option;  (** concurrent workers (default min shards 4) *)
 }
 
 (** 400 samples, seed 2024, original-site scope, default cost model and
-    FERRUM config, all benchmarks. *)
+    FERRUM config, all benchmarks, sequential (1 shard). *)
 val default_options : options
 
 val selected_entries : options -> Catalog.entry list

@@ -104,9 +104,11 @@ let json_of_bench (b : bench_result) =
    per timed experiment (name + wall seconds — wall clock is confined
    here, the per-benchmark results are deterministic per seed), and the
    per-benchmark results themselves. *)
+let bench_kind = "ferrum.bench.v1"
+
 let metrics_json ~samples ~seed ~experiments (results : bench_result list) =
   Json.Obj
-    [ ("schema", Json.Str "ferrum.bench.v1");
+    [ ("schema", Json.Str bench_kind);
       ("version", Json.Int Ferrum_telemetry.Metrics.schema_version);
       ("samples", Json.Int samples);
       ("seed", Json.Str (Int64.to_string seed));

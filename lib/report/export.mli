@@ -6,6 +6,9 @@ val csv : Experiments.bench_result list -> string
 
 val write_csv : string -> Experiments.bench_result list -> unit
 
+val bench_kind : string
+(** ["ferrum.bench.v1"] — the whole-document schema below. *)
+
 (** Bench metrics document: meta (sample count, seed), per-experiment
     wall times (wall clock is confined here; per-benchmark results are
     deterministic per seed), and per-benchmark results. *)

@@ -1,0 +1,25 @@
+(** Self-contained HTML dashboard over campaign run directories.
+
+    A single file with no external assets: four inline-SVG panels —
+    outcome stacked bars per workload × technique, detection-latency
+    CDFs, per-site vulnerability heat strips, and the
+    protection-overhead provenance split — rendered from the
+    JSONL/manifest files a finished [ferrum campaign] run directory
+    contains. *)
+
+(** One loaded run directory. *)
+type run
+
+(** Load one run directory (must contain [manifest.json] and
+    [injection.jsonl]; [vulnmap.jsonl] is optional). *)
+val load_run : string -> (run, string) result
+
+(** Load [dir] itself (if it is a run directory) or every immediate
+    subdirectory with a manifest, sorted by name. *)
+val load_runs : string -> (run list, string) result
+
+(** Render the dashboard document. *)
+val render : run list -> string
+
+(** [load_runs] followed by {!render}. *)
+val render_dir : string -> (string, string) result

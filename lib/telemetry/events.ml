@@ -1,0 +1,266 @@
+(* Typed campaign event stream: `ferrum.events.v1`.
+
+   One flat JSON object per event so the stream validates with the same
+   field machinery as every other metrics schema.  Events carry a
+   deterministic logical clock (cumulative simulated steps), never
+   wall-clock time, so an event log is byte-reproducible per seed — the
+   smoke check diffs two runs of the same campaign. *)
+
+let kind = "ferrum.events.v1"
+
+(* ------------------------------------------------------------------ *)
+(* Outcome tallies.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  benign : int;
+  sdc : int;
+  detected : int;
+  crash : int;
+  timeout : int;
+}
+
+let zero_tally = { benign = 0; sdc = 0; detected = 0; crash = 0; timeout = 0 }
+
+let tally_total t = t.benign + t.sdc + t.detected + t.crash + t.timeout
+
+let tally_add a b =
+  {
+    benign = a.benign + b.benign;
+    sdc = a.sdc + b.sdc;
+    detected = a.detected + b.detected;
+    crash = a.crash + b.crash;
+    timeout = a.timeout + b.timeout;
+  }
+
+let tally_of_name t = function
+  | "benign" -> Some { t with benign = t.benign + 1 }
+  | "sdc" -> Some { t with sdc = t.sdc + 1 }
+  | "detected" -> Some { t with detected = t.detected + 1 }
+  | "crash" -> Some { t with crash = t.crash + 1 }
+  | "timeout" -> Some { t with timeout = t.timeout + 1 }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Events.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type body =
+  | Campaign_started of { shards : int; samples : int }
+  | Shard_started of { lo : int; hi : int }
+  | Progress of { done_ : int; total : int; tally : tally; clock : int }
+  | Shard_finished of { done_ : int; total : int; tally : tally; clock : int }
+  | Shard_retry of { reason : string }
+  | Campaign_finished of { total : int; tally : tally; clock : int }
+
+type t = { seq : int; shard : int; attempt : int; body : body }
+
+let body_name = function
+  | Campaign_started _ -> "campaign_started"
+  | Shard_started _ -> "shard_started"
+  | Progress _ -> "progress"
+  | Shard_finished _ -> "shard_finished"
+  | Shard_retry _ -> "shard_retry"
+  | Campaign_finished _ -> "campaign_finished"
+
+(* ETA on the logical clock: clock units still to run, extrapolated
+   from the per-sample rate so far.  Deterministic by construction. *)
+let eta ~done_ ~total ~clock =
+  if done_ <= 0 then 0.
+  else float_of_int clock /. float_of_int done_ *. float_of_int (total - done_)
+
+(* Every event serializes every field (unused scalars as -1, unused
+   tallies as 0, unused detail as ""): a flat, fixed schema keeps
+   `ferrum metrics` validation a single required-field list. *)
+let to_json (e : t) : Json.t =
+  let shards, samples =
+    match e.body with
+    | Campaign_started { shards; samples } -> (shards, samples)
+    | _ -> (-1, -1)
+  in
+  let lo, hi =
+    match e.body with Shard_started { lo; hi } -> (lo, hi) | _ -> (-1, -1)
+  in
+  let done_, total, tally, clock =
+    match e.body with
+    | Progress { done_; total; tally; clock }
+    | Shard_finished { done_; total; tally; clock } ->
+      (done_, total, tally, clock)
+    | Campaign_finished { total; tally; clock } -> (total, total, tally, clock)
+    | Campaign_started _ | Shard_started _ | Shard_retry _ ->
+      (-1, -1, zero_tally, 0)
+  in
+  let detail = match e.body with Shard_retry { reason } -> reason | _ -> "" in
+  let eta_v =
+    match e.body with
+    | Progress _ -> eta ~done_ ~total ~clock
+    | _ -> 0.
+  in
+  Json.Obj
+    [
+      ("event", Json.Str (body_name e.body));
+      ("seq", Json.Int e.seq);
+      ("shard", Json.Int e.shard);
+      ("attempt", Json.Int e.attempt);
+      ("shards", Json.Int shards);
+      ("samples", Json.Int samples);
+      ("lo", Json.Int lo);
+      ("hi", Json.Int hi);
+      ("done", Json.Int done_);
+      ("total", Json.Int total);
+      ("benign", Json.Int tally.benign);
+      ("sdc", Json.Int tally.sdc);
+      ("detected", Json.Int tally.detected);
+      ("crash", Json.Int tally.crash);
+      ("timeout", Json.Int tally.timeout);
+      ("clock", Json.Int clock);
+      ("eta", Json.Float eta_v);
+      ("detail", Json.Str detail);
+    ]
+
+let int_member name j =
+  match Json.member name j with
+  | Some (Json.Int v) -> Ok v
+  | Some _ -> Error (Fmt.str "field %S is not an int" name)
+  | None -> Error (Fmt.str "missing field %S" name)
+
+let str_member name j =
+  match Json.member name j with
+  | Some (Json.Str v) -> Ok v
+  | Some _ -> Error (Fmt.str "field %S is not a string" name)
+  | None -> Error (Fmt.str "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let tally_of_json j =
+  let* benign = int_member "benign" j in
+  let* sdc = int_member "sdc" j in
+  let* detected = int_member "detected" j in
+  let* crash = int_member "crash" j in
+  let* timeout = int_member "timeout" j in
+  Ok { benign; sdc; detected; crash; timeout }
+
+let of_json (j : Json.t) : (t, string) result =
+  let* name = str_member "event" j in
+  let* seq = int_member "seq" j in
+  let* shard = int_member "shard" j in
+  let* attempt = int_member "attempt" j in
+  let progresslike j =
+    let* done_ = int_member "done" j in
+    let* total = int_member "total" j in
+    let* tally = tally_of_json j in
+    let* clock = int_member "clock" j in
+    Ok (done_, total, tally, clock)
+  in
+  let* body =
+    match name with
+    | "campaign_started" ->
+      let* shards = int_member "shards" j in
+      let* samples = int_member "samples" j in
+      Ok (Campaign_started { shards; samples })
+    | "shard_started" ->
+      let* lo = int_member "lo" j in
+      let* hi = int_member "hi" j in
+      Ok (Shard_started { lo; hi })
+    | "progress" ->
+      let* done_, total, tally, clock = progresslike j in
+      Ok (Progress { done_; total; tally; clock })
+    | "shard_finished" ->
+      let* done_, total, tally, clock = progresslike j in
+      Ok (Shard_finished { done_; total; tally; clock })
+    | "shard_retry" ->
+      let* reason = str_member "detail" j in
+      Ok (Shard_retry { reason })
+    | "campaign_finished" ->
+      let* _, total, tally, clock = progresslike j in
+      Ok (Campaign_finished { total; tally; clock })
+    | other -> Error (Fmt.str "unknown event %S" other)
+  in
+  Ok { seq; shard; attempt; body }
+
+let of_string line =
+  match Json.of_string_opt line with
+  | None -> Error "not valid JSON"
+  | Some j -> of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Schema.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fields =
+  Metrics.
+    [
+      field "event" F_string;
+      field "seq" F_int;
+      field "shard" F_int;
+      field "attempt" F_int;
+      field "shards" F_int;
+      field "samples" F_int;
+      field "lo" F_int;
+      field "hi" F_int;
+      field "done" F_int;
+      field "total" F_int;
+      field "benign" F_int;
+      field "sdc" F_int;
+      field "detected" F_int;
+      field "crash" F_int;
+      field "timeout" F_int;
+      field "clock" F_int;
+      field "eta" F_float;
+      field "detail" F_string;
+    ]
+
+let header extra = Metrics.header ~kind extra
+
+(* ------------------------------------------------------------------ *)
+(* Replay.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-derive the campaign outcome from its event log alone (record
+   lines, header excluded) and cross-check the log's internal
+   consistency: contiguous sequence numbers, campaign_started first,
+   campaign_finished last, and per-shard final tallies summing to the
+   campaign tally.  Returns the final (tally, clock). *)
+let replay (lines : string list) : (tally * int, string) result =
+  let n = List.length lines in
+  let rec loop i seen_start shard_sum shard_clock final = function
+    | [] -> (
+      if not seen_start then Error "no campaign_started event"
+      else
+        match final with
+        | None -> Error "no campaign_finished event"
+        | Some (total, tally, clock) ->
+          if tally <> shard_sum then
+            Error "shard_finished tallies do not sum to the campaign tally"
+          else if clock <> shard_clock then
+            Error "shard_finished clocks do not sum to the campaign clock"
+          else if total <> tally_total tally then
+            Error "campaign_finished total does not match its tally"
+          else Ok (tally, clock))
+    | line :: rest -> (
+      match of_string line with
+      | Error e -> Error (Fmt.str "event %d: %s" i e)
+      | Ok ev -> (
+        if ev.seq <> i then
+          Error (Fmt.str "event %d: sequence number %d, expected %d" i ev.seq i)
+        else
+          match ev.body with
+          | Campaign_started _ ->
+            if i <> 0 then Error (Fmt.str "event %d: campaign_started mid-log" i)
+            else loop (i + 1) true shard_sum shard_clock final rest
+          | Campaign_finished { total; tally; clock } ->
+            if i <> n - 1 then
+              Error (Fmt.str "event %d: campaign_finished mid-log" i)
+            else
+              loop (i + 1) seen_start shard_sum shard_clock
+                (Some (total, tally, clock))
+                rest
+          | Shard_finished { tally; clock; _ } ->
+            loop (i + 1) seen_start (tally_add shard_sum tally)
+              (shard_clock + clock) final rest
+          | Shard_started _ | Progress _ | Shard_retry _ ->
+            if not seen_start then
+              Error (Fmt.str "event %d precedes campaign_started" i)
+            else loop (i + 1) seen_start shard_sum shard_clock final rest))
+  in
+  loop 0 false zero_tally 0 None lines

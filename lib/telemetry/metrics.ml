@@ -101,15 +101,18 @@ let validate_lines ~kind ~record_fields lines =
   | hdr :: records ->
     let check_header =
       match Json.of_string_opt hdr with
-      | None -> Error "header line is not valid JSON"
+      | None -> Error "line 1: header line is not valid JSON"
       | Some j -> (
         match (Json.member "schema" j, Json.member "version" j) with
         | Some (Json.Str k), Some (Json.Int v) ->
-          if k <> kind then Error (Fmt.str "schema is %S, expected %S" k kind)
+          if k <> kind then
+            Error (Fmt.str "line 1: schema is %S, expected %S" k kind)
           else if v <> schema_version then
-            Error (Fmt.str "schema version %d, expected %d" v schema_version)
+            Error
+              (Fmt.str "line 1: schema version %d, expected %d" v
+                 schema_version)
           else Ok ()
-        | _ -> Error "header lacks schema/version fields")
+        | _ -> Error "line 1: header lacks schema/version fields")
     in
     Result.bind check_header (fun () ->
         let rec go n i = function

@@ -353,6 +353,15 @@ let escape_name = function
   | Memory_before_check -> "memory-before-check"
   | Check_missed_taint -> "check-missed-taint"
 
+let escape_of_name = function
+  | "unprotected-program" -> Some Unprotected_program
+  | "unchecked-site" -> Some Unchecked_site
+  | "masked-then-reactivated" -> Some Masked_then_reactivated
+  | "output-before-check" -> Some Output_before_check
+  | "memory-before-check" -> Some Memory_before_check
+  | "check-missed-taint" -> Some Check_missed_taint
+  | _ -> None
+
 let escape_describe = function
   | Unprotected_program ->
     "the program carries no checkers at all; every corruption that \

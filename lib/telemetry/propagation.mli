@@ -106,6 +106,9 @@ type escape =
 
 val escape_name : escape -> string
 
+(** Inverse of {!escape_name}; [None] on unknown names. *)
+val escape_of_name : string -> escape option
+
 (** One-sentence human explanation. *)
 val escape_describe : escape -> string
 

@@ -1,0 +1,434 @@
+(* Tests for the campaign orchestrator: deterministic sharding, the
+   fork-pool runner's byte-identity with sequential campaigns, the
+   typed event stream, ordered-log reassembly under worker death, and
+   replayable manifests. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+module F = Ferrum_faultsim.Faultsim
+module Rng = Ferrum_faultsim.Rng
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+module Events = Ferrum_telemetry.Events
+module Shard = Ferrum_campaign.Shard
+module Runner = Ferrum_campaign.Runner
+module Manifest = Ferrum_campaign.Manifest
+module Store = Ferrum_campaign.Store
+module Technique = Ferrum_eddi.Technique
+module Pipeline = Ferrum_eddi.Pipeline
+module Catalog = Ferrum_workloads.Catalog
+
+(* Same protected-looking fixture the faultsim/telemetry tests use:
+   one original site, a duplicate and a checker, so campaigns over it
+   are instant and produce detected outcomes. *)
+let checked_program () =
+  Prog.program
+    [ Prog.func "main"
+        [ Prog.block "main"
+            [ Instr.original (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.RDI));
+              Instr.dup (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.R10));
+              Instr.check (Instr.Cmp (Reg.Q, Instr.Reg Reg.R10, Instr.Reg Reg.RDI));
+              Instr.check (Instr.Jcc (Cond.NE, "exit_function"));
+              Instr.original (Instr.Call "print_i64");
+              Instr.original Instr.Ret ] ] ]
+
+let fixture_target () = F.prepare (Machine.load (checked_program ()))
+
+(* The sequential reference: record lines exactly as `inject --metrics`
+   streams them. *)
+let sequential ~traced ~seed ~samples img =
+  let buf = ref [] in
+  let on_record r = buf := Json.to_string (F.record_to_json r) :: !buf in
+  if traced then begin
+    let v = F.vulnmap_campaign ~seed ~samples ~on_record img in
+    (List.rev !buf, v.F.v_counts, Some v)
+  end
+  else begin
+    let res = F.campaign ~seed ~samples ~on_record img in
+    (List.rev !buf, res.F.counts, None)
+  end
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let tmp_dir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ferrum-campaign-%d-%s" (Unix.getpid ()) name)
+  in
+  rm_rf d;
+  d
+
+(* ---- sharding ---- *)
+
+let test_split_at () =
+  let seed = 123L in
+  let root = Rng.create ~seed in
+  for k = 0 to 9 do
+    let seq = Rng.next_int64 (Rng.split root) in
+    let direct = Rng.next_int64 (Rng.split_at ~seed k) in
+    Alcotest.(check int64) (Fmt.str "stream %d first draw" k) seq direct
+  done;
+  match Rng.split_at ~seed (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative index must be rejected"
+
+let test_plan () =
+  List.iter
+    (fun (shards, samples) ->
+      let ranges = Shard.plan ~shards ~samples in
+      let k = Array.length ranges in
+      Alcotest.(check bool)
+        (Fmt.str "clamped count %d/%d" shards samples)
+        true
+        (k >= 1 && k <= min shards samples);
+      (* contiguous cover of [0, samples) *)
+      Alcotest.(check int) "starts at 0" 0 ranges.(0).Shard.lo;
+      Alcotest.(check int) "ends at samples" samples ranges.(k - 1).Shard.hi;
+      for i = 1 to k - 1 do
+        Alcotest.(check int)
+          (Fmt.str "contiguous at %d" i)
+          ranges.(i - 1).Shard.hi ranges.(i).Shard.lo
+      done;
+      (* near-equal: sizes differ by at most one *)
+      let sizes =
+        Array.to_list (Array.map Shard.range_samples ranges)
+      in
+      let mn = List.fold_left min max_int sizes
+      and mx = List.fold_left max 0 sizes in
+      Alcotest.(check bool) "near-equal" true (mx - mn <= 1))
+    [ (1, 10); (3, 10); (4, 4); (7, 5); (16, 100) ];
+  Alcotest.(check int) "no samples, no shards" 0
+    (Array.length (Shard.plan ~shards:4 ~samples:0))
+
+(* ---- runner byte-identity ---- *)
+
+let samples = 48
+let seed = 7L
+
+let test_inject_identity () =
+  let img = Machine.load (checked_program ()) in
+  let target = F.prepare img in
+  let ref_lines, ref_counts, _ = sequential ~traced:false ~seed ~samples img in
+  List.iter
+    (fun k ->
+      let r =
+        Runner.run ~mode:Runner.Inject ~shards:k ~seed ~samples target
+      in
+      Alcotest.(check (list string))
+        (Fmt.str "record lines, %d shards" k)
+        ref_lines r.Runner.record_lines;
+      Alcotest.(check bool)
+        (Fmt.str "counts, %d shards" k)
+        true
+        (r.Runner.counts = ref_counts))
+    [ 1; 2; 3; 7 ]
+
+let test_vulnmap_identity () =
+  let img = Machine.load (checked_program ()) in
+  let target = F.prepare img in
+  let ref_lines, ref_counts, ref_v =
+    sequential ~traced:true ~seed ~samples img
+  in
+  let ref_v = Option.get ref_v in
+  let ref_rows = List.map Json.to_string (F.vulnmap_rows ref_v) in
+  List.iter
+    (fun k ->
+      let r =
+        Runner.run ~mode:Runner.Traced ~shards:k ~seed ~samples target
+      in
+      let v = Option.get r.Runner.vulnmap in
+      Alcotest.(check (list string))
+        (Fmt.str "record lines, %d shards" k)
+        ref_lines r.Runner.record_lines;
+      Alcotest.(check (list string))
+        (Fmt.str "vulnmap rows, %d shards" k)
+        ref_rows
+        (List.map Json.to_string (F.vulnmap_rows v));
+      Alcotest.(check bool)
+        (Fmt.str "latencies, %d shards" k)
+        true
+        (v.F.v_latencies = ref_v.F.v_latencies);
+      Alcotest.(check bool)
+        (Fmt.str "escapes, %d shards" k)
+        true
+        (v.F.v_escapes = ref_v.F.v_escapes);
+      Alcotest.(check bool)
+        (Fmt.str "counts, %d shards" k)
+        true
+        (r.Runner.counts = ref_counts))
+    [ 1; 2; 3; 7 ]
+
+(* A real workload under a real technique, through the worker pool. *)
+let test_workload_identity () =
+  let entry = List.hd Catalog.all in
+  let res = Pipeline.protect Technique.Ferrum (entry.Catalog.build ()) in
+  let img = Machine.load res.Pipeline.program in
+  let target = F.prepare img in
+  let n = 24 in
+  let ref_lines, ref_counts, _ =
+    sequential ~traced:false ~seed:11L ~samples:n img
+  in
+  let r =
+    Runner.run ~mode:Runner.Inject ~shards:4 ~seed:11L ~samples:n target
+  in
+  Alcotest.(check (list string)) "record lines" ref_lines r.Runner.record_lines;
+  Alcotest.(check bool) "counts" true (r.Runner.counts = ref_counts)
+
+(* ---- events ---- *)
+
+let test_event_roundtrip () =
+  let tally =
+    { Events.benign = 3; sdc = 1; detected = 7; crash = 2; timeout = 0 }
+  in
+  let bodies =
+    [ Events.Campaign_started { shards = 4; samples = 100 };
+      Events.Shard_started { lo = 25; hi = 50 };
+      Events.Progress { done_ = 13; total = 25; tally; clock = 991 };
+      Events.Shard_finished { done_ = 25; total = 25; tally; clock = 1800 };
+      Events.Shard_retry { reason = "worker exited 66 after 2/25 samples" };
+      Events.Campaign_finished { total = 100; tally; clock = 7200 } ]
+  in
+  List.iteri
+    (fun i body ->
+      let e = { Events.seq = i; shard = 1; attempt = 0; body } in
+      match Events.of_json (Events.to_json e) with
+      | Ok e' ->
+        Alcotest.(check bool)
+          (Fmt.str "round-trip %s" (Events.body_name body))
+          true (e = e')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    bodies;
+  (* the serialized form validates against the schema's field list *)
+  let lines =
+    Json.to_string (Events.header [ ("benchmark", Json.Str "x") ])
+    :: List.mapi
+         (fun i body ->
+           Json.to_string
+             (Events.to_json { Events.seq = i; shard = 0; attempt = 0; body }))
+         bodies
+  in
+  (match
+     Metrics.validate_lines ~kind:Events.kind ~record_fields:Events.fields
+       lines
+   with
+  | Ok n -> Alcotest.(check int) "validated records" (List.length bodies) n
+  | Error e -> Alcotest.failf "schema validation failed: %s" e);
+  (* a broken record is reported with its line number *)
+  match
+    Metrics.validate_lines ~kind:Events.kind ~record_fields:Events.fields
+      (List.filteri (fun i _ -> i < 2) lines @ [ "{\"event\":1}" ])
+  with
+  | Error e ->
+    Alcotest.(check bool) "line number in error" true
+      (contains ~affix:"line 3" e)
+  | Ok _ -> Alcotest.fail "broken record must not validate"
+
+let test_replay () =
+  let target = fixture_target () in
+  let r = Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples target in
+  List.iteri
+    (fun i (e : Events.t) ->
+      Alcotest.(check int) (Fmt.str "seq %d" i) i e.Events.seq)
+    r.Runner.events;
+  let lines =
+    List.map (fun e -> Json.to_string (Events.to_json e)) r.Runner.events
+  in
+  match Events.replay lines with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok (tally, clock) ->
+    Alcotest.(check int) "clock" r.Runner.clock clock;
+    Alcotest.(check bool) "tally" true
+      (tally = Runner.tally_of_counts r.Runner.counts)
+
+(* ---- worker death and ordered-log reassembly ---- *)
+
+let test_worker_death () =
+  let img = Machine.load (checked_program ()) in
+  let target = F.prepare img in
+  let ref_lines, ref_counts, _ = sequential ~traced:false ~seed ~samples img in
+  let sabotage ~shard ~attempt =
+    if shard = 1 && attempt = 0 then Some 2 else None
+  in
+  let r =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~sabotage target
+  in
+  Alcotest.(check int) "one retry" 1 r.Runner.retried;
+  Alcotest.(check (list string)) "records unaffected by the death" ref_lines
+    r.Runner.record_lines;
+  Alcotest.(check bool) "counts unaffected" true (r.Runner.counts = ref_counts);
+  let retries =
+    List.filter
+      (fun (e : Events.t) ->
+        match e.Events.body with Events.Shard_retry _ -> true | _ -> false)
+      r.Runner.events
+  in
+  (match retries with
+  | [ e ] ->
+    Alcotest.(check int) "retry marker on shard 1" 1 e.Events.shard;
+    Alcotest.(check int) "retry marker attempt 0" 0 e.Events.attempt
+  | l -> Alcotest.failf "expected one retry marker, got %d" (List.length l));
+  (* the reassembled log is still contiguous and replayable *)
+  let lines =
+    List.map (fun e -> Json.to_string (Events.to_json e)) r.Runner.events
+  in
+  match Events.replay lines with
+  | Error e -> Alcotest.failf "replay after death failed: %s" e
+  | Ok (tally, _) ->
+    Alcotest.(check bool) "replayed tally" true
+      (tally = Runner.tally_of_counts r.Runner.counts)
+
+let test_resume_from_parts () =
+  let target = fixture_target () in
+  let dir = tmp_dir "resume" in
+  let first =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~part_dir:dir
+      target
+  in
+  (* with every shard preloaded from its part file, no worker forks at
+     all: a sabotage that would kill any worker instantly cannot fire *)
+  let resumed =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~part_dir:dir
+      ~retries:0
+      ~sabotage:(fun ~shard:_ ~attempt:_ -> Some 0)
+      target
+  in
+  Alcotest.(check (list string)) "resumed records" first.Runner.record_lines
+    resumed.Runner.record_lines;
+  Alcotest.(check bool) "resumed counts" true
+    (first.Runner.counts = resumed.Runner.counts);
+  let ser r =
+    List.map (fun e -> Json.to_string (Events.to_json e)) r.Runner.events
+  in
+  Alcotest.(check (list string)) "resumed canonical log" (ser first)
+    (ser resumed);
+  rm_rf dir
+
+let test_log_reproducible () =
+  let target = fixture_target () in
+  let run () =
+    Runner.run ~mode:Runner.Inject ~shards:4 ~workers:2 ~seed ~samples target
+  in
+  let a = run () and b = run () in
+  let ser r =
+    List.map (fun e -> Json.to_string (Events.to_json e)) r.Runner.events
+  in
+  Alcotest.(check (list string))
+    "two runs, byte-identical canonical logs" (ser a) (ser b)
+
+(* ---- manifests and run directories ---- *)
+
+let test_manifest_roundtrip () =
+  let p = checked_program () in
+  let target = F.prepare (Machine.load p) in
+  let m =
+    Manifest.make ~benchmark:"fixture" ~technique:"raw" ~samples ~seed
+      ~shards:3 ~fault_bits:1 ~all_sites:false ~traced:true ~program:p target
+  in
+  let dir = tmp_dir "manifest" in
+  Manifest.save ~dir m;
+  (match Manifest.load ~dir with
+  | Ok m' -> Alcotest.(check bool) "round-trip" true (m = m')
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  rm_rf dir
+
+let test_run_dir_replay_equality () =
+  let p = checked_program () in
+  let target = F.prepare (Machine.load p) in
+  let m =
+    Manifest.make ~benchmark:"fixture" ~technique:"raw" ~samples ~seed
+      ~shards:3 ~fault_bits:1 ~all_sites:false ~traced:true ~program:p target
+  in
+  let write dir =
+    let result =
+      Runner.run ~mode:Runner.Traced ~shards:3 ~seed ~samples
+        ~part_dir:(Store.parts_dir dir) target
+    in
+    Store.write_run ~dir ~manifest:m ~result
+  in
+  let d1 = tmp_dir "run1" and d2 = tmp_dir "run2" in
+  write d1;
+  write d2;
+  let contents dir file =
+    String.concat "\n" (Metrics.read_lines (Filename.concat dir file))
+  in
+  List.iter
+    (fun file ->
+      Alcotest.(check string)
+        (Fmt.str "%s identical across runs" file)
+        (contents d1 file) (contents d2 file))
+    [ Store.injection_file; Store.vulnmap_file; Store.events_file;
+      Manifest.file ];
+  (* the emitted events file validates against its schema *)
+  (match
+     Metrics.validate_lines ~kind:Events.kind ~record_fields:Events.fields
+       (Metrics.read_lines (Filename.concat d1 Store.events_file))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "events file invalid: %s" e);
+  (* and the injection file equals the sequential CLI's byte-for-byte *)
+  let ref_lines, _, _ =
+    sequential ~traced:true ~seed ~samples (Machine.load p)
+  in
+  let expected =
+    Json.to_string
+      (Store.injection_header ~benchmark:"fixture" ~technique:"raw" ~samples
+         ~seed ~all_sites:false ~fault_bits:1)
+    :: ref_lines
+  in
+  Alcotest.(check (list string)) "injection file = header + records"
+    expected
+    (Metrics.read_lines (Filename.concat d1 Store.injection_file));
+  rm_rf d1;
+  rm_rf d2
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "sharding",
+        [
+          Alcotest.test_case "split_at = iterated splits" `Quick test_split_at;
+          Alcotest.test_case "plan covers and balances" `Quick test_plan;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "inject identity K=1,2,3,7" `Quick
+            test_inject_identity;
+          Alcotest.test_case "vulnmap identity K=1,2,3,7" `Quick
+            test_vulnmap_identity;
+          Alcotest.test_case "protected workload identity" `Slow
+            test_workload_identity;
+          Alcotest.test_case "canonical log reproducible" `Quick
+            test_log_reproducible;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "round-trip + schema" `Quick test_event_roundtrip;
+          Alcotest.test_case "replay" `Quick test_replay;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "worker death, ordered reassembly" `Quick
+            test_worker_death;
+          Alcotest.test_case "resume from part files" `Quick
+            test_resume_from_parts;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "run directories replay equal" `Quick
+            test_run_dir_replay_equality;
+        ] );
+    ]
