@@ -3,5 +3,8 @@
 (** Create a directory and any missing parents. *)
 val mkdir_p : string -> unit
 
+(** Remove a file or directory tree; missing paths are fine. *)
+val rm_rf : string -> unit
+
 (** Atomic whole-file write: temp file, then rename into place. *)
 val write_file : string -> string -> unit

@@ -204,6 +204,19 @@ let of_json (j : Json.t) : (t, string) result =
       schemas;
     }
 
+(* Do the part files recorded under [recorded] describe the same
+   sample streams the [fresh] configuration would produce?  Everything
+   that feeds per-sample derivation or shard layout must match; display
+   metadata (benchmark/technique names, profile rows) may differ. *)
+let compatible (recorded : t) (fresh : t) =
+  recorded.program_digest = fresh.program_digest
+  && recorded.seed = fresh.seed
+  && recorded.samples = fresh.samples
+  && recorded.fault_bits = fresh.fault_bits
+  && recorded.scope = fresh.scope
+  && recorded.traced = fresh.traced
+  && recorded.shard_map = fresh.shard_map
+
 let file = "manifest.json"
 
 let save ~dir (m : t) =

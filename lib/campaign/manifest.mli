@@ -43,6 +43,13 @@ val make :
 val to_json : t -> Ferrum_telemetry.Json.t
 val of_json : Ferrum_telemetry.Json.t -> (t, string) result
 
+(** [compatible recorded fresh] is true when part files written under
+    the [recorded] manifest hold exactly the sample streams the
+    [fresh] configuration would produce — same program digest, seed,
+    samples, fault bits, scope, traced mode and shard map.  Display
+    metadata (benchmark/technique names, profile) is not compared. *)
+val compatible : t -> t -> bool
+
 val file : string
 (** ["manifest.json"] *)
 

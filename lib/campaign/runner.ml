@@ -15,7 +15,14 @@
 
    A shard's successful raw stream is also persisted verbatim to
    [part_dir]/shard-<i>.jsonl (write-then-rename), so an interrupted
-   campaign resumes by replaying finished shards from disk. *)
+   campaign resumes by replaying finished shards from disk.
+
+   Live stream vs canonical log: [on_event] observes events as they
+   arrive, including heartbeats from attempts that later die (each such
+   attempt is closed off by a Shard_retry marker).  Aggregating live
+   consumers should key on (shard, attempt) or on shard id with
+   last-write-wins, as the progress renderer does; the [result]'s
+   canonical log contains only each shard's successful attempt. *)
 
 module F = Ferrum_faultsim.Faultsim
 module Events = Ferrum_telemetry.Events
@@ -73,7 +80,7 @@ let parse_wire line : (wire, string) Stdlib.result =
 (* Runs in the forked child; never returns.  Exits with Unix._exit so
    no parent at_exit handler (test runners, sinks) fires twice. *)
 let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
-    ~die_after target (range : Shard.range) wfd =
+    ~die_after ~garble_after target (range : Shard.range) wfd =
   let oc = Unix.out_channel_of_descr wfd in
   let emit_line j =
     output_string oc (Json.to_string j);
@@ -98,6 +105,10 @@ let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
          | Some k when !done_ >= k ->
            flush oc;
            Unix._exit 66
+         | _ -> ());
+         (match garble_after with
+         | Some k when !done_ = k ->
+           output_string oc "{\"t\":\"bogus\"}\n"
          | _ -> ());
          emit_line
            (Json.Obj
@@ -146,6 +157,9 @@ type running = {
   mutable r_samples : Shard.sample_out list;  (** reversed *)
   mutable r_lines : string list;  (** reversed *)
   mutable r_done : bool;
+  mutable r_fail : string option;
+      (** protocol violation on this attempt's stream; treated like
+          worker death (kill, reap, retry) *)
 }
 
 let part_path dir shard = Filename.concat dir (Fmt.str "shard-%d.jsonl" shard)
@@ -208,8 +222,8 @@ let rec select_read fds =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fds
 
 let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
-    ?part_dir ?sabotage ~mode ~shards ~seed ~samples (target : F.target) :
-    result =
+    ?part_dir ?sabotage ?garble ~mode ~shards ~seed ~samples
+    (target : F.target) : result =
   let traced = mode = Traced in
   let ranges = Shard.plan ~shards ~samples in
   let k = Array.length ranges in
@@ -254,8 +268,13 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
         | Some f -> f ~shard:i ~attempt
         | None -> None
       in
+      let garble_after =
+        match garble with
+        | Some f -> f ~shard:i ~attempt
+        | None -> None
+      in
       worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard:i ~attempt
-        ~die_after target ranges.(i) wfd
+        ~die_after ~garble_after target ranges.(i) wfd
     | pid ->
       Unix.close wfd;
       running :=
@@ -269,9 +288,14 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
           r_samples = [];
           r_lines = [];
           r_done = false;
+          r_fail = None;
         }
         :: !running
   in
+  (* A line that fails to parse poisons the attempt: stop consuming,
+     drop the rest of the buffered data, and let the caller route the
+     worker through the ordinary death/retry path.  Never raise from
+     inside the select loop — that would leak live children. *)
   let feed r chunk =
     Buffer.add_string r.r_buf chunk;
     let data = Buffer.contents r.r_buf in
@@ -283,19 +307,38 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
       | Some nl ->
         let line = String.sub data start (nl - start) in
         if String.trim line <> "" then begin
-          (match parse_wire line with
+          match parse_wire line with
           | Ok (W_event e) ->
             fire e;
-            r.r_events <- e :: r.r_events
-          | Ok (W_sample s) -> r.r_samples <- s :: r.r_samples
-          | Ok W_done -> r.r_done <- true
+            r.r_events <- e :: r.r_events;
+            r.r_lines <- line :: r.r_lines;
+            consume (nl + 1)
+          | Ok (W_sample s) ->
+            r.r_samples <- s :: r.r_samples;
+            r.r_lines <- line :: r.r_lines;
+            consume (nl + 1)
+          | Ok W_done ->
+            r.r_done <- true;
+            r.r_lines <- line :: r.r_lines;
+            consume (nl + 1)
           | Error e ->
-            failwith (Fmt.str "campaign shard %d: %s" r.r_shard e));
-          r.r_lines <- line :: r.r_lines
-        end;
-        consume (nl + 1)
+            r.r_fail <- Some e;
+            Buffer.clear r.r_buf
+        end
+        else consume (nl + 1)
     in
     consume 0
+  in
+  (* Kill and reap every outstanding worker; used before the campaign
+     propagates a failure so no forked child outlives the parent. *)
+  let reap_all () =
+    List.iter
+      (fun r ->
+        (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] r.r_pid) with Unix.Unix_error _ -> ())
+      !running;
+    running := []
   in
   let finish r =
     (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
@@ -303,7 +346,7 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
     running := List.filter (fun x -> x != r) !running;
     let total = Shard.range_samples ranges.(r.r_shard) in
     let got = List.length r.r_samples in
-    if r.r_done && got = total then begin
+    if r.r_fail = None && r.r_done && got = total then begin
       let d =
         {
           d_events = List.rev r.r_events;
@@ -317,7 +360,11 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
       | None -> ()
     end
     else begin
-      let reason = status_reason status ~got ~total in
+      let reason =
+        match r.r_fail with
+        | Some e -> Fmt.str "protocol error after %d/%d samples: %s" got total e
+        | None -> status_reason status ~got ~total
+      in
       let marker =
         {
           Events.seq = 0;
@@ -329,10 +376,12 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
       fire marker;
       retry_markers.(r.r_shard) <- marker :: retry_markers.(r.r_shard);
       incr retried;
-      if r.r_attempt + 1 > retries then
+      if r.r_attempt + 1 > retries then begin
+        reap_all ();
         failwith
           (Fmt.str "campaign shard %d failed after %d attempts: %s" r.r_shard
              (r.r_attempt + 1) reason)
+      end
       else spawn r.r_shard (r.r_attempt + 1)
     end
   in
@@ -356,7 +405,13 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
           | Some r -> (
             match Unix.read fd buf 0 (Bytes.length buf) with
             | 0 -> finish r
-            | n -> feed r (Bytes.sub_string buf 0 n)
+            | n ->
+              feed r (Bytes.sub_string buf 0 n);
+              if r.r_fail <> None then begin
+                (try Unix.kill r.r_pid Sys.sigkill
+                 with Unix.Unix_error _ -> ());
+                finish r
+              end
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
         ready
     end

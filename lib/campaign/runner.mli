@@ -36,14 +36,22 @@ type result = {
 
     [heartbeats] (default 8) progress events per shard; [retries]
     (default 2) extra attempts per shard before the campaign fails;
-    [on_event] observes events live in arrival order (the [result]'s
-    canonical log is ordered and renumbered); [part_dir] persists each
+    [on_event] observes events live in arrival order — including
+    heartbeats from attempts that later die, each closed off by a
+    [Shard_retry] marker, so aggregating consumers should key on
+    (shard, attempt) or treat a shard's latest event as authoritative
+    (the [result]'s canonical log is ordered, renumbered and contains
+    only successful attempts); [part_dir] persists each
     finished shard's stream (write-then-rename) and, when present
     beforehand, resumes from any complete part files found there;
     [sabotage] (tests) makes a worker die after [k] samples when it
-    returns [Some k] for a (shard, attempt).
+    returns [Some k] for a (shard, attempt); [garble] (tests) makes a
+    worker emit a malformed protocol line after [k] samples instead.
 
-    Raises [Failure] if a shard exhausts its retries. *)
+    Malformed worker output is treated like worker death: the worker
+    is killed and the shard retried.  Raises [Failure] if a shard
+    exhausts its retries — outstanding workers are killed and reaped
+    before the exception propagates. *)
 val run :
   ?fault_bits:int ->
   ?heartbeats:int ->
@@ -52,6 +60,7 @@ val run :
   ?on_event:(Events.t -> unit) ->
   ?part_dir:string ->
   ?sabotage:(shard:int -> attempt:int -> int option) ->
+  ?garble:(shard:int -> attempt:int -> int option) ->
   mode:mode ->
   shards:int ->
   seed:int64 ->

@@ -289,6 +289,59 @@ let test_worker_death () =
     Alcotest.(check bool) "replayed tally" true
       (tally = Runner.tally_of_counts r.Runner.counts)
 
+(* A malformed protocol line must not abort the campaign (or leak the
+   other workers): the offending worker is killed and its shard retried
+   through the ordinary death path. *)
+let test_protocol_error () =
+  let img = Machine.load (checked_program ()) in
+  let target = F.prepare img in
+  let ref_lines, ref_counts, _ = sequential ~traced:false ~seed ~samples img in
+  let garble ~shard ~attempt =
+    if shard = 1 && attempt = 0 then Some 2 else None
+  in
+  let r =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~garble target
+  in
+  Alcotest.(check int) "one retry" 1 r.Runner.retried;
+  Alcotest.(check (list string)) "records unaffected" ref_lines
+    r.Runner.record_lines;
+  Alcotest.(check bool) "counts unaffected" true (r.Runner.counts = ref_counts);
+  match
+    List.filter_map
+      (fun (e : Events.t) ->
+        match e.Events.body with
+        | Events.Shard_retry { reason } -> Some reason
+        | _ -> None)
+      r.Runner.events
+  with
+  | [ reason ] ->
+    Alcotest.(check bool) "reason names the protocol error" true
+      (contains ~affix:"protocol error" reason)
+  | l -> Alcotest.failf "expected one retry marker, got %d" (List.length l)
+
+(* A corrupt part file is rejected by the resume loader, so the shard
+   re-runs and the merged output is unchanged. *)
+let test_corrupt_part_rejected () =
+  let target = fixture_target () in
+  let reference =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples target
+  in
+  let dir = tmp_dir "corrupt" in
+  ignore
+    (Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~part_dir:dir
+       target);
+  let part = Filename.concat dir "shard-1.jsonl" in
+  let oc = open_out part in
+  output_string oc "{\"t\":\"bogus\"}\n";
+  close_out oc;
+  let resumed =
+    Runner.run ~mode:Runner.Inject ~shards:3 ~seed ~samples ~part_dir:dir
+      target
+  in
+  Alcotest.(check (list string)) "records unaffected"
+    reference.Runner.record_lines resumed.Runner.record_lines;
+  rm_rf dir
+
 let test_resume_from_parts () =
   let target = fixture_target () in
   let dir = tmp_dir "resume" in
@@ -342,6 +395,40 @@ let test_manifest_roundtrip () =
   | Ok m' -> Alcotest.(check bool) "round-trip" true (m = m')
   | Error e -> Alcotest.failf "load failed: %s" e);
   rm_rf dir
+
+(* Manifest compatibility is what lets a fresh run trust (or clear) a
+   directory's part files: any field feeding per-sample derivation or
+   shard layout must match; display metadata may differ. *)
+let test_manifest_compatible () =
+  let p = checked_program () in
+  let target = F.prepare (Machine.load p) in
+  let make ?(benchmark = "fixture") ?(samples = samples) ?(seed = seed)
+      ?(shards = 3) ?(fault_bits = 1) ?(all_sites = false) ?(traced = true)
+      ?(program = p) () =
+    Manifest.make ~benchmark ~technique:"raw" ~samples ~seed ~shards
+      ~fault_bits ~all_sites ~traced ~program target
+  in
+  let base = make () in
+  let check name expected m =
+    Alcotest.(check bool) name expected (Manifest.compatible base m)
+  in
+  check "identical config" true (make ());
+  check "display-only drift" true (make ~benchmark:"renamed" ());
+  check "seed change" false (make ~seed:8L ());
+  check "sample-count change" false (make ~samples:(samples + 1) ());
+  check "shard-map change" false (make ~shards:4 ());
+  check "fault-width change" false (make ~fault_bits:2 ());
+  check "scope change" false (make ~all_sites:true ());
+  check "traced change" false (make ~traced:false ());
+  let other =
+    Prog.program
+      [ Prog.func "main"
+          [ Prog.block "main"
+              [ Instr.original
+                  (Instr.Mov (Reg.Q, Instr.Imm 9L, Instr.Reg Reg.RDI));
+                Instr.original Instr.Ret ] ] ]
+  in
+  check "program change" false (make ~program:other ())
 
 let test_run_dir_replay_equality () =
   let p = checked_program () in
@@ -421,6 +508,10 @@ let () =
         [
           Alcotest.test_case "worker death, ordered reassembly" `Quick
             test_worker_death;
+          Alcotest.test_case "protocol error, kill and retry" `Quick
+            test_protocol_error;
+          Alcotest.test_case "corrupt part file rejected" `Quick
+            test_corrupt_part_rejected;
           Alcotest.test_case "resume from part files" `Quick
             test_resume_from_parts;
         ] );
@@ -428,6 +519,8 @@ let () =
         [
           Alcotest.test_case "save/load round-trip" `Quick
             test_manifest_roundtrip;
+          Alcotest.test_case "compatibility gate" `Quick
+            test_manifest_compatible;
           Alcotest.test_case "run directories replay equal" `Quick
             test_run_dir_replay_equality;
         ] );
