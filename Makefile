@@ -5,7 +5,7 @@ VMAP = /tmp/ferrum_vulnmap.jsonl
 LINTM = /tmp/ferrum_lint.jsonl
 CAMP = /tmp/ferrum_campaign
 
-.PHONY: all build test fmt smoke lint campaign bench-snapshot check clean
+.PHONY: all build test fmt smoke lint campaign perf bench-snapshot check clean
 
 all: build
 
@@ -75,6 +75,12 @@ campaign: build
 	cmp $(CAMP)/injection.jsonl $(CAMP).seq
 	@echo "campaign: sharded run valid, reproducible and sequential-identical"
 
+# Injection-engine throughput smoke (E16): the checkpointed engine must
+# be at least as fast as the scratch path, and all engines must agree on
+# outcome counts.
+perf: build
+	$(BENCH) perf --smoke --samples 300
+
 # Append-only benchmark snapshots: writes the next free BENCH_<n>.json
 # (ferrum.bench.v1) from a small seeded run.
 bench-snapshot: build
@@ -83,7 +89,7 @@ bench-snapshot: build
 	$(CLI) metrics BENCH_$$n.json && \
 	echo "bench-snapshot: wrote BENCH_$$n.json"
 
-check: fmt build test smoke lint campaign
+check: fmt build test smoke lint campaign perf
 
 clean:
 	dune clean

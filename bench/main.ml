@@ -25,15 +25,15 @@ let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
     \                 ablation|allsites|multibit|peephole|selective|vulnmap|\n\
-    \                 lint|micro|all]\n\
+    \                 perf|lint|micro|all]\n\
     \                [--samples N] [--seed N] [--shards N] [--csv PATH]\n\
-    \                [--metrics PATH] [--vulnmap DIR]";
+    \                [--metrics PATH] [--vulnmap DIR] [--smoke]";
   exit 2
 
 type cmd =
   | Table1 | Table2 | Fig10 | Fig11 | Exectime | Outcomes | Summary
   | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | VulnmapCmd
-  | LintCmd | Micro | All
+  | LintCmd | Micro | Perf | All
   | Default
 
 let parse_args () =
@@ -44,6 +44,7 @@ let parse_args () =
   let csv = ref None in
   let metrics = ref None in
   let vulnmap_dir = ref None in
+  let smoke = ref false in
   let rec go = function
     | [] -> ()
     | "--samples" :: n :: rest ->
@@ -64,6 +65,9 @@ let parse_args () =
     | "--vulnmap" :: dir :: rest ->
       vulnmap_dir := Some dir;
       go rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      go rest
     | arg :: rest ->
       (cmd :=
          match arg with
@@ -82,12 +86,13 @@ let parse_args () =
          | "vulnmap" -> VulnmapCmd
          | "lint" -> LintCmd
          | "micro" -> Micro
+         | "perf" -> Perf
          | "all" -> All
          | _ -> usage ());
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!cmd, !samples, !seed, !shards, !csv, !metrics, !vulnmap_dir)
+  (!cmd, !samples, !seed, !shards, !csv, !metrics, !vulnmap_dir, !smoke)
 
 (* ------------------------------------------------------------------ *)
 (* Detection-latency comparison across techniques (vulnmap campaigns). *)
@@ -275,6 +280,86 @@ let lint_compare ~samples ~seed =
        ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* E16: injection-engine throughput (scratch vs pooled vs checkpointed).*)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end campaign throughput per execution engine, on the
+   FERRUM-protected catalogue.  Counts are cross-checked across engines
+   (they must agree exactly — the engines are bit-identical by
+   construction and by the test battery).  With [smoke] set, only the
+   first workload runs and the function fails loudly unless the
+   checkpointed engine is at least as fast as scratch — the `make perf`
+   regression gate. *)
+let perf_compare ~samples ~seed ~smoke =
+  let engines =
+    [ F.Scratch; F.Pooled; F.default_engine ]
+  in
+  let entries =
+    if smoke then [ List.hd Ferrum_workloads.Catalog.all ]
+    else Ferrum_workloads.Catalog.all
+  in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun (entry : Ferrum_workloads.Catalog.entry) ->
+        let m = entry.build () in
+        let p =
+          (Ferrum_eddi.Pipeline.protect Ferrum_eddi.Technique.Ferrum m)
+            .program
+        in
+        let img = Ferrum_machine.Machine.load p in
+        let timed engine =
+          let t0 = Unix.gettimeofday () in
+          let res = F.campaign ~seed ~samples ~engine img in
+          let dt = Unix.gettimeofday () -. t0 in
+          (res.F.counts, float_of_int samples /. dt, dt)
+        in
+        let per = List.map (fun e -> (e, timed e)) engines in
+        let counts = List.map (fun (_, (c, _, _)) -> c) per in
+        let reference = List.hd counts in
+        if not (List.for_all (fun c -> c = reference) counts) then begin
+          Fmt.epr "[perf] %s: engines disagree on outcome counts!@."
+            entry.name;
+          failed := true
+        end;
+        let sps e =
+          let _, (_, s, _) = List.nth per e in
+          s
+        in
+        let scratch = sps 0 and pooled = sps 1 and ckpt = sps 2 in
+        if smoke && ckpt < scratch then begin
+          Fmt.epr
+            "[perf] %s: checkpointed engine slower than scratch (%.0f vs \
+             %.0f samples/s)@."
+            entry.name ckpt scratch;
+          failed := true
+        end;
+        [
+          entry.name;
+          Fmt.str "%.0f" scratch;
+          Fmt.str "%.0f" pooled;
+          Fmt.str "%.0f" ckpt;
+          Fmt.str "%.1fx" (ckpt /. scratch);
+        ])
+      entries
+  in
+  let table =
+    Fmt.str
+      "Injection throughput by engine (samples/sec, %d samples, seed %Ld;\n\
+       speedup = checkpointed over scratch)@.%s"
+      samples seed
+      (R.Ascii.table
+         ~header:[ "benchmark"; "scratch"; "pooled"; "ckpt-4096"; "speedup" ]
+         ~rows)
+  in
+  if !failed then begin
+    print_endline table;
+    Fmt.epr "[perf] FAILED@.";
+    exit 1
+  end;
+  table
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the toolchain.                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -341,7 +426,9 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd, samples, seed, shards, csv, metrics, vulnmap_dir = parse_args () in
+  let cmd, samples, seed, shards, csv, metrics, vulnmap_dir, smoke =
+    parse_args ()
+  in
   let options perf_only =
     { Experiments.default_options with
       samples = (if perf_only then 0 else samples);
@@ -430,6 +517,9 @@ let () =
            vulnmap_compare ~samples ~seed ~shards vulnmap_dir))
   | LintCmd ->
     print_endline (timed "lint" (fun () -> lint_compare ~samples ~seed))
+  | Perf ->
+    print_endline
+      (timed "perf" (fun () -> perf_compare ~samples ~seed ~smoke))
   | Micro -> micro ());
   match metrics with
   | Some path ->

@@ -80,6 +80,38 @@ let fault_bits_arg =
   let doc = "Bits flipped per fault (>1 reproduces multi-bit upsets, E11)." in
   Arg.(value & opt int 1 & info [ "fault-bits" ] ~doc)
 
+(* Execution engine: checkpointed by default, `--no-checkpoints` falls
+   back to the pooled scratch path.  Both are bit-identical to the
+   historical scratch engine; the escape hatch exists for debugging and
+   perf comparison. *)
+let checkpoint_interval_arg =
+  let doc =
+    "Golden-run checkpoint spacing in dynamic instructions; each \
+     injection resumes from the nearest checkpoint below its flip \
+     point."
+  in
+  Arg.(value & opt int 4096 & info [ "checkpoint-interval" ] ~docv:"N" ~doc)
+
+let no_checkpoints_arg =
+  let doc =
+    "Disable golden-run checkpoints (injections re-execute from program \
+     start on a pooled state).  Results are bit-identical either way."
+  in
+  Arg.(value & flag & info [ "no-checkpoints" ] ~doc)
+
+let engine_term =
+  let make interval no_checkpoints =
+    if no_checkpoints then F.Pooled
+    else begin
+      if interval < 1 then begin
+        Fmt.epr "ferrum: --checkpoint-interval must be >= 1@.";
+        exit 2
+      end;
+      F.Checkpointed interval
+    end
+  in
+  Term.(const make $ checkpoint_interval_arg $ no_checkpoints_arg)
+
 let optimize_arg =
   let doc = "Run the backend peephole optimiser before protection (E9)." in
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
@@ -273,7 +305,7 @@ let progress_arg =
   Arg.(value & flag & info [ "progress" ] ~doc)
 
 let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-    ~metrics ~progress img =
+    ~engine ~metrics ~progress img =
   let scope = if all_sites then F.All_sites else F.Original_only in
   let heartbeat =
     if progress then
@@ -281,7 +313,9 @@ let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
     else fun _ -> ()
   in
   match metrics with
-  | None -> F.campaign ~scope ~seed ~samples ~fault_bits ~on_record:heartbeat img
+  | None ->
+    F.campaign ~scope ~seed ~samples ~fault_bits ~engine
+      ~on_record:heartbeat img
   | Some path ->
     let sink = Metrics.file_sink path in
     Metrics.emit sink
@@ -295,19 +329,20 @@ let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
     let res =
       Fun.protect
         ~finally:(fun () -> Metrics.close sink)
-        (fun () -> F.campaign ~scope ~seed ~samples ~fault_bits ~on_record img)
+        (fun () ->
+          F.campaign ~scope ~seed ~samples ~fault_bits ~engine ~on_record img)
     in
     Fmt.epr "[inject] wrote %s@." path;
     res
 
 let inject_cmd =
-  let run bench technique knobs samples seed all_sites fault_bits verbose
-      metrics progress =
+  let run bench technique knobs samples seed all_sites fault_bits engine
+      verbose metrics progress =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
     let res =
       run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-        ~metrics ~progress img
+        ~engine ~metrics ~progress img
     in
     Fmt.pr "%a@." F.pp_counts res.F.counts;
     Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
@@ -330,8 +365,8 @@ let inject_cmd =
           registers of sampled dynamic instructions.")
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
-      $ seed_arg $ all_sites_arg $ fault_bits_arg $ verbose_arg
-      $ metrics_arg $ progress_arg)
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
+      $ verbose_arg $ metrics_arg $ progress_arg)
 
 (* ---- trace: annotated execution trace / flight-recorder dump ---- *)
 
@@ -820,8 +855,8 @@ let metrics_cmd =
 (* ---- vulnmap: per-site vulnerability map with detection latency ---- *)
 
 let vulnmap_cmd =
-  let run bench technique knobs samples seed all_sites fault_bits metrics
-      only_sampled progress =
+  let run bench technique knobs samples seed all_sites fault_bits engine
+      metrics only_sampled progress =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
     let scope = if all_sites then F.All_sites else F.Original_only in
@@ -832,7 +867,7 @@ let vulnmap_cmd =
     in
     let v =
       try
-        F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits
+        F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits ~engine
           ~on_record:heartbeat img
       with Invalid_argument msg ->
         Fmt.epr "%s@." msg;
@@ -865,8 +900,8 @@ let vulnmap_cmd =
           --metrics exports it as ferrum.vulnmap.v1 JSONL.")
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
-      $ seed_arg $ all_sites_arg $ fault_bits_arg $ metrics_arg
-      $ only_sampled_arg $ progress_arg)
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
+      $ metrics_arg $ only_sampled_arg $ progress_arg)
 
 (* ---- lint: static protection verifier ---- *)
 
@@ -1084,7 +1119,7 @@ let cc_cmd =
       let img = Machine.load (program ()) in
       let res =
         run_campaign ?technique ~bench:file ~samples ~seed ~all_sites:false
-          ~fault_bits ~metrics ~progress:false img
+          ~fault_bits ~engine:F.default_engine ~metrics ~progress:false img
       in
       Fmt.pr "%a@." F.pp_counts res.F.counts;
       Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
@@ -1114,13 +1149,13 @@ let cc_cmd =
 (* ---- campaign: sharded fork-pool campaign -> run directory ---- *)
 
 let campaign_cmd =
-  let run bench technique knobs samples seed all_sites fault_bits shards
-      workers no_trace out events_path html_path resume progress =
+  let run bench technique knobs samples seed all_sites fault_bits engine
+      shards workers no_trace out events_path html_path resume progress =
     (* Configuration comes from the command line (BENCH given) or from a
        previous run's manifest (--resume DIR); the manifest's program
        digest gates resume against workload or knob drift. *)
-    let bench, technique, samples, seed, all_sites, fault_bits, shards,
-        traced, out, prior =
+    let bench, technique, samples, seed, all_sites, fault_bits, engine,
+        shards, traced, out, prior =
       match resume with
       | Some dir -> (
         match Manifest.load ~dir with
@@ -1138,10 +1173,18 @@ let campaign_cmd =
                   dir m.Manifest.technique;
                 exit 1
           in
+          let engine =
+            match F.engine_of_name m.Manifest.engine with
+            | Some e -> e
+            | None ->
+              Fmt.epr "--resume %s: unknown engine %S in manifest@." dir
+                m.Manifest.engine;
+              exit 1
+          in
           ( m.Manifest.benchmark, technique, m.Manifest.samples,
             m.Manifest.seed, m.Manifest.scope = "all-sites",
-            m.Manifest.fault_bits, m.Manifest.shards, m.Manifest.traced,
-            dir, Some m ))
+            m.Manifest.fault_bits, engine, m.Manifest.shards,
+            m.Manifest.traced, dir, Some m ))
       | None -> (
         match bench with
         | None ->
@@ -1156,7 +1199,7 @@ let campaign_cmd =
                 (bench ^ "." ^ technique_name technique)
           in
           ( bench, technique, samples, seed, all_sites, fault_bits,
-            shards, not no_trace, out, None ))
+            engine, shards, not no_trace, out, None ))
     in
     let p = program_of ?technique knobs (find_bench bench) in
     (match prior with
@@ -1170,7 +1213,7 @@ let campaign_cmd =
     let img = Machine.load p in
     let scope = if all_sites then F.All_sites else F.Original_only in
     let target =
-      try F.prepare ~scope img
+      try F.prepare ~scope ~engine img
       with Invalid_argument msg ->
         Fmt.epr "%s@." msg;
         exit 1
@@ -1307,9 +1350,9 @@ let campaign_cmd =
           dashboard.")
     Term.(
       const run $ bench_opt_arg $ protect_arg $ knobs_term $ samples_arg
-      $ seed_arg $ all_sites_arg $ fault_bits_arg $ shards_arg
-      $ workers_arg $ no_trace_arg $ out_arg $ events_arg $ html_arg
-      $ resume_arg $ progress_arg)
+      $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
+      $ shards_arg $ workers_arg $ no_trace_arg $ out_arg $ events_arg
+      $ html_arg $ resume_arg $ progress_arg)
 
 (* ---- report ---- *)
 

@@ -23,6 +23,7 @@ type t = {
   fault_bits : int;
   scope : string;  (** "original" | "all-sites" *)
   traced : bool;
+  engine : string;  (** execution engine, {!F.engine_name} form *)
   shard_map : Shard.range array;
   program_digest : string;  (** MD5 hex of the printed assembly *)
   static_instructions : int;
@@ -49,6 +50,7 @@ let make ~benchmark ~technique ~samples ~seed ~shards ~fault_bits ~all_sites
     fault_bits;
     scope = (if all_sites then "all-sites" else "original");
     traced;
+    engine = F.engine_name target.F.engine;
     shard_map = Shard.plan ~shards ~samples;
     program_digest = program_digest program;
     static_instructions = Array.length target.F.img.F.Machine.code;
@@ -80,6 +82,7 @@ let to_json (m : t) : Json.t =
       ("fault_bits", Json.Int m.fault_bits);
       ("scope", Json.Str m.scope);
       ("traced", Json.Int (if m.traced then 1 else 0));
+      ("engine", Json.Str m.engine);
       ( "shard_map",
         Json.Arr
           (Array.to_list m.shard_map
@@ -134,6 +137,7 @@ let of_json (j : Json.t) : (t, string) result =
   let* fault_bits = int_member "fault_bits" j in
   let* scope = str_member "scope" j in
   let* traced = int_member "traced" j in
+  let* engine = str_member "engine" j in
   let* shard_map =
     match Json.member "shard_map" j with
     | Some (Json.Arr rs) ->
@@ -194,6 +198,7 @@ let of_json (j : Json.t) : (t, string) result =
       fault_bits;
       scope;
       traced = traced <> 0;
+      engine;
       shard_map;
       program_digest;
       static_instructions;
@@ -215,6 +220,7 @@ let compatible (recorded : t) (fresh : t) =
   && recorded.fault_bits = fresh.fault_bits
   && recorded.scope = fresh.scope
   && recorded.traced = fresh.traced
+  && recorded.engine = fresh.engine
   && recorded.shard_map = fresh.shard_map
 
 let file = "manifest.json"

@@ -20,6 +20,7 @@ type t = {
   fault_bits : int;
   scope : string;  (** "original" | "all-sites" *)
   traced : bool;
+  engine : string;  (** execution engine, {!F.engine_name} form *)
   shard_map : Shard.range array;
   program_digest : string;  (** MD5 hex of the printed assembly *)
   static_instructions : int;
@@ -46,7 +47,10 @@ val of_json : Ferrum_telemetry.Json.t -> (t, string) result
 (** [compatible recorded fresh] is true when part files written under
     the [recorded] manifest hold exactly the sample streams the
     [fresh] configuration would produce — same program digest, seed,
-    samples, fault bits, scope, traced mode and shard map.  Display
+    samples, fault bits, scope, traced mode, execution engine and
+    shard map.  Engines produce bit-identical streams, but gating on
+    the engine keeps a run directory attributable to one execution
+    path (and protects resumes if an engine ever changes).  Display
     metadata (benchmark/technique names, profile) is not compared. *)
 val compatible : t -> t -> bool
 

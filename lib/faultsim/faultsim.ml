@@ -13,8 +13,40 @@
 
 open Ferrum_asm
 module Machine = Ferrum_machine.Machine
+module Snapshot = Ferrum_machine.Snapshot
 
 type scope = Original_only | All_sites
+
+(* How injected runs execute.  All three produce bit-identical
+   classifications, records and JSONL streams; they differ only in
+   speed.  [Scratch] is the historical reference path: a fresh 1 MiB
+   state per sample, the whole prefix re-executed under the observer.
+   [Pooled] reuses one state per target/worker (dirty pages undone
+   incrementally) and runs the pre-flip prefix unobserved.
+   [Checkpointed k] additionally restores the golden-run checkpoint
+   nearest below the sampled flip point, so each sample pays only the
+   suffix. *)
+type engine = Scratch | Pooled | Checkpointed of int
+
+let default_engine = Checkpointed 4096
+
+let engine_name = function
+  | Scratch -> "scratch"
+  | Pooled -> "pooled"
+  | Checkpointed k -> Printf.sprintf "ckpt-%d" k
+
+let engine_of_name s =
+  match s with
+  | "scratch" -> Some Scratch
+  | "pooled" -> Some Pooled
+  | _ ->
+    let prefix = "ckpt-" in
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some k when k >= 1 -> Some (Checkpointed k)
+      | _ -> None
+    else None
 
 (* Outcome of one injected run, classified against the golden run. *)
 type classification =
@@ -88,7 +120,11 @@ let eligibility (img : Machine.image) scope =
       prov_ok && img.Machine.dests.(i) <> [])
     img.Machine.code
 
-(* A profiled program ready for injection. *)
+(* A profiled program ready for injection.  The checkpoint cache and the
+   pooled slots are built lazily on first use and never cross process
+   boundaries usefully by reference — a forked campaign worker that
+   inherits a not-yet-built cache builds its own, amortized over its
+   whole shard range. *)
 type target = {
   img : Machine.image;
   eligible : bool array;
@@ -97,13 +133,18 @@ type target = {
   golden_cycles : float;
   eligible_steps : int; (* dynamic count of eligible write-backs *)
   fuel : int;
+  engine : engine;
+  mutable cache_ : Snapshot.cache option; (* lazy, per process *)
+  mutable slot_ : Snapshot.slot option; (* pooled injected-run state *)
+  mutable golden_slot_ : Snapshot.slot option; (* pooled lockstep golden *)
 }
 
 exception Golden_failure of string
 
 (* Profile the fault-free run: output, step count, and the number of
    eligible dynamic injection sites. *)
-let prepare ?(scope = Original_only) (img : Machine.image) : target =
+let prepare ?(scope = Original_only) ?(engine = default_engine)
+    (img : Machine.image) : target =
   let eligible = eligibility img scope in
   let count = ref 0 in
   let on_step _st idx = if eligible.(idx) then incr count in
@@ -118,10 +159,43 @@ let prepare ?(scope = Original_only) (img : Machine.image) : target =
       golden_cycles = st.Machine.cycles;
       eligible_steps = !count;
       fuel = (st.Machine.steps * 3) + 100_000;
+      engine;
+      cache_ = None;
+      slot_ = None;
+      golden_slot_ = None;
     }
   | o ->
     raise
       (Golden_failure (Fmt.str "golden run did not exit: %a" Machine.pp_outcome o))
+
+let cache (t : target) =
+  match t.cache_ with
+  | Some c -> c
+  | None ->
+    let interval =
+      match t.engine with
+      | Checkpointed k -> Some k
+      | Scratch | Pooled -> None
+    in
+    let c = Snapshot.build ?interval ~counted:(fun i -> t.eligible.(i)) t.img in
+    t.cache_ <- Some c;
+    c
+
+let slot (t : target) =
+  match t.slot_ with
+  | Some s -> s
+  | None ->
+    let s = Snapshot.make_slot (cache t) in
+    t.slot_ <- Some s;
+    s
+
+let golden_slot (t : target) =
+  match t.golden_slot_ with
+  | Some s -> s
+  | None ->
+    let s = Snapshot.make_slot (cache t) in
+    t.golden_slot_ <- Some s;
+    s
 
 (* ------------------------------------------------------------------ *)
 (* One injection.                                                      *)
@@ -188,6 +262,32 @@ let flip_dest ?(bits = 1) rng st (dest : Instr.dest) =
    the injection logic on every retired instruction, so it sees
    post-flip state.  Returns the classification, the fault description
    and the final machine state. *)
+let classify (t : target) = function
+  | Machine.Exit out ->
+    if
+      List.compare_lengths out t.golden_output = 0
+      && List.for_all2 Int64.equal out t.golden_output
+    then Benign
+    else Sdc
+  | Machine.Detected -> Detected
+  | Machine.Crash _ -> Crash
+  | Machine.Timeout -> Timeout
+
+(* The fault record of a run that ended before the chosen site was
+   reached (possible only if dyn_index is out of range). *)
+let unreached_fault dyn_index =
+  { dyn_index; static_index = -1; dest_desc = "unreached"; dest_info = None;
+    bit = -1 }
+
+(* Pick a destination of the instruction at [idx] and flip [fault_bits]
+   bits of it — exactly the RNG draws {!inject_full}'s observer makes,
+   in the same order. *)
+let apply_flip ~fault_bits (t : target) rng st ~dyn_index idx : fault =
+  let dests = t.img.Machine.dests.(idx) in
+  let d = List.nth dests (Rng.int rng (List.length dests)) in
+  let dest_desc, info, bit = flip_dest ~bits:fault_bits rng st d in
+  { dyn_index; static_index = idx; dest_desc; dest_info = Some info; bit }
+
 let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
     ~dyn_index : classification * fault * Machine.state =
   let st = Machine.fresh_state t.img in
@@ -196,18 +296,7 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
   let on_step mstate idx =
     if t.eligible.(idx) then begin
       if !seen = dyn_index then begin
-        let dests = t.img.Machine.dests.(idx) in
-        let d = List.nth dests (Rng.int rng (List.length dests)) in
-        let dest_desc, info, bit = flip_dest ~bits:fault_bits rng mstate d in
-        fault :=
-          Some
-            {
-              dyn_index;
-              static_index = idx;
-              dest_desc;
-              dest_info = Some info;
-              bit;
-            };
+        fault := Some (apply_flip ~fault_bits t rng mstate ~dyn_index idx);
         match on_inject with Some f -> f mstate | None -> ()
       end;
       incr seen
@@ -215,33 +304,68 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
     match observe with Some f -> f mstate idx | None -> ()
   in
   let outcome = Machine.run ~fuel:t.fuel ~on_step t.img st in
-  let cls =
-    match outcome with
-    | Machine.Exit out ->
-      if
-        List.compare_lengths out t.golden_output = 0
-        && List.for_all2 Int64.equal out t.golden_output
-      then Benign
-      else Sdc
-    | Machine.Detected -> Detected
-    | Machine.Crash _ -> Crash
-    | Machine.Timeout -> Timeout
-  in
+  let cls = classify t outcome in
   let fault =
-    match !fault with
-    | Some f -> f
-    | None ->
-      (* the run ended before the chosen site was reached (possible only
-         if dyn_index is out of range) *)
-      {
-        dyn_index;
-        static_index = -1;
-        dest_desc = "unreached";
-        dest_info = None;
-        bit = -1;
-      }
+    match !fault with Some f -> f | None -> unreached_fault dyn_index
   in
   (cls, fault, st)
+
+(* ------------------------------------------------------------------ *)
+(* Fast injection: pooled states, unobserved prefix, checkpoints.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute [st] unobserved until it is positioned at the flip site —
+   the next instruction is eligible and [!seen = dyn_index] — or the
+   run ends first.  Returns [None] when positioned (the flip
+   instruction has *not* executed yet; {!Machine.step} reports the
+   pre-step ip, so stopping on [st.ip] is exact), or [Some outcome]
+   mirroring {!Machine.run}'s fuel / wild-control / halt / trap
+   semantics, in {!Machine.run}'s check order (fuel before bounds). *)
+let rec run_prefix (t : target) len st seen ~dyn_index =
+  if st.Machine.steps >= t.fuel then Some Machine.Timeout
+  else
+    let ip = st.Machine.ip in
+    if ip >= len || ip < 0 then
+      Some (Machine.Crash (Printf.sprintf "control reached 0x%x" ip))
+    else if t.eligible.(ip) && !seen = dyn_index then None
+    else
+      match Machine.step t.img st with
+      | exception Machine.Halt o -> Some o
+      | exception Machine.Trap m -> Some (Machine.Crash m)
+      | idx ->
+        if t.eligible.(idx) then incr seen;
+        run_prefix t len st seen ~dyn_index
+
+(* {!inject_full}'s exact semantics on a pooled, checkpoint-restored
+   state: restore the nearest checkpoint at or below the flip point, run
+   the remaining prefix unobserved, execute the flip instruction, flip,
+   and run the suffix.  Steps, cycles and fuel all count from program
+   start because the restored checkpoint carries them.  The returned
+   state is the pooled slot's — valid until the next sample. *)
+let inject_fast ~fault_bits (t : target) rng ~dyn_index :
+    classification * fault * Machine.state =
+  let sl = slot t in
+  let seen = ref (Snapshot.restore sl ~dyn_index) in
+  let st = Snapshot.state sl in
+  match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
+  | Some o -> (classify t o, unreached_fault dyn_index, st)
+  | None -> (
+    let idx = st.Machine.ip in
+    match Machine.step t.img st with
+    | _retired ->
+      let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
+      let outcome = Machine.run ~fuel:t.fuel t.img st in
+      (classify t outcome, fault, st)
+    | exception Machine.Halt o ->
+      (* Unreachable in practice — halting instructions define no
+         destinations, so they are never eligible — but mirror
+         {!Machine.run}, whose observer fires on the halting step. *)
+      let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
+      (classify t o, fault, st)
+    | exception Machine.Trap m ->
+      (* A trapped step is never observed by {!Machine.run}: no flip,
+         no RNG draws, the fault stays unreached. *)
+      (classify t (Machine.Crash m), unreached_fault dyn_index, st))
 
 let inject ?fault_bits (t : target) rng ~dyn_index : classification * fault =
   let cls, fault, _st = inject_full ?fault_bits t rng ~dyn_index in
@@ -380,7 +504,11 @@ let campaign_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
     classification * fault * record =
   let rng = Rng.split_at ~seed sample in
   let dyn_index = Rng.int rng t.eligible_steps in
-  let cls, fault, st = inject_full ~fault_bits t rng ~dyn_index in
+  let cls, fault, st =
+    match t.engine with
+    | Scratch -> inject_full ~fault_bits t rng ~dyn_index
+    | Pooled | Checkpointed _ -> inject_fast ~fault_bits t rng ~dyn_index
+  in
   ( cls,
     fault,
     make_record t ~sample cls fault ~steps:st.Machine.steps
@@ -389,9 +517,9 @@ let campaign_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
 (* Sample [samples] single-fault runs with the given seed.  [on_record]
    streams one structured record per injection, in sample order;
    [progress] is called after every sample with (done, total). *)
-let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
+let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1) ?engine
     ?on_record ?progress ~samples img =
-  let t = prepare ~scope img in
+  let t = prepare ~scope ?engine img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.campaign: no eligible injection sites";
   let rec go sample counts faults =
@@ -437,6 +565,52 @@ let trace_propagation ?fault_bits (t : target) rng ~dyn_index :
   in
   (cls, fault, Propagation.finish tracer st)
 
+(* {!trace_propagation} on pooled, checkpoint-restored states.  The
+   tracer's observation of the pre-flip prefix is a no-op — injected and
+   golden states are bit-identical until the flip, so no divergence, no
+   taint, nothing recorded — which is what licenses skipping it: the
+   lockstep golden state is reconstructed at the flip site by restoring
+   a second slot to the same checkpoint and syncing the injected run's
+   dirty pages and registers onto it, and the tracer starts observing at
+   the flip instruction. *)
+let trace_fast ~fault_bits (t : target) rng ~dyn_index :
+    classification * fault * Propagation.summary =
+  let isl = slot t in
+  let seen = ref (Snapshot.restore isl ~dyn_index) in
+  let st = Snapshot.state isl in
+  match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
+  | Some o ->
+    (* Site unreached: the traced run never diverged, so the summary is
+       that of a tracer that observed nothing. *)
+    let tracer = Propagation.create t.img in
+    (classify t o, unreached_fault dyn_index, Propagation.finish tracer st)
+  | None -> (
+    let gsl = golden_slot t in
+    ignore (Snapshot.restore gsl ~dyn_index : int);
+    Snapshot.sync ~src:isl gsl;
+    let tracer = Propagation.create ~golden:(Snapshot.state gsl) t.img in
+    let idx = st.Machine.ip in
+    match Machine.step t.img st with
+    | _retired ->
+      let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
+      Propagation.note_injection tracer st;
+      Propagation.observe tracer st idx;
+      let outcome =
+        Machine.run ~fuel:t.fuel ~on_step:(Propagation.observe tracer) t.img
+          st
+      in
+      (classify t outcome, fault, Propagation.finish tracer st)
+    | exception Machine.Halt o ->
+      (* Unreachable (halting instructions are never eligible); mirrors
+         {!inject_full}'s observer firing on the halting step. *)
+      let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
+      Propagation.note_injection tracer st;
+      Propagation.observe tracer st idx;
+      (classify t o, fault, Propagation.finish tracer st)
+    | exception Machine.Trap m ->
+      (classify t (Machine.Crash m), unreached_fault dyn_index,
+       Propagation.finish tracer st))
+
 (* ------------------------------------------------------------------ *)
 (* Per-static-instruction vulnerability maps.                          *)
 (* ------------------------------------------------------------------ *)
@@ -467,7 +641,11 @@ let vulnmap_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
     classification * fault * record * Propagation.summary =
   let rng = Rng.split_at ~seed sample in
   let dyn_index = Rng.int rng t.eligible_steps in
-  let cls, fault, summary = trace_propagation ~fault_bits t rng ~dyn_index in
+  let cls, fault, summary =
+    match t.engine with
+    | Scratch -> trace_propagation ~fault_bits t rng ~dyn_index
+    | Pooled | Checkpointed _ -> trace_fast ~fault_bits t rng ~dyn_index
+  in
   ( cls,
     fault,
     make_record t ~sample cls fault ~steps:summary.Propagation.end_steps
@@ -535,8 +713,8 @@ let vulnmap_build b : vulnmap =
    static site.  [on_record] streams the same per-injection records as
    {!campaign}. *)
 let vulnmap_campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
-    ?on_record ?progress ~samples img : vulnmap =
-  let t = prepare ~scope img in
+    ?engine ?on_record ?progress ~samples img : vulnmap =
+  let t = prepare ~scope ?engine img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.vulnmap_campaign: no eligible injection sites";
   let b = vulnmap_builder t in

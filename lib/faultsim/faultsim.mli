@@ -16,6 +16,26 @@ module Machine = Ferrum_machine.Machine
     (DESIGN.md experiment E8). *)
 type scope = Original_only | All_sites
 
+(** How injected runs execute.  All three engines produce bit-identical
+    classifications, records and JSONL streams; they differ only in
+    speed.  [Scratch]: a fresh state per sample, full observed prefix
+    (the historical reference path).  [Pooled]: one reusable state per
+    target/worker, unobserved prefix.  [Checkpointed k]: additionally
+    restore the golden-run checkpoint (captured every [k] dynamic
+    instructions) nearest below the flip point, paying only the
+    suffix. *)
+type engine = Scratch | Pooled | Checkpointed of int
+
+(** [Checkpointed 4096]. *)
+val default_engine : engine
+
+(** ["scratch"], ["pooled"], ["ckpt-<k>"] — the form recorded in
+    campaign manifests. *)
+val engine_name : engine -> string
+
+(** Inverse of {!engine_name}; [None] on unknown names. *)
+val engine_of_name : string -> engine option
+
 (** Outcome of an injected run, classified against the golden run. *)
 type classification =
   | Benign  (** normal exit, output identical *)
@@ -52,7 +72,10 @@ val pp_counts : Format.formatter -> counts -> unit
 (** Per static instruction: is it a sampling-eligible site? *)
 val eligibility : Machine.image -> scope -> bool array
 
-(** A profiled program ready for injection. *)
+(** A profiled program ready for injection.  The trailing mutable
+    fields lazily cache the checkpoint set and the pooled run states;
+    they are built on first sample in each process (so each forked
+    campaign worker builds its own, amortized over its shard range). *)
 type target = {
   img : Machine.image;
   eligible : bool array;
@@ -61,13 +84,18 @@ type target = {
   golden_cycles : float;
   eligible_steps : int;  (** dynamic count of eligible write-backs *)
   fuel : int;  (** injected-run budget: 3x golden + slack *)
+  engine : engine;
+  mutable cache_ : Ferrum_machine.Snapshot.cache option;
+  mutable slot_ : Ferrum_machine.Snapshot.slot option;
+  mutable golden_slot_ : Ferrum_machine.Snapshot.slot option;
 }
 
 exception Golden_failure of string
 
 (** Profile the fault-free run.  Raises {!Golden_failure} if it does not
-    exit normally. *)
-val prepare : ?scope:scope -> Machine.image -> target
+    exit normally.  [engine] (default {!default_engine}) selects how
+    {!campaign_sample}/{!vulnmap_sample} execute. *)
+val prepare : ?scope:scope -> ?engine:engine -> Machine.image -> target
 
 (** Structured description of a flipped destination: kind, register
     index, lane, flag — mirrored into the metrics stream so analysis
@@ -160,7 +188,7 @@ val campaign_sample :
     [on_record] streams one {!record} per injection in sample order;
     [progress] is called after every sample with [done_so_far total]. *)
 val campaign :
-  ?scope:scope -> ?seed:int64 -> ?fault_bits:int ->
+  ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> ?engine:engine ->
   ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
   samples:int -> Machine.image -> campaign_result
 
@@ -238,7 +266,7 @@ val vulnmap_build : vulnmap_builder -> vulnmap
     trace each injection and aggregate per static site.  [on_record]
     streams the same per-injection records as {!campaign}. *)
 val vulnmap_campaign :
-  ?scope:scope -> ?seed:int64 -> ?fault_bits:int ->
+  ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> ?engine:engine ->
   ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
   samples:int -> Machine.image -> vulnmap
 

@@ -118,6 +118,22 @@ let load ?(cost_model = Cost.default) ?(mem_size = 1 lsl 20) (p : Prog.t) =
 (* Architectural state.                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Dirty-page log: which memory pages have been written since the last
+   {!clear_dirty}.  The bitmap makes the per-write test O(1); the page
+   list makes clearing and iteration proportional to the pages actually
+   touched, never to the address space.  Attached on demand
+   ({!track_writes}) so the plain interpreter pays one [None] branch per
+   store; {!Snapshot} and the pooled injection loops are the users. *)
+type track = {
+  tr_bits : Bytes.t; (* one byte per page: '\001' = dirty *)
+  tr_pages : int array; (* dirty page numbers, insertion order *)
+  mutable tr_count : int;
+}
+
+let page_bits = 12
+
+let page_size = 1 lsl page_bits
+
 type state = {
   gpr : int64 array; (* 16 *)
   simd : int64 array; (* 16 registers x 8 lanes (ZMM width) *)
@@ -130,7 +146,35 @@ type state = {
   mutable cycles : float;
   mutable steps : int;
   mutable out_rev : int64 list;
+  mutable track : track option;
 }
+
+let mark_page tr p =
+  if Bytes.unsafe_get tr.tr_bits p = '\000' then begin
+    Bytes.unsafe_set tr.tr_bits p '\001';
+    tr.tr_pages.(tr.tr_count) <- p;
+    tr.tr_count <- tr.tr_count + 1
+  end
+
+let num_pages st = (Bytes.length st.mem + page_size - 1) lsr page_bits
+
+let track_writes st =
+  match st.track with
+  | Some _ -> ()
+  | None ->
+    let n = num_pages st in
+    st.track <-
+      Some { tr_bits = Bytes.make n '\000'; tr_pages = Array.make n 0;
+             tr_count = 0 }
+
+let clear_dirty st =
+  match st.track with
+  | None -> ()
+  | Some tr ->
+    for i = 0 to tr.tr_count - 1 do
+      Bytes.unsafe_set tr.tr_bits tr.tr_pages.(i) '\000'
+    done;
+    tr.tr_count <- 0
 
 let fresh_state (img : image) =
   let st =
@@ -146,6 +190,7 @@ let fresh_state (img : image) =
       cycles = 0.0;
       steps = 0;
       out_rev = [];
+      track = None;
     }
   in
   (* Stack grows down from the top of memory; push the sentinel return
@@ -154,6 +199,29 @@ let fresh_state (img : image) =
   Bytes.set_int64_le st.mem sp (Int64.of_int img.halt_ip);
   st.gpr.(Reg.gpr_index Reg.RSP) <- Int64.of_int sp;
   st
+
+(* Blit register files, flags, scalars — everything but memory — from
+   [src] into [st].  The cheap half of resetting a pooled state. *)
+let reset_regs ~from:(src : state) st =
+  Array.blit src.gpr 0 st.gpr 0 16;
+  Array.blit src.simd 0 st.simd 0 128;
+  st.zf <- src.zf;
+  st.sf <- src.sf;
+  st.cf <- src.cf;
+  st.off <- src.off;
+  st.ip <- src.ip;
+  st.cycles <- src.cycles;
+  st.steps <- src.steps;
+  st.out_rev <- src.out_rev
+
+(* Reset a pooled state to [pristine] (a never-executed {!fresh_state})
+   by blitting, instead of allocating a new 1 MiB state per run.  The
+   whole memory image is copied; {!Snapshot} restores incrementally via
+   the dirty-page log instead when one is attached. *)
+let reset_state ~pristine st =
+  reset_regs ~from:pristine st;
+  Bytes.blit pristine.mem 0 st.mem 0 (Bytes.length st.mem);
+  clear_dirty st
 
 let output st = List.rev st.out_rev
 
@@ -224,12 +292,34 @@ let read_mem st addr s =
       0xFFFFFFFFL
   | Reg.Q -> Bytes.get_int64_le st.mem (check_addr st addr 8)
 
+(* A write of [n] bytes at [a] dirties at most two pages. *)
+let mark_dirty st a n =
+  match st.track with
+  | None -> ()
+  | Some tr ->
+    let p0 = a lsr page_bits in
+    mark_page tr p0;
+    let p1 = (a + n - 1) lsr page_bits in
+    if p1 <> p0 then mark_page tr p1
+
 let write_mem st addr s v =
   match s with
-  | Reg.B -> Bytes.set st.mem (check_addr st addr 1) (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
-  | Reg.W -> Bytes.set_uint16_le st.mem (check_addr st addr 2) (Int64.to_int (Int64.logand v 0xFFFFL))
-  | Reg.D -> Bytes.set_int32_le st.mem (check_addr st addr 4) (Int64.to_int32 v)
-  | Reg.Q -> Bytes.set_int64_le st.mem (check_addr st addr 8) v
+  | Reg.B ->
+    let a = check_addr st addr 1 in
+    mark_dirty st a 1;
+    Bytes.set st.mem a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | Reg.W ->
+    let a = check_addr st addr 2 in
+    mark_dirty st a 2;
+    Bytes.set_uint16_le st.mem a (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Reg.D ->
+    let a = check_addr st addr 4 in
+    mark_dirty st a 4;
+    Bytes.set_int32_le st.mem a (Int64.to_int32 v)
+  | Reg.Q ->
+    let a = check_addr st addr 8 in
+    mark_dirty st a 8;
+    Bytes.set_int64_le st.mem a v
 
 let read_operand st s = function
   | Instr.Imm i -> Int64.logand i (mask_of_size s)

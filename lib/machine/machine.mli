@@ -51,6 +51,27 @@ exception Halt of outcome
     (see {!Ferrum_backend.Backend.global_base}). *)
 val load : ?cost_model:Cost.model -> ?mem_size:int -> Prog.t -> image
 
+(** {1 Dirty-page tracking}
+
+    Memory is divided into [page_size]-byte pages; when tracking is
+    attached to a state, every {!write_mem}-routed store logs the pages
+    it touches.  {!Snapshot} uses the log to capture per-checkpoint
+    memory deltas and to undo a run's writes incrementally instead of
+    re-blitting the whole image. *)
+
+val page_bits : int
+
+(** [1 lsl page_bits] = 4096. *)
+val page_size : int
+
+(** Dirty-page log: a byte-per-page bitmap plus the list of dirty page
+    numbers in first-touch order ([tr_pages.(0 .. tr_count-1)]). *)
+type track = {
+  tr_bits : Bytes.t;
+  tr_pages : int array;
+  mutable tr_count : int;
+}
+
 (** Architectural state.  [simd] is indexed [reg * 8 + lane]. *)
 type state = {
   gpr : int64 array;
@@ -64,11 +85,32 @@ type state = {
   mutable cycles : float;
   mutable steps : int;
   mutable out_rev : int64 list;
+  mutable track : track option;
 }
 
 (** Zeroed registers and memory, stack pointer initialised, the halt
-    sentinel pushed. *)
+    sentinel pushed.  Tracking is off ([track = None]). *)
 val fresh_state : image -> state
+
+(** Attach a dirty-page log to [state] (idempotent).  The pre-existing
+    memory contents are considered clean. *)
+val track_writes : state -> unit
+
+(** Mark every tracked page clean.  No-op without tracking. *)
+val clear_dirty : state -> unit
+
+(** Record page [p] as dirty in a log (dedupes via the bitmap). *)
+val mark_page : track -> int -> unit
+
+(** Copy registers, flags, ip, cycles, steps and output — everything
+    except memory — from [from] into the destination state. *)
+val reset_regs : from:state -> state -> unit
+
+(** Reset a pooled state to [pristine] (a never-executed
+    {!fresh_state} of the same image) by blitting registers and the
+    whole memory image; clears the dirty log.  Replaces per-run
+    [fresh_state] allocation in sample loops. *)
+val reset_state : pristine:state -> state -> unit
 
 (** The output collected so far, oldest first. *)
 val output : state -> int64 list

@@ -85,10 +85,11 @@ type t = {
   mutable reactivated_at : int option;
 }
 
-let create (img : Machine.image) =
+let create ?golden (img : Machine.image) =
   {
     img;
-    golden = Machine.fresh_state img;
+    golden =
+      (match golden with Some g -> g | None -> Machine.fresh_state img);
     has_checks =
       Array.exists
         (fun (i : Instr.ins) -> i.Instr.prov = Instr.Check)

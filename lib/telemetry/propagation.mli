@@ -37,7 +37,11 @@ type divergence = {
 
 type t
 
-val create : Machine.image -> t
+(** [golden] (default a fresh state of [img]) is the lockstep golden
+    state the tracer steps alongside the injected run.  A checkpointed
+    injector passes a state already advanced to the flip site, since
+    observing the identical pre-flip prefix records nothing. *)
+val create : ?golden:Machine.state -> Machine.image -> t
 
 (** To be called right after the injector flips the bit(s) (see
     [?on_inject] of {!Ferrum_faultsim.Faultsim.inject_full}). *)

@@ -420,6 +420,11 @@ let test_manifest_compatible () =
   check "fault-width change" false (make ~fault_bits:2 ());
   check "scope change" false (make ~all_sites:true ());
   check "traced change" false (make ~traced:false ());
+  let scratch_target = F.prepare ~engine:F.Scratch (Machine.load p) in
+  check "engine change" false
+    (Manifest.make ~benchmark:"fixture" ~technique:"raw" ~samples ~seed
+       ~shards:3 ~fault_bits:1 ~all_sites:false ~traced:true ~program:p
+       scratch_target);
   let other =
     Prog.program
       [ Prog.func "main"
