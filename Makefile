@@ -5,7 +5,7 @@ VMAP = /tmp/ferrum_vulnmap.jsonl
 LINTM = /tmp/ferrum_lint.jsonl
 CAMP = /tmp/ferrum_campaign
 
-.PHONY: all build test fmt smoke lint campaign perf bench-snapshot check clean
+.PHONY: all build test fmt smoke lint campaign serve-smoke perf bench-snapshot check clean
 
 all: build
 
@@ -75,6 +75,11 @@ campaign: build
 	cmp $(CAMP)/injection.jsonl $(CAMP).seq
 	@echo "campaign: sharded run valid, reproducible and sequential-identical"
 
+# Campaign-service smoke: daemon + job queue + live SSE (replay-valid)
+# + content-addressed store cache hit with byte-identical artifacts.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
 # Injection-engine throughput smoke (E16): the checkpointed engine must
 # be at least as fast as the scratch path, and all engines must agree on
 # outcome counts.
@@ -89,7 +94,7 @@ bench-snapshot: build
 	$(CLI) metrics BENCH_$$n.json && \
 	echo "bench-snapshot: wrote BENCH_$$n.json"
 
-check: fmt build test smoke lint campaign perf
+check: fmt build test smoke lint campaign serve-smoke perf
 
 clean:
 	dune clean

@@ -13,6 +13,10 @@
      lint BENCH [-p TECH]      static protection verifier (+ --crossval)
      explain BENCH --fault S:I propagation trace of one campaign sample
      campaign BENCH --shards N sharded fork-pool campaign -> run directory
+     serve --root DIR          campaign daemon: job queue + run store + SSE
+     submit BENCH              POST a campaign job to a running daemon
+     watch JOB                 stream a job's live events (SSE client)
+     fetch PATH                GET a daemon path (stored artifacts, queue)
      report [ARTEFACT]         regenerate the paper's tables/figures *)
 
 module Machine = Ferrum_machine.Machine
@@ -33,7 +37,12 @@ module Runner = Ferrum_campaign.Runner
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
 module Fsutil = Ferrum_campaign.Fsutil
+module Queue = Ferrum_campaign.Queue
+module Sse = Ferrum_telemetry.Sse
 module Html = Ferrum_report.Html
+module Serve = Ferrum_serve.Daemon
+module Jobspec = Ferrum_serve.Spec
+module Http = Ferrum_serve.Http
 open Cmdliner
 
 let find_bench name =
@@ -786,9 +795,56 @@ let metrics_cmd =
       | _ -> ())
     | _ -> ()
   in
+  (* Run-store indexes: one line per published run with its tallies. *)
+  let summarize_runs lines =
+    List.iteri
+      (fun i line ->
+        if i > 0 then
+          let j = Json.of_string line in
+          let s name =
+            match Json.member name j with Some (Json.Str v) -> v | _ -> "?"
+          in
+          let n name =
+            match Json.member name j with Some (Json.Int v) -> v | _ -> 0
+          in
+          let digest = s "digest" in
+          Fmt.pr "  %-12s %-24s %6d samples %5d sdc %5d detected@."
+            (if String.length digest > 12 then String.sub digest 0 12
+             else digest)
+            (s "benchmark" ^ "." ^ s "technique")
+            (n "samples") (n "sdc") (n "detected"))
+      lines
+  in
+  (* Job queues: job-state histogram plus the cache-hit count. *)
+  let summarize_jobs lines =
+    let by_state = Hashtbl.create 4 in
+    let cached = ref 0 in
+    List.iteri
+      (fun i line ->
+        if i > 0 then begin
+          let j = Json.of_string line in
+          (match Json.member "state" j with
+          | Some (Json.Str s) ->
+            Hashtbl.replace by_state s
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_state s))
+          | _ -> ());
+          match Json.member "cached" j with
+          | Some (Json.Int c) when c <> 0 -> incr cached
+          | _ -> ()
+        end)
+      lines;
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt by_state s with
+        | Some n -> Fmt.pr "  %-8s %d@." s n
+        | None -> ())
+      [ "pending"; "running"; "done"; "failed" ];
+    Fmt.pr "  cached   %d@." !cached
+  in
   (* The schema registry: adding a schema to `ferrum metrics` is one
-     entry here.  [s_fields] validates each record line; [s_summarize]
-     renders the post-validation summary. *)
+     entry here.  [s_fields] validates each record line (failures are
+     reported with their line number); [s_summarize] renders the
+     post-validation summary. *)
   let registry =
     [
       (F.metrics_kind, F.record_fields, summarize_injections);
@@ -796,6 +852,8 @@ let metrics_cmd =
       (F.vulnmap_kind, F.vulnmap_fields, summarize_vulnmap);
       (Lint.metrics_kind, Lint.record_fields, summarize_lint);
       (Events.kind, Events.fields, summarize_events);
+      (Store.run_kind, Store.run_fields, summarize_runs);
+      (Queue.kind, Queue.fields, summarize_jobs);
       (Ferrum_report.Export.bench_kind, [], summarize_bench);
     ]
   in
@@ -848,8 +906,8 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:
          "Validate a metrics JSONL file against its declared schema \
-          (injection records v1/v2 or vulnerability-map rows) and \
-          summarise its outcome classes.")
+          (injection records, vulnerability maps, event logs, run-store \
+          indexes, job queues ...) and summarise it.")
     Term.(const run $ file_arg)
 
 (* ---- vulnmap: per-site vulnerability map with detection latency ---- *)
@@ -1377,6 +1435,177 @@ let report_cmd =
        ~doc:"Regenerate the paper's evaluation tables and figures.")
     Term.(const run $ samples_arg $ seed_arg)
 
+(* ---- serve / submit / watch / fetch: the campaign daemon ---- *)
+
+let host_arg =
+  let doc = "Daemon host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "Daemon TCP port." in
+  Arg.(value & opt int 8414 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run root host port =
+    try Serve.serve { Serve.root; host; port }
+    with Unix.Unix_error (e, fn, _) ->
+      Fmt.epr "ferrum serve: %s: %s@." fn (Unix.error_message e);
+      exit 1
+  in
+  let root_arg =
+    let doc =
+      "Daemon state directory: receives queue/ (ferrum.jobs.v1 + per-job \
+       scratch), store/ (content-addressed run store), and the port/pid \
+       files."
+    in
+    Arg.(value & opt string "_serve" & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let port_arg =
+    let doc =
+      "Daemon TCP port; 0 auto-assigns (the bound port is written to \
+       ROOT/port either way)."
+    in
+    Arg.(value & opt int 8414 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: POST /jobs queues campaigns, \
+          GET /jobs/:id/events streams live ferrum.events.v1 over SSE, \
+          GET /runs/... serves the content-addressed run store, and \
+          GET /history compares runs.  Identical jobs are served from \
+          the store without re-running.")
+    Term.(const run $ root_arg $ host_arg $ port_arg)
+
+let submit_cmd =
+  let run bench technique samples seed all_sites fault_bits engine shards
+      no_trace host port =
+    let spec =
+      {
+        Jobspec.benchmark = bench;
+        technique = technique_name technique;
+        samples;
+        seed;
+        shards;
+        fault_bits;
+        scope = (if all_sites then "all-sites" else "original");
+        traced = not no_trace;
+        engine = F.engine_name engine;
+      }
+    in
+    match
+      Http.request ~host ~port ~meth:"POST" ~path:"/jobs"
+        ~headers:[ ("Content-Type", "application/json") ]
+        ~body:(Jobspec.to_string spec) ()
+    with
+    | Error e ->
+      Fmt.epr "ferrum submit: %s@." e;
+      exit 1
+    | Ok resp ->
+      print_string resp.Http.r_body;
+      if resp.Http.status <> 200 && resp.Http.status <> 202 then exit 1
+  in
+  let shards_arg =
+    let doc = "Shard count for the submitted campaign." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let no_trace_arg =
+    let doc = "Submit without lockstep tracing (no vulnerability map)." in
+    Arg.(value & flag & info [ "no-trace" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign job to a running `ferrum serve' daemon.  \
+          Prints the daemon's ferrum.jobs.v1 response; an \
+          already-stored identical job comes back `done' immediately \
+          (cache hit).")
+    Term.(
+      const run $ bench_arg $ protect_arg $ samples_arg $ seed_arg
+      $ all_sites_arg $ fault_bits_arg $ engine_term $ shards_arg
+      $ no_trace_arg $ host_arg $ port_arg)
+
+let watch_cmd =
+  let run job host port from =
+    let d = Sse.decoder () in
+    let on_chunk chunk =
+      List.iter
+        (fun (e : Sse.event) ->
+          print_endline e.Sse.data;
+          flush stdout)
+        (Sse.feed d chunk)
+    in
+    let headers =
+      match from with
+      | Some n -> [ ("Last-Event-ID", string_of_int n) ]
+      | None -> []
+    in
+    match
+      Http.stream ~host ~port
+        ~path:(Fmt.str "/jobs/%d/events" job)
+        ~headers ~on_chunk ()
+    with
+    | Error e ->
+      Fmt.epr "ferrum watch: %s@." e;
+      exit 1
+    | Ok 200 -> ()
+    | Ok status ->
+      Fmt.epr "ferrum watch: server returned %d@." status;
+      exit 1
+  in
+  let job_arg =
+    let doc = "Job id (from `ferrum submit')." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB" ~doc)
+  in
+  let from_arg =
+    let doc =
+      "Resume from event $(docv) (sent as Last-Event-ID; the stream \
+       restarts at the next event)."
+    in
+    Arg.(value & opt (some int) None & info [ "from" ] ~docv:"SEQ" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Stream a job's live ferrum.events.v1 records from a running \
+          daemon (SSE client).  One JSON record per line; reconnecting \
+          with --from resumes without gaps.")
+    Term.(const run $ job_arg $ host_arg $ port_arg $ from_arg)
+
+let fetch_cmd =
+  let run path out host port =
+    match Http.request ~host ~port ~meth:"GET" ~path () with
+    | Error e ->
+      Fmt.epr "ferrum fetch: %s@." e;
+      exit 1
+    | Ok resp ->
+      (match out with
+      | Some file -> Fsutil.write_file file resp.Http.r_body
+      | None -> print_string resp.Http.r_body);
+      if resp.Http.status <> 200 then begin
+        Fmt.epr "ferrum fetch: server returned %d@." resp.Http.status;
+        exit 1
+      end
+  in
+  let path_arg =
+    let doc =
+      "Server path, e.g. /runs, /runs/DIGEST/records, /jobs/1, /metricz, \
+       /history."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the response body to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:
+         "GET a path from a running daemon and print (or save) the body \
+          — stored artifacts, queue state, the history page — without \
+          needing curl.")
+    Term.(const run $ path_arg $ out_arg $ host_arg $ port_arg)
+
 let () =
   let doc =
     "FERRUM: assembly-level error detection by duplicated instructions \
@@ -1388,5 +1617,5 @@ let () =
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
             check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            vulnmap_cmd; lint_cmd; explain_cmd; campaign_cmd;
-            report_cmd ]))
+            vulnmap_cmd; lint_cmd; explain_cmd; campaign_cmd; serve_cmd;
+            submit_cmd; watch_cmd; fetch_cmd; report_cmd ]))

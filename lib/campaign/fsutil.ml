@@ -15,11 +15,56 @@ let rec rm_rf path =
     Unix.rmdir path
   | _ -> Sys.remove path
 
-(* Atomic whole-file write: temp file in place, then rename. *)
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+(* Recursive copy; [dst] must not exist yet (its parents are created). *)
+let rec copy_tree src dst =
+  match (Unix.lstat src).Unix.st_kind with
+  | Unix.S_DIR ->
+    mkdir_p dst;
+    Array.iter
+      (fun f -> copy_tree (Filename.concat src f) (Filename.concat dst f))
+      (Sys.readdir src)
+  | _ ->
+    mkdir_p (Filename.dirname dst);
+    copy_file src dst
+
+(* Rename that survives EXDEV: when [src] and [dst] live on different
+   mounts (the run store on one volume, the scratch directory on
+   another) a plain rename fails, so fall back to copying the tree to a
+   temporary sibling of [dst] — same filesystem as [dst] — renaming
+   that into place, and only then removing [src].  The visible effect
+   at [dst] is atomic either way. *)
+let rename src dst =
+  try Unix.rename src dst
+  with Unix.Unix_error (Unix.EXDEV, _, _) ->
+    let tmp = dst ^ ".exdev-tmp" in
+    rm_rf tmp;
+    copy_tree src tmp;
+    Unix.rename tmp dst;
+    rm_rf src
+
+(* Atomic whole-file write: temp file in place, then rename.  The temp
+   is a sibling of the target, so the rename itself cannot cross a
+   mount; [rename] keeps even pathological layouts safe. *)
 let write_file path content =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc content;
   close_out oc;
-  Sys.rename tmp path
+  rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s

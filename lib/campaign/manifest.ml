@@ -223,6 +223,13 @@ let compatible (recorded : t) (fresh : t) =
   && recorded.engine = fresh.engine
   && recorded.shard_map = fresh.shard_map
 
+(* Content address of a run: MD5 over the canonical manifest JSON.
+   Everything that determines a campaign's output — program digest,
+   seed, samples, fault bits, scope, engine, shard map — feeds the
+   serialization, so two submissions of the same job share a digest
+   and an identical stored result. *)
+let digest (m : t) = Digest.to_hex (Digest.string (Json.to_string (to_json m)))
+
 let file = "manifest.json"
 
 let save ~dir (m : t) =

@@ -54,6 +54,12 @@ val of_json : Ferrum_telemetry.Json.t -> (t, string) result
     metadata (benchmark/technique names, profile) is not compared. *)
 val compatible : t -> t -> bool
 
+(** Content address of a run: MD5 hex over the canonical manifest
+    JSON.  Identical jobs (same program, seed, samples, fault bits,
+    scope, engine, shard map, metadata) share a digest, which is what
+    keys the content-addressed run store. *)
+val digest : t -> string
+
 val file : string
 (** ["manifest.json"] *)
 

@@ -1,0 +1,160 @@
+(* Persistent campaign job queue: `ferrum.jobs.v1`.
+
+   The serve daemon's source of truth for job state.  The whole queue
+   lives in one JSONL document — a header then one record per job in
+   submission order — rewritten atomically (Fsutil temp+rename) on
+   every transition, so a daemon restart resumes exactly where the
+   previous process stopped: [Running] jobs are demoted to [Pending]
+   on load (their shard part files make the re-run cheap), finished
+   jobs keep their digests, and SSE readers in forked children can
+   poll the file for state without sharing memory with the daemon. *)
+
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+
+let kind = "ferrum.jobs.v1"
+let file = "jobs.jsonl"
+
+type state = Pending | Running | Done | Failed
+
+let state_name = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+
+let state_of_name = function
+  | "pending" -> Some Pending
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | _ -> None
+
+type job = {
+  id : int;
+  spec : string;  (** submitted job spec, canonical JSON text *)
+  state : state;
+  digest : string;  (** manifest digest; "" until computed *)
+  cached : bool;  (** served from the run store without running *)
+  error : string;  (** failure reason, "" otherwise *)
+}
+
+let fields =
+  Metrics.
+    [
+      field "id" F_int;
+      field "state" F_string;
+      field "digest" F_string;
+      field "cached" F_int;
+      field "error" F_string;
+      field "spec" F_string;
+    ]
+
+let job_to_json (j : job) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Int j.id);
+      ("state", Json.Str (state_name j.state));
+      ("digest", Json.Str j.digest);
+      ("cached", Json.Int (if j.cached then 1 else 0));
+      ("error", Json.Str j.error);
+      ("spec", Json.Str j.spec);
+    ]
+
+let ( let* ) = Result.bind
+
+let int_member name j =
+  match Json.member name j with
+  | Some (Json.Int v) -> Ok v
+  | _ -> Error (Fmt.str "job: bad field %S" name)
+
+let str_member name j =
+  match Json.member name j with
+  | Some (Json.Str v) -> Ok v
+  | _ -> Error (Fmt.str "job: bad field %S" name)
+
+let job_of_json (j : Json.t) : (job, string) result =
+  let* id = int_member "id" j in
+  let* state_s = str_member "state" j in
+  let* state =
+    match state_of_name state_s with
+    | Some s -> Ok s
+    | None -> Error (Fmt.str "job: unknown state %S" state_s)
+  in
+  let* digest = str_member "digest" j in
+  let* cached = int_member "cached" j in
+  let* error = str_member "error" j in
+  let* spec = str_member "spec" j in
+  Ok { id; spec; state; digest; cached = cached <> 0; error }
+
+let header extra = Metrics.header ~kind extra
+
+type t = {
+  dir : string;
+  mutable jobs : job list;  (** submission order *)
+}
+
+let path t = Filename.concat t.dir file
+let jobs t = t.jobs
+let find t id = List.find_opt (fun j -> j.id = id) t.jobs
+
+let next_pending t = List.find_opt (fun j -> j.state = Pending) t.jobs
+
+let save t =
+  let lines =
+    List.map (fun j -> Json.to_string (job_to_json j)) t.jobs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Json.to_string (header [ ("jobs", Json.Int (List.length t.jobs)) ]));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines;
+  Fsutil.write_file (path t) (Buffer.contents buf)
+
+(* Load a queue directory.  A [Running] job belonged to a daemon that
+   died mid-run: demote it to [Pending] so the next scheduler pass
+   restarts it (its part files resume finished shards). *)
+let load ~dir =
+  Fsutil.mkdir_p dir;
+  let t = { dir; jobs = [] } in
+  let p = path t in
+  if Sys.file_exists p then begin
+    (match Metrics.read_lines p with
+    | _header :: records ->
+      t.jobs <-
+        List.filter_map
+          (fun line ->
+            match Json.of_string_opt line with
+            | None -> None
+            | Some j -> (
+              match job_of_json j with
+              | Ok job ->
+                Some
+                  (if job.state = Running then { job with state = Pending }
+                   else job)
+              | Error _ -> None))
+          records
+    | [] -> ());
+    save t
+  end;
+  t
+
+(* Append a new job and persist.  Ids are dense from 1 in submission
+   order — stable across restarts because the queue file is. *)
+let submit t ~spec ~digest ~cached ~state =
+  let id = 1 + List.fold_left (fun a j -> max a j.id) 0 t.jobs in
+  let job = { id; spec; state; digest; cached; error = "" } in
+  t.jobs <- t.jobs @ [ job ];
+  save t;
+  job
+
+let update t (job : job) =
+  t.jobs <- List.map (fun j -> if j.id = job.id then job else j) t.jobs;
+  save t
+
+(* Per-job scratch directory (live event log, parts, spool). *)
+let job_dir t id = Filename.concat t.dir (Fmt.str "job-%d" id)

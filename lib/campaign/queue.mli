@@ -1,0 +1,65 @@
+(** Persistent campaign job queue ([ferrum.jobs.v1]).
+
+    One JSONL document — header, then one record per job in submission
+    order — rewritten atomically on every transition.  A daemon
+    restart resumes from the file: [Running] jobs are demoted to
+    [Pending] on load (shard part files make the re-run cheap), and
+    forked readers can poll the file for job state without sharing
+    memory with the daemon. *)
+
+module Json = Ferrum_telemetry.Json
+
+val kind : string
+(** ["ferrum.jobs.v1"] *)
+
+val file : string
+(** ["jobs.jsonl"] *)
+
+type state = Pending | Running | Done | Failed
+
+val state_name : state -> string
+val state_of_name : string -> state option
+
+type job = {
+  id : int;
+  spec : string;  (** submitted job spec, canonical JSON text *)
+  state : state;
+  digest : string;  (** manifest digest; [""] until computed *)
+  cached : bool;  (** served from the run store without running *)
+  error : string;  (** failure reason, [""] otherwise *)
+}
+
+(** Field list for {!Ferrum_telemetry.Metrics.validate_lines}. *)
+val fields : Ferrum_telemetry.Metrics.field list
+
+val job_to_json : job -> Json.t
+val job_of_json : Json.t -> (job, string) result
+
+(** [ferrum.jobs.v1] header with caller context appended. *)
+val header : (string * Json.t) list -> Json.t
+
+type t
+
+(** Load (or initialise) the queue under [dir], demoting [Running]
+    jobs to [Pending]. *)
+val load : dir:string -> t
+
+val path : t -> string
+val jobs : t -> job list
+val find : t -> int -> job option
+
+(** Oldest [Pending] job, if any. *)
+val next_pending : t -> job option
+
+(** Append a new job (dense ids from 1) and persist. *)
+val submit :
+  t -> spec:string -> digest:string -> cached:bool -> state:state -> job
+
+(** Replace the job with the same id and persist. *)
+val update : t -> job -> unit
+
+(** Persist the current state (also done by every mutation). *)
+val save : t -> unit
+
+(** Per-job scratch directory ([<dir>/job-<id>]). *)
+val job_dir : t -> int -> string

@@ -34,3 +34,60 @@ val jsonl : Json.t -> string list -> string
 
 (** Write a finished run's files (atomically, write-then-rename). *)
 val write_run : dir:string -> manifest:Manifest.t -> result:Runner.result -> unit
+
+(** {1 Content-addressed run store ([ferrum.run.v1])}
+
+    Layout under a store root: one immutable directory per run named
+    by its {!Manifest.digest}, plus [index.jsonl] — a
+    [ferrum.run.v1] JSONL document with one record per published run
+    in publication order.  Publishing an already-stored digest is a
+    cache hit: the stored bytes win and are served unchanged. *)
+
+val run_kind : string
+(** ["ferrum.run.v1"] *)
+
+val run_file : string
+(** ["run.json"] — per-entry [ferrum.run.v1] header + one record *)
+
+val dashboard_file : string
+(** ["dashboard.html"] *)
+
+(** Field list for {!Ferrum_telemetry.Metrics.validate_lines}. *)
+val run_fields : Ferrum_telemetry.Metrics.field list
+
+(** The one [ferrum.run.v1] record of a finished run: digest, config
+    and outcome tallies. *)
+val run_record : manifest:Manifest.t -> result:Runner.result -> Json.t
+
+(** [ferrum.run.v1] header with caller context appended. *)
+val run_header : (string * Json.t) list -> Json.t
+
+(** [entry_dir ~root digest] is the entry directory for [digest]. *)
+val entry_dir : root:string -> string -> string
+
+val index_file : string -> string
+
+(** 32 lowercase hex characters — the only strings accepted as entry
+    names (URL components are routed through this). *)
+val valid_digest : string -> bool
+
+type lookup =
+  | Hit of string  (** entry directory; contents verified coherent *)
+  | Corrupt of string  (** entry present but fails verification *)
+  | Miss
+
+(** Verify-and-locate: the stored manifest must re-digest to the
+    entry name and every artifact it promises must exist. *)
+val lookup : root:string -> string -> lookup
+
+(** Rebuild [index.jsonl] from the entries on disk, preserving the
+    existing index's publication order and appending new digests;
+    returns the indexed digests in order. *)
+val rebuild_index : root:string -> string list
+
+(** Publish a finished run directory (already containing [run.json])
+    into the store under its manifest digest; the source directory is
+    consumed (renamed in, EXDEV-safe).  A second publish of the same
+    digest is a cache hit: the existing entry wins and the source is
+    discarded.  Returns the digest. *)
+val publish : root:string -> src:string -> (string, string) result

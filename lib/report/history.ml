@@ -1,0 +1,227 @@
+(* Cross-run history page for the content-addressed run store.
+
+   Rendered by the serve daemon at GET /history: every published run
+   in publication order (the store index's order), an outcome/latency
+   summary table, run-to-run diffs for consecutive runs of the same
+   workload × technique (outcome tally deltas, latency percentile
+   deltas, vulnerability-map drift), and the regular dashboard panels
+   reused from Html over the stored runs. *)
+
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+module Manifest = Ferrum_campaign.Manifest
+module Store = Ferrum_campaign.Store
+
+(* Publication-ordered digests: the index file when present, else a
+   rebuild (which also writes the file). *)
+let indexed_digests ~root =
+  let index = Store.index_file root in
+  if not (Sys.file_exists index) then Store.rebuild_index ~root
+  else
+    match Metrics.read_lines index with
+    | _header :: records ->
+      List.filter_map
+        (fun line ->
+          match
+            Option.bind (Json.of_string_opt line) (Json.member "digest")
+          with
+          | Some (Json.Str d) -> Some d
+          | _ -> None)
+        records
+    | [] -> []
+
+(* Site-weighted latency percentile over Html's ascending
+   (mean cycles, detected count) distribution. *)
+let percentile q dist =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 dist in
+  if total = 0 then None
+  else begin
+    let target = q *. float_of_int total in
+    let rec walk cum = function
+      | [] -> None
+      | (mean, w) :: rest ->
+        let cum = cum + w in
+        if float_of_int cum >= target then Some mean else walk cum rest
+    in
+    walk 0 dist
+  end
+
+(* Vulnerability-map drift between two traced runs: sites are matched
+   by static index; [changed] counts sites whose SDC count moved,
+   [magnitude] sums |delta| over them.  [None] when either run is
+   untraced (no map to compare). *)
+let drift prev cur =
+  match (Html.sites prev, Html.sites cur) with
+  | [], _ | _, [] -> None
+  | prev_sites, cur_sites ->
+    let sdc_by_index sites =
+      List.map (fun (s : Html.site) -> (s.Html.si_index, s.Html.si_sdc)) sites
+    in
+    let p = sdc_by_index prev_sites and c = sdc_by_index cur_sites in
+    let indices =
+      List.sort_uniq compare (List.map fst p @ List.map fst c)
+    in
+    let changed, magnitude =
+      List.fold_left
+        (fun (n, m) i ->
+          let at l = Option.value ~default:0 (List.assoc_opt i l) in
+          let d = at c - at p in
+          if d = 0 then (n, m) else (n + 1, m + abs d))
+        (0, 0) indices
+    in
+    Some (changed, magnitude)
+
+let short_digest d = if String.length d > 12 then String.sub d 0 12 else d
+
+let pp_latency dist =
+  match (percentile 0.5 dist, percentile 0.95 dist) with
+  | Some p50, Some p95 -> Fmt.str "%.0f / %.0f" p50 p95
+  | _ -> "&#8212;"
+
+let pp_delta n = if n > 0 then Fmt.str "+%d" n else string_of_int n
+
+(* Summary table: one row per stored run, publication order. *)
+let runs_table digests runs =
+  let row digest r =
+    let m = Html.manifest r in
+    let cells =
+      [
+        Fmt.str "<code>%s</code>" (Html.esc (short_digest digest));
+        Html.esc (Html.label r);
+        string_of_int m.Manifest.samples;
+        Html.esc (Int64.to_string m.Manifest.seed);
+      ]
+      @ List.map
+          (fun c -> string_of_int (Html.class_count r c))
+          Html.classes
+      @ [ pp_latency (Html.latency r) ]
+    in
+    Fmt.str "<tr>%s</tr>"
+      (String.concat "" (List.map (Fmt.str "<td>%s</td>") cells))
+  in
+  let head =
+    [ "run"; "workload"; "samples"; "seed" ] @ Html.classes
+    @ [ "latency p50/p95" ]
+  in
+  Fmt.str
+    "<div class=\"panel\"><h2>Published runs</h2><p class=\"sub\">One row \
+     per store entry, publication order; latency percentiles are \
+     site-weighted detection latencies in cycles.</p><table><tr>%s</tr>%s</table></div>"
+    (String.concat ""
+       (List.map (fun h -> Fmt.str "<th>%s</th>" (Html.esc h)) head))
+    (String.concat "" (List.map2 row digests runs))
+
+(* Run-to-run diffs: consecutive publications of the same workload ×
+   technique (identical configurations share a digest, so consecutive
+   runs of a label differ in seed, samples or knobs). *)
+let diffs_table digests runs =
+  let tagged = List.combine digests runs in
+  let pairs =
+    List.concat_map
+      (fun (digest, r) ->
+        let label = Html.label r in
+        let earlier =
+          List.filter (fun (d, p) -> d <> digest && Html.label p = label)
+            (List.filteri
+               (fun i _ ->
+                 i
+                 < Option.value ~default:0
+                     (List.find_index (fun (d, _) -> d = digest) tagged))
+               tagged)
+        in
+        match List.rev earlier with
+        | (pd, prev) :: _ -> [ (pd, prev, digest, r) ]
+        | [] -> [])
+      tagged
+  in
+  if pairs = [] then ""
+  else begin
+    let row (pd, prev, cd, cur) =
+      let delta c = pp_delta (Html.class_count cur c - Html.class_count prev c) in
+      let lat_delta =
+        match
+          ( percentile 0.5 (Html.latency prev),
+            percentile 0.5 (Html.latency cur),
+            percentile 0.95 (Html.latency prev),
+            percentile 0.95 (Html.latency cur) )
+        with
+        | Some a50, Some b50, Some a95, Some b95 ->
+          Fmt.str "%+.0f / %+.0f" (b50 -. a50) (b95 -. a95)
+        | _ -> "&#8212;"
+      in
+      let drift_cell =
+        match drift prev cur with
+        | Some (changed, magnitude) ->
+          Fmt.str "%d sites, &#931;|&#916;sdc| %d" changed magnitude
+        | None -> "&#8212;"
+      in
+      Fmt.str "<tr><td>%s</td><td><code>%s &#8594; %s</code></td>%s<td>%s</td><td>%s</td></tr>"
+        (Html.esc (Html.label cur))
+        (Html.esc (short_digest pd))
+        (Html.esc (short_digest cd))
+        (String.concat ""
+           (List.map (fun c -> Fmt.str "<td>%s</td>" (delta c)) Html.classes))
+        lat_delta drift_cell
+    in
+    let head =
+      [ "workload"; "runs" ]
+      @ List.map (fun c -> "&#916;" ^ c) Html.classes
+      @ [ "&#916;latency p50/p95"; "vulnmap drift" ]
+    in
+    Fmt.str
+      "<div class=\"panel\"><h2>Run-to-run diff</h2><p class=\"sub\">Each \
+       workload&#8217;s consecutive publications compared: outcome tally \
+       deltas, latency percentile deltas and vulnerability-map drift \
+       (sites whose SDC count moved).</p><table><tr>%s</tr>%s</table></div>"
+      (String.concat "" (List.map (Fmt.str "<th>%s</th>") head))
+      (String.concat "" (List.map row pairs))
+  end
+
+let empty_page =
+  String.concat ""
+    [
+      "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">";
+      "<title>ferrum run history</title><style>";
+      Html.style;
+      "</style></head><body><h1>ferrum run history</h1>";
+      "<p class=\"sub\">No published runs yet. Submit a job to populate \
+       the store.</p></body></html>";
+    ]
+
+let render ~root : (string, string) result =
+  let digests = indexed_digests ~root in
+  let loaded =
+    List.filter_map
+      (fun d ->
+        match Html.load_run (Store.entry_dir ~root d) with
+        | Ok r -> Some (d, r)
+        | Error _ -> None)
+      digests
+  in
+  match loaded with
+  | [] -> Ok empty_page
+  | _ ->
+    let digests = List.map fst loaded and runs = List.map snd loaded in
+    Ok
+      (String.concat ""
+         [
+           "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">";
+           "<meta name=\"viewport\" content=\"width=device-width, \
+            initial-scale=1\">";
+           "<title>ferrum run history</title><style>";
+           Html.style;
+           "</style></head><body>";
+           "<h1>ferrum run history</h1>";
+           Fmt.str
+             "<p class=\"sub\">%d published run%s under <code>%s</code>, \
+              publication order.</p>"
+             (List.length runs)
+             (if List.length runs = 1 then "" else "s")
+             (Html.esc root);
+           runs_table digests runs;
+           diffs_table digests runs;
+           Html.outcomes_panel runs;
+           Html.latency_panel runs;
+           Html.vulnmap_panel runs;
+           "</body></html>";
+         ])

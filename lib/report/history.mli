@@ -1,0 +1,22 @@
+(** Cross-run history page over the content-addressed run store.
+
+    Served by the campaign daemon at [GET /history]: a summary table
+    of every published run in publication order, run-to-run diffs for
+    consecutive publications of the same workload × technique (outcome
+    tally deltas, site-weighted latency percentile deltas,
+    vulnerability-map drift), and the {!Html} dashboard panels reused
+    over the stored runs. *)
+
+(** Site-weighted latency percentile ([q] in [0, 1]) over {!Html.latency}'s
+    ascending (mean cycles, detected count) distribution; [None] on an
+    empty distribution. *)
+val percentile : float -> (float * int) list -> float option
+
+(** Vulnerability-map drift between two traced runs: sites matched by
+    static index, [(changed sites, summed |SDC delta|)]; [None] when
+    either run is untraced. *)
+val drift : Html.run -> Html.run -> (int * int) option
+
+(** Render the history page for a store root.  An empty store renders
+    an empty-state page, not an error. *)
+val render : root:string -> (string, string) result

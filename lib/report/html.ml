@@ -43,6 +43,11 @@ type run = {
 let label r =
   r.r_manifest.Manifest.benchmark ^ "." ^ r.r_manifest.Manifest.technique
 
+let manifest r = r.r_manifest
+let run_dir r = r.r_dir
+let latency r = r.r_latency
+let sites r = r.r_sites
+
 let classes = [ "detected"; "sdc"; "crash"; "timeout"; "benign" ]
 
 let class_count r c =

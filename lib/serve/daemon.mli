@@ -1,0 +1,39 @@
+(** [ferrum serve] — the campaign daemon.
+
+    A single [Unix.select] loop multiplexing an HTTP/JSON API, one
+    supervised runner child at a time, and forked SSE tailer children:
+
+    - [POST /jobs] submits a {!Spec} (resolved and digested at
+      submission: a run-store hit is answered [done] immediately —
+      the cache hit — a miss is queued);
+    - [GET /jobs], [GET /jobs/:id], [GET /metricz] serve the
+      [ferrum.jobs.v1] queue state;
+    - [GET /jobs/:id/events] streams the job's live event log as
+      server-sent events with [Last-Event-ID] resume; the reassembled
+      stream passes {!Ferrum_telemetry.Events.replay};
+    - [GET /runs] and [GET /runs/:digest/...] serve the
+      content-addressed run store ([ferrum.run.v1]);
+    - [GET /] and [GET /history] serve the cross-run history page.
+
+    Every JSON body is one of the repo's schema-versioned JSONL forms,
+    so [ferrum metrics] can validate anything the server emits. *)
+
+type config = {
+  root : string;  (** daemon state directory (queue/, store/, port, pid) *)
+  host : string;
+  port : int;  (** 0 auto-assigns; the bound port is written to [port] *)
+}
+
+val queue_dir : string -> string
+val store_root : string -> string
+
+(** File recording the actually-bound port (written after listen). *)
+val port_file : string -> string
+
+val pid_file : string -> string
+
+(** Live event log name inside a job directory. *)
+val live_events_file : string
+
+(** Bind, write the port/pid files, and serve forever. *)
+val serve : config -> unit

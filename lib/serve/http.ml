@@ -1,0 +1,277 @@
+(* Minimal HTTP/1.1 over Unix file descriptors — just enough for the
+   campaign daemon and its CLI clients, in the same dependency-free
+   style as the fork/select campaign runner.  One request per
+   connection (Connection: close), Content-Length bodies only, no TLS,
+   no chunked encoding. *)
+
+let crlf = "\r\n"
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Buffered reader over a file descriptor: [read_line] returns lines
+   without their terminator; [read_exactly] drains the buffer first. *)
+type reader = { fd : Unix.file_descr; buf : Buffer.t }
+
+let reader fd = { fd; buf = Buffer.create 4096 }
+
+let refill r =
+  let chunk = Bytes.create 65536 in
+  match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> false
+  | n ->
+    Buffer.add_subbytes r.buf chunk 0 n;
+    true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+
+let rec read_line r =
+  let data = Buffer.contents r.buf in
+  match String.index_opt data '\n' with
+  | Some nl ->
+    let line = String.sub data 0 nl in
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf data (nl + 1) (String.length data - nl - 1);
+    let line =
+      if line <> "" && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    Some line
+  | None -> if refill r then read_line r else None
+
+let rec read_exactly r n =
+  if Buffer.length r.buf >= n then begin
+    let data = Buffer.contents r.buf in
+    let out = String.sub data 0 n in
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf data n (String.length data - n);
+    Some out
+  end
+  else if refill r then read_exactly r n
+  else None
+
+(* Read whatever remains until EOF (bodies without Content-Length). *)
+let rec read_all r =
+  if refill r then read_all r
+  else begin
+    let s = Buffer.contents r.buf in
+    Buffer.clear r.buf;
+    s
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Requests (server side).                                             *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+let header_value name (headers : (string * string) list) =
+  List.assoc_opt (String.lowercase_ascii name) headers
+
+let parse_headers r =
+  let rec go acc =
+    match read_line r with
+    | None | Some "" -> List.rev acc
+    | Some line -> (
+      match String.index_opt line ':' with
+      | None -> go acc
+      | Some colon ->
+        let name =
+          String.lowercase_ascii (String.trim (String.sub line 0 colon))
+        in
+        let value =
+          String.trim
+            (String.sub line (colon + 1) (String.length line - colon - 1))
+        in
+        go ((name, value) :: acc))
+  in
+  go []
+
+(* Body size cap: job specs are tiny; anything bigger is abuse. *)
+let max_body = 1 lsl 20
+
+let read_request fd : (request, string) result =
+  let r = reader fd in
+  match read_line r with
+  | None -> Error "empty request"
+  | Some request_line -> (
+    match String.split_on_char ' ' request_line with
+    | meth :: path :: _ ->
+      let headers = parse_headers r in
+      let body =
+        match Option.map int_of_string_opt (header_value "content-length" headers)
+        with
+        | Some (Some n) when n >= 0 && n <= max_body ->
+          Option.value ~default:"" (read_exactly r n)
+        | _ -> ""
+      in
+      Ok { meth; path; headers; body }
+    | _ -> Error (Fmt.str "malformed request line %S" request_line))
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 500 -> "Internal Server Error"
+  | 502 -> "Bad Gateway"
+  | _ -> "Unknown"
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond fd ?(status = 200) ?(headers = []) ~content_type body =
+  let head =
+    String.concat crlf
+      ([
+         Fmt.str "HTTP/1.1 %d %s" status (status_text status);
+         Fmt.str "Content-Type: %s" content_type;
+         Fmt.str "Content-Length: %d" (String.length body);
+         "Connection: close";
+       ]
+      @ List.map (fun (k, v) -> Fmt.str "%s: %s" k v) headers
+      @ [ ""; "" ])
+  in
+  write_all fd head;
+  write_all fd body
+
+let respond_error fd status msg =
+  respond fd ~status ~content_type:"text/plain" (msg ^ "\n")
+
+(* Start a streaming response (SSE): headers only, no Content-Length;
+   the caller writes the body incrementally and closes the socket. *)
+let respond_stream fd ~content_type =
+  write_all fd
+    (String.concat crlf
+       [
+         "HTTP/1.1 200 OK";
+         Fmt.str "Content-Type: %s" content_type;
+         "Cache-Control: no-store";
+         "Connection: close";
+         "";
+         "";
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Client.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+let connect ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let send_request fd ~meth ~path ?(headers = []) ?(body = "") () =
+  let head =
+    String.concat crlf
+      ([
+         Fmt.str "%s %s HTTP/1.1" meth path;
+         "Host: ferrum";
+         Fmt.str "Content-Length: %d" (String.length body);
+         "Connection: close";
+       ]
+      @ List.map (fun (k, v) -> Fmt.str "%s: %s" k v) headers
+      @ [ ""; "" ])
+  in
+  write_all fd head;
+  write_all fd body
+
+(* Read the status line + headers; leaves the reader positioned at the
+   body, for streaming consumers. *)
+let read_response_head r : (int * (string * string) list, string) result =
+  match read_line r with
+  | None -> Error "no response"
+  | Some status_line -> (
+    match String.split_on_char ' ' status_line with
+    | _http :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some status -> Ok (status, parse_headers r)
+      | None -> Error (Fmt.str "bad status line %S" status_line))
+    | _ -> Error (Fmt.str "bad status line %S" status_line))
+
+(* One-shot request: connect, send, read the whole response. *)
+let request ~host ~port ~meth ~path ?headers ?body () :
+    (response, string) result =
+  match connect ~host ~port with
+  | exception e -> Error (Fmt.str "connect %s:%d: %s" host port (Printexc.to_string e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        send_request fd ~meth ~path ?headers ?body ();
+        let r = reader fd in
+        match read_response_head r with
+        | Error e -> Error e
+        | Ok (status, r_headers) ->
+          let r_body =
+            match
+              Option.map int_of_string_opt
+                (header_value "content-length" r_headers)
+            with
+            | Some (Some n) when n >= 0 ->
+              Option.value ~default:"" (read_exactly r n)
+            | _ -> read_all r
+          in
+          Ok { status; r_headers; r_body })
+
+(* Streaming GET: connect, send, parse the head, then hand each body
+   chunk to [on_chunk] until EOF.  Returns the status. *)
+let stream ~host ~port ~path ?headers ~on_chunk () : (int, string) result =
+  match connect ~host ~port with
+  | exception e -> Error (Fmt.str "connect %s:%d: %s" host port (Printexc.to_string e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        send_request fd ~meth:"GET" ~path ?headers ();
+        let r = reader fd in
+        match read_response_head r with
+        | Error e -> Error e
+        | Ok (status, _) ->
+          (* drain the reader's buffer, then the socket *)
+          let buffered = Buffer.contents r.buf in
+          Buffer.clear r.buf;
+          if buffered <> "" then on_chunk buffered;
+          let chunk = Bytes.create 65536 in
+          let rec pump () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              on_chunk (Bytes.sub_string chunk 0 n);
+              pump ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+          in
+          pump ();
+          Ok status)

@@ -1,0 +1,57 @@
+(** Minimal HTTP/1.1 over [Unix] file descriptors — just enough for
+    the campaign daemon and its CLI clients.  One request per
+    connection ([Connection: close]), [Content-Length] bodies only, no
+    TLS, no chunked encoding; dependency-free by design. *)
+
+(** {1 Server side} *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+(** Case-insensitive header lookup (the parser lowercases names). *)
+val header_value : string -> (string * string) list -> string option
+
+(** Parse one request off a connected socket.  Bodies above 1 MiB are
+    dropped (job specs are tiny). *)
+val read_request : Unix.file_descr -> (request, string) result
+
+(** Write [s] fully, retrying short writes. *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** Write a complete response with [Content-Length]. *)
+val respond :
+  Unix.file_descr -> ?status:int -> ?headers:(string * string) list ->
+  content_type:string -> string -> unit
+
+(** [text/plain] error response. *)
+val respond_error : Unix.file_descr -> int -> string -> unit
+
+(** Start a streaming (SSE) response: status line and headers only, no
+    [Content-Length]; the caller writes the body incrementally and
+    closes the socket to end it. *)
+val respond_stream : Unix.file_descr -> content_type:string -> unit
+
+(** {1 Client side} *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+(** One-shot request: connect, send, read the whole response. *)
+val request :
+  host:string -> port:int -> meth:string -> path:string ->
+  ?headers:(string * string) list -> ?body:string -> unit ->
+  (response, string) result
+
+(** Streaming GET: hand each body chunk to [on_chunk] until the server
+    closes the connection; returns the response status. *)
+val stream :
+  host:string -> port:int -> path:string ->
+  ?headers:(string * string) list -> on_chunk:(string -> unit) -> unit ->
+  (int, string) result

@@ -64,10 +64,18 @@ let body_name = function
   | Campaign_finished _ -> "campaign_finished"
 
 (* ETA on the logical clock: clock units still to run, extrapolated
-   from the per-sample rate so far.  Deterministic by construction. *)
+   from the per-sample rate so far.  Deterministic by construction.
+
+   Clamped: a shard that finishes (or heartbeats) within one interval
+   can report done_ = 0 or clock = 0 — a zero observed rate.  Rather
+   than claim nothing remains, assume at least one clock unit per
+   remaining sample; and once nothing remains the ETA is exactly 0
+   even if the rate is degenerate. *)
 let eta ~done_ ~total ~clock =
-  if done_ <= 0 then 0.
-  else float_of_int clock /. float_of_int done_ *. float_of_int (total - done_)
+  let remaining = max 0 (total - done_) in
+  if remaining = 0 then 0.
+  else if done_ <= 0 || clock <= 0 then float_of_int remaining
+  else float_of_int clock /. float_of_int done_ *. float_of_int remaining
 
 (* Every event serializes every field (unused scalars as -1, unused
    tallies as 0, unused detail as ""): a flat, fixed schema keeps

@@ -53,8 +53,11 @@ type t = {
 val body_name : body -> string
 
 (** Deterministic ETA on the logical clock: clock units still to run,
-    extrapolated from the per-sample rate so far (0 when nothing is
-    done yet). *)
+    extrapolated from the per-sample rate so far.  Clamped against the
+    zero-rate edge (a shard finishing within one heartbeat interval):
+    with work remaining but no observed rate ([done_ <= 0] or
+    [clock <= 0]) it assumes one clock unit per remaining sample, and
+    with nothing remaining it is exactly 0. *)
 val eta : done_:int -> total:int -> clock:int -> float
 
 (** Flat JSON object with every schema field present (unused scalars

@@ -1,0 +1,673 @@
+(* Tests for the campaign service: SSE framing across arbitrary chunk
+   boundaries and Last-Event-ID resume, the content-addressed run
+   store (cache-hit byte-identity, corrupt-entry rejection), the
+   persistent job queue, Fsutil's copy/rename plumbing, the heartbeat
+   ETA clamp, the cross-run history page, and an end-to-end daemon
+   round trip over a loopback socket. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+module F = Ferrum_faultsim.Faultsim
+module Json = Ferrum_telemetry.Json
+module Metrics = Ferrum_telemetry.Metrics
+module Events = Ferrum_telemetry.Events
+module Sse = Ferrum_telemetry.Sse
+module Runner = Ferrum_campaign.Runner
+module Manifest = Ferrum_campaign.Manifest
+module Store = Ferrum_campaign.Store
+module Queue = Ferrum_campaign.Queue
+module Fsutil = Ferrum_campaign.Fsutil
+module Html = Ferrum_report.Html
+module History = Ferrum_report.History
+module Http = Ferrum_serve.Http
+module Spec = Ferrum_serve.Spec
+module Daemon = Ferrum_serve.Daemon
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let tmp_dir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ferrum-serve-%d-%s" (Unix.getpid ()) name)
+  in
+  Fsutil.rm_rf d;
+  d
+
+(* The instant protected-looking fixture the campaign tests use. *)
+let checked_program () =
+  Prog.program
+    [ Prog.func "main"
+        [ Prog.block "main"
+            [ Instr.original (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.RDI));
+              Instr.dup (Instr.Mov (Reg.Q, Instr.Imm 7L, Instr.Reg Reg.R10));
+              Instr.check (Instr.Cmp (Reg.Q, Instr.Reg Reg.R10, Instr.Reg Reg.RDI));
+              Instr.check (Instr.Jcc (Cond.NE, "exit_function"));
+              Instr.original (Instr.Call "print_i64");
+              Instr.original Instr.Ret ] ] ]
+
+let fixture_target () = F.prepare (Machine.load (checked_program ()))
+
+(* One finished fixture campaign plus its manifest. *)
+let fixture_run ?(seed = 99L) ?(samples = 30) ?(shards = 3) () =
+  let program = checked_program () in
+  let target = fixture_target () in
+  let result =
+    Runner.run ~mode:Runner.Traced ~shards ~seed ~samples target
+  in
+  let manifest =
+    Manifest.make ~benchmark:"fixture" ~technique:"raw" ~samples ~seed
+      ~shards ~fault_bits:1 ~all_sites:false ~traced:true ~program target
+  in
+  (manifest, result)
+
+(* Write a finished run as a complete, publishable store entry. *)
+let spool_run ~dir (manifest, result) =
+  Store.write_run ~dir ~manifest ~result;
+  Fsutil.write_file
+    (Filename.concat dir Store.run_file)
+    (Store.jsonl (Store.run_header [])
+       [ Json.to_string (Store.run_record ~manifest ~result) ])
+
+(* ---- SSE framing ---- *)
+
+(* Chunk boundaries must never change what a decoder sees: the same
+   byte stream fed 1, 2, 3, 7 bytes at a time and all at once yields
+   the same events. *)
+let test_sse_chunking () =
+  let events =
+    List.init 40 (fun i ->
+        (i, Fmt.str "{\"seq\":%d,\"payload\":\"x%d\"}" i i))
+  in
+  let stream =
+    Sse.retry_frame 500 ^ Sse.comment "hello"
+    ^ Sse.encode_lines events ^ Sse.comment "bye"
+  in
+  let reference = Sse.decode_string stream in
+  Alcotest.(check int) "event count" 40 (List.length reference);
+  List.iter
+    (fun size ->
+      let d = Sse.decoder () in
+      let out = ref [] in
+      let n = String.length stream in
+      let rec go off =
+        if off < n then begin
+          let len = min size (n - off) in
+          out := List.rev_append (Sse.feed d (String.sub stream off len)) !out;
+          go (off + len)
+        end
+      in
+      go 0;
+      let got = List.rev !out in
+      Alcotest.(check int)
+        (Fmt.str "count at chunk size %d" size)
+        (List.length reference) (List.length got);
+      List.iter2
+        (fun (r : Sse.event) (g : Sse.event) ->
+          Alcotest.(check (option int)) "id" r.Sse.id g.Sse.id;
+          Alcotest.(check string) "data" r.Sse.data g.Sse.data)
+        reference got;
+      Alcotest.(check int) "last id" 39 (Sse.last_event_id d))
+    [ 1; 2; 3; 7 ]
+
+(* CRLF line endings and field-colon variants decode identically. *)
+let test_sse_crlf () =
+  let crlf = "id: 4\r\ndata: {\"a\":1}\r\n\r\n" in
+  (match Sse.decode_string crlf with
+  | [ e ] ->
+    Alcotest.(check (option int)) "id" (Some 4) e.Sse.id;
+    Alcotest.(check string) "data" "{\"a\":1}" e.Sse.data
+  | other ->
+    Alcotest.failf "expected one event, got %d" (List.length other));
+  match Sse.decode_string "data:nospace\n\n" with
+  | [ e ] -> Alcotest.(check string) "no space" "nospace" e.Sse.data
+  | other -> Alcotest.failf "expected one event, got %d" (List.length other)
+
+(* Disconnect mid-frame, resume with Last-Event-ID: the reassembled
+   stream is the canonical event log and passes Events.replay. *)
+let test_sse_resume_replay () =
+  let _, result = fixture_run () in
+  let lines =
+    List.map
+      (fun (e : Events.t) -> (e.Events.seq, Json.to_string (Events.to_json e)))
+      result.Runner.events
+  in
+  let stream = Sse.encode_lines lines in
+  (* cut mid-stream, inside a frame, at several offsets *)
+  List.iter
+    (fun frac ->
+      let cut = String.length stream * frac / 10 in
+      let d = Sse.decoder () in
+      let first = Sse.feed d (String.sub stream 0 cut) in
+      let last = Sse.last_event_id d in
+      (* server side: everything strictly after [last] *)
+      let rest = Sse.resume ~after:last lines in
+      let second = Sse.decode_string (Sse.encode_lines rest) in
+      let records =
+        List.map (fun (e : Sse.event) -> e.Sse.data) (first @ second)
+      in
+      Alcotest.(check int)
+        (Fmt.str "no gaps, no dupes at cut %d" cut)
+        (List.length lines) (List.length records);
+      match Events.replay records with
+      | Ok (tally, clock) ->
+        Alcotest.(check int)
+          "replayed samples" 30 (Events.tally_total tally);
+        Alcotest.(check bool) "clock positive" true (clock > 0)
+      | Error e -> Alcotest.failf "cut %d: replay failed: %s" cut e)
+    [ 1; 3; 5; 7; 9 ]
+
+(* ---- heartbeat ETA clamp ---- *)
+
+let test_eta_clamp () =
+  let check msg expected got =
+    Alcotest.(check (float 1e-9)) msg expected got
+  in
+  (* a shard finishing inside one heartbeat interval used to divide by
+     a zero rate; now: no observed rate assumes one clock unit per
+     remaining sample *)
+  check "no progress yet" 10. (Events.eta ~done_:0 ~total:10 ~clock:0);
+  check "clock stuck at zero" 4. (Events.eta ~done_:6 ~total:10 ~clock:0);
+  check "nothing remaining" 0. (Events.eta ~done_:10 ~total:10 ~clock:0);
+  check "overshoot clamps to zero" 0. (Events.eta ~done_:12 ~total:10 ~clock:50);
+  (* the normal extrapolation is untouched *)
+  check "extrapolation" 50. (Events.eta ~done_:5 ~total:10 ~clock:50)
+
+(* ---- content-addressed store ---- *)
+
+let read_file = Fsutil.read_file
+
+(* Publishing the same configuration twice is a cache hit: the second
+   publish is discarded and the stored artifacts are byte-identical to
+   the first run's. *)
+let test_store_cache_hit () =
+  let root = tmp_dir "store-hit" in
+  let publish () =
+    let dir = tmp_dir "store-hit-src" in
+    let run = fixture_run () in
+    spool_run ~dir run;
+    let bytes =
+      List.map
+        (fun f -> (f, read_file (Filename.concat dir f)))
+        [ Store.injection_file; Store.vulnmap_file; Store.events_file ]
+    in
+    match Store.publish ~root ~src:dir with
+    | Ok digest -> (digest, bytes)
+    | Error e -> Alcotest.failf "publish: %s" e
+  in
+  let d1, bytes1 = publish () in
+  let d2, bytes2 = publish () in
+  Alcotest.(check string) "same digest" d1 d2;
+  let entry = Store.entry_dir ~root d1 in
+  List.iter
+    (fun (f, b) ->
+      Alcotest.(check string)
+        (Fmt.str "stored %s byte-identical to first run" f)
+        b
+        (read_file (Filename.concat entry f)))
+    bytes1;
+  (* and the second run produced the same bytes to begin with *)
+  List.iter2
+    (fun (f, a) (_, b) ->
+      Alcotest.(check string) (Fmt.str "runs agree on %s" f) a b)
+    bytes1 bytes2;
+  (match Store.lookup ~root d1 with
+  | Store.Hit dir -> Alcotest.(check string) "hit dir" entry dir
+  | _ -> Alcotest.fail "expected Hit");
+  (* exactly one index record *)
+  match Metrics.read_lines (Store.index_file root) with
+  | [ _header; record ] ->
+    Alcotest.(check bool) "index names the digest" true
+      (contains ~affix:d1 record)
+  | lines -> Alcotest.failf "index has %d lines" (List.length lines)
+
+(* Tampered or torn entries are rejected, never served. *)
+let test_store_corrupt_rejected () =
+  let root = tmp_dir "store-corrupt" in
+  let dir = tmp_dir "store-corrupt-src" in
+  spool_run ~dir (fixture_run ());
+  let digest =
+    match Store.publish ~root ~src:dir with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "publish: %s" e
+  in
+  Alcotest.(check bool) "unknown digest is Miss" true
+    (Store.lookup ~root (String.make 32 '0') = Store.Miss);
+  Alcotest.(check bool) "path-traversal name is Miss" true
+    (Store.lookup ~root "../evil" = Store.Miss);
+  let entry = Store.entry_dir ~root digest in
+  (* torn entry: a promised artifact is gone *)
+  Sys.remove (Filename.concat entry Store.vulnmap_file);
+  (match Store.lookup ~root digest with
+  | Store.Corrupt e ->
+    Alcotest.(check bool) "names the artifact" true
+      (contains ~affix:Store.vulnmap_file e)
+  | _ -> Alcotest.fail "expected Corrupt after deleting an artifact");
+  (* tampered manifest: re-digests to a different name *)
+  let mpath = Filename.concat entry Manifest.file in
+  let m = read_file mpath in
+  let tampered =
+    let needle = "\"samples\":30" in
+    match
+      let n = String.length needle and len = String.length m in
+      let rec find i =
+        if i + n > len then None
+        else if String.sub m i n = needle then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some i ->
+      String.sub m 0 i ^ "\"samples\":31"
+      ^ String.sub m (i + String.length needle)
+          (String.length m - i - String.length needle)
+    | None -> Alcotest.fail "fixture manifest lacks the samples field"
+  in
+  Fsutil.write_file mpath tampered;
+  (match Store.lookup ~root digest with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt after tampering the manifest");
+  (* a rebuilt index drops the corrupt entry *)
+  Alcotest.(check (list string)) "rebuild drops it" []
+    (Store.rebuild_index ~root)
+
+(* The index preserves publication order across rebuilds. *)
+let test_store_index_order () =
+  let root = tmp_dir "store-order" in
+  let publish seed =
+    let dir = tmp_dir (Fmt.str "store-order-%Ld" seed) in
+    spool_run ~dir (fixture_run ~seed ());
+    match Store.publish ~root ~src:dir with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "publish: %s" e
+  in
+  (* descending seeds so publication order differs from name order
+     only sometimes — the point is stability, not the names *)
+  let d1 = publish 7L in
+  let d2 = publish 3L in
+  let d3 = publish 5L in
+  let order = Store.rebuild_index ~root in
+  Alcotest.(check (list string)) "publication order" [ d1; d2; d3 ] order;
+  Alcotest.(check (list string)) "stable across rebuilds" order
+    (Store.rebuild_index ~root)
+
+(* ---- job queue ---- *)
+
+let test_queue_persistence () =
+  let dir = tmp_dir "queue" in
+  let q = Queue.load ~dir in
+  let j1 = Queue.submit q ~spec:"{}" ~digest:"" ~cached:false ~state:Queue.Pending in
+  let _j2 = Queue.submit q ~spec:"{}" ~digest:"d2" ~cached:true ~state:Queue.Done in
+  let j3 = Queue.submit q ~spec:"{}" ~digest:"" ~cached:false ~state:Queue.Pending in
+  Alcotest.(check (list int)) "dense ids" [ 1; 2; 3 ]
+    (List.map (fun (j : Queue.job) -> j.Queue.id) (Queue.jobs q));
+  Queue.update q { j1 with Queue.state = Queue.Running };
+  Queue.update q { j3 with Queue.state = Queue.Failed; error = "boom" };
+  (* the file is a valid ferrum.jobs.v1 document *)
+  (match
+     Metrics.validate_lines ~kind:Queue.kind ~record_fields:Queue.fields
+       (Metrics.read_lines (Queue.path q))
+   with
+  | Ok n -> Alcotest.(check int) "records" 3 n
+  | Error e -> Alcotest.failf "queue file invalid: %s" e);
+  (* reload: Running demoted to Pending, everything else intact *)
+  let q' = Queue.load ~dir in
+  let state id =
+    match Queue.find q' id with
+    | Some j -> j.Queue.state
+    | None -> Alcotest.failf "job %d lost" id
+  in
+  Alcotest.(check bool) "running demoted" true (state 1 = Queue.Pending);
+  Alcotest.(check bool) "done kept" true (state 2 = Queue.Done);
+  Alcotest.(check bool) "failed kept" true (state 3 = Queue.Failed);
+  (match Queue.find q' 3 with
+  | Some j -> Alcotest.(check string) "error kept" "boom" j.Queue.error
+  | None -> Alcotest.fail "job 3 lost");
+  (match Queue.find q' 2 with
+  | Some j -> Alcotest.(check bool) "cached kept" true j.Queue.cached
+  | None -> Alcotest.fail "job 2 lost");
+  match Queue.next_pending q' with
+  | Some j -> Alcotest.(check int) "oldest pending first" 1 j.Queue.id
+  | None -> Alcotest.fail "no pending job after demotion"
+
+(* ---- fsutil ---- *)
+
+let test_fsutil_tree_ops () =
+  let src = tmp_dir "fsutil-src" in
+  Fsutil.mkdir_p (Filename.concat src "a/b");
+  Fsutil.write_file (Filename.concat src "top.txt") "top";
+  Fsutil.write_file (Filename.concat src "a/b/deep.txt") "deep";
+  let copy = tmp_dir "fsutil-copy" in
+  Fsutil.copy_tree src copy;
+  Alcotest.(check string) "copied leaf" "deep"
+    (read_file (Filename.concat copy "a/b/deep.txt"));
+  Alcotest.(check string) "copied root file" "top"
+    (read_file (Filename.concat copy "top.txt"));
+  (* the original survives a copy *)
+  Alcotest.(check string) "source intact" "deep"
+    (read_file (Filename.concat src "a/b/deep.txt"));
+  let dst = tmp_dir "fsutil-moved" in
+  Fsutil.rename copy dst;
+  Alcotest.(check bool) "rename consumed the source" false
+    (Sys.file_exists copy);
+  Alcotest.(check string) "renamed leaf" "deep"
+    (read_file (Filename.concat dst "a/b/deep.txt"))
+
+(* ---- history page ---- *)
+
+let test_history_percentile () =
+  let dist = [ (10., 1); (20., 1); (30., 2) ] in
+  Alcotest.(check (option (float 1e-9))) "p50" (Some 20.)
+    (History.percentile 0.5 dist);
+  Alcotest.(check (option (float 1e-9))) "p95" (Some 30.)
+    (History.percentile 0.95 dist);
+  Alcotest.(check (option (float 1e-9))) "empty" None
+    (History.percentile 0.5 [])
+
+let test_history_render () =
+  let root = tmp_dir "history-store" in
+  let publish seed =
+    let dir = tmp_dir (Fmt.str "history-src-%Ld" seed) in
+    spool_run ~dir (fixture_run ~seed ());
+    match Store.publish ~root ~src:dir with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "publish: %s" e
+  in
+  let d1 = publish 7L in
+  let d2 = publish 3L in
+  (match History.render ~root with
+  | Ok html ->
+    Alcotest.(check bool) "summary table" true
+      (contains ~affix:"Published runs" html);
+    Alcotest.(check bool) "diff section (same label twice)" true
+      (contains ~affix:"Run-to-run diff" html);
+    Alcotest.(check bool) "first digest shown" true
+      (contains ~affix:(String.sub d1 0 12) html);
+    Alcotest.(check bool) "second digest shown" true
+      (contains ~affix:(String.sub d2 0 12) html);
+    Alcotest.(check bool) "panels reused" true
+      (contains ~affix:"Outcome distribution" html
+      || contains ~affix:"<svg" html)
+  | Error e -> Alcotest.failf "render: %s" e);
+  (* drift of a run against itself is zero everywhere *)
+  match Html.load_run (Store.entry_dir ~root d1) with
+  | Ok r ->
+    Alcotest.(check (option (pair int int))) "self drift" (Some (0, 0))
+      (History.drift r r)
+  | Error e -> Alcotest.failf "load_run: %s" e
+
+let test_history_empty () =
+  let root = tmp_dir "history-empty" in
+  Fsutil.mkdir_p root;
+  match History.render ~root with
+  | Ok html ->
+    Alcotest.(check bool) "empty-state page" true
+      (contains ~affix:"No published runs" html)
+  | Error e -> Alcotest.failf "render: %s" e
+
+(* ---- HTTP plumbing ---- *)
+
+let test_http_request_parse () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let body = "{\"benchmark\":\"Backprop\"}" in
+  Http.write_all a
+    (Fmt.str
+       "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Type: \
+        application/json\r\nLast-Event-ID: 7\r\nContent-Length: %d\r\n\r\n%s"
+       (String.length body) body);
+  Unix.close a;
+  (match Http.read_request b with
+  | Ok req ->
+    Alcotest.(check string) "method" "POST" req.Http.meth;
+    Alcotest.(check string) "path" "/jobs" req.Http.path;
+    Alcotest.(check string) "body" body req.Http.body;
+    Alcotest.(check (option string)) "case-insensitive header" (Some "7")
+      (Http.header_value "Last-Event-ID" req.Http.headers)
+  | Error e -> Alcotest.failf "parse: %s" e);
+  Unix.close b
+
+(* ---- job specs ---- *)
+
+let test_spec_roundtrip () =
+  (* minimal submission: everything but the benchmark defaults *)
+  (match Spec.of_string "{\"benchmark\":\"Backprop\"}" with
+  | Ok s ->
+    Alcotest.(check string) "technique default" "raw" s.Spec.technique;
+    Alcotest.(check int) "samples default" 400 s.Spec.samples;
+    Alcotest.(check int) "shards default" 4 s.Spec.shards;
+    Alcotest.(check bool) "traced default" true s.Spec.traced;
+    let s' =
+      match Spec.of_string (Spec.to_string s) with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "reparse: %s" e
+    in
+    Alcotest.(check bool) "canonical round-trip" true (s = s')
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (match Spec.of_string "{}" with
+  | Error e ->
+    Alcotest.(check bool) "missing benchmark named" true
+      (contains ~affix:"benchmark" e)
+  | Ok _ -> Alcotest.fail "benchmark must be required");
+  match
+    Result.bind (Spec.of_string "{\"benchmark\":\"nonesuch\"}") Spec.resolve
+  with
+  | Error e ->
+    Alcotest.(check bool) "unknown benchmark rejected" true
+      (contains ~affix:"nonesuch" e)
+  | Ok _ -> Alcotest.fail "unknown benchmark must not resolve"
+
+(* ---- end-to-end daemon ---- *)
+
+(* Fork a real daemon on a loopback auto-assigned port, drive it with
+   the HTTP client: submit, stream the live SSE events through the
+   decoder into Events.replay, resubmit for a cache hit, and check the
+   served artifact bytes match across the two submissions. *)
+let test_daemon_end_to_end () =
+  let root = tmp_dir "daemon" in
+  flush stdout;
+  flush stderr;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      (try Daemon.serve { Daemon.root; host = "127.0.0.1"; port = 0 }
+       with _ -> ());
+      Stdlib.exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_port () =
+        if Sys.file_exists (Daemon.port_file root) then
+          int_of_string (String.trim (Fsutil.read_file (Daemon.port_file root)))
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "daemon never wrote its port file"
+        else begin
+          Unix.sleepf 0.05;
+          wait_port ()
+        end
+      in
+      let port = wait_port () in
+      let host = "127.0.0.1" in
+      let get path =
+        match Http.request ~host ~port ~meth:"GET" ~path () with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "GET %s: %s" path e
+      in
+      (* bad spec is a 400, not a crash *)
+      (match
+         Http.request ~host ~port ~meth:"POST" ~path:"/jobs" ~body:"{}" ()
+       with
+      | Ok r -> Alcotest.(check int) "bad spec status" 400 r.Http.status
+      | Error e -> Alcotest.failf "POST: %s" e);
+      let spec =
+        "{\"benchmark\":\"Backprop\",\"technique\":\"ferrum\",\
+         \"samples\":8,\"shards\":2,\"traced\":0}"
+      in
+      let submit () =
+        match
+          Http.request ~host ~port ~meth:"POST" ~path:"/jobs" ~body:spec ()
+        with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok r -> (
+          let record =
+            match
+              List.filter_map Json.of_string_opt
+                (Metrics.lines_of_string r.Http.r_body)
+            with
+            | [ _header; record ] -> record
+            | _ -> Alcotest.failf "response is not header + one record"
+          in
+          match
+            ( Json.member "id" record,
+              Json.member "state" record,
+              Json.member "digest" record,
+              Json.member "cached" record )
+          with
+          | Some (Json.Int id), Some (Json.Str state),
+            Some (Json.Str digest), Some (Json.Int cached) ->
+            (id, state, digest, cached <> 0, r.Http.status)
+          | _ -> Alcotest.failf "job record incomplete: %s" r.Http.r_body)
+      in
+      let id, state, digest, cached, status = submit () in
+      Alcotest.(check int) "fresh submit is 202" 202 status;
+      Alcotest.(check bool) "fresh submit not cached" false cached;
+      Alcotest.(check bool) "queued or already running" true
+        (state = "pending" || state = "running");
+      (* stream the live events until the end-of-stream comment *)
+      let d = Sse.decoder () in
+      let records = ref [] in
+      (match
+         Http.stream ~host ~port
+           ~path:(Fmt.str "/jobs/%d/events" id)
+           ~on_chunk:(fun chunk ->
+             List.iter
+               (fun (e : Sse.event) -> records := e.Sse.data :: !records)
+               (Sse.feed d chunk))
+           ()
+       with
+      | Ok 200 -> ()
+      | Ok s -> Alcotest.failf "events stream status %d" s
+      | Error e -> Alcotest.failf "events stream: %s" e);
+      (match Events.replay (List.rev !records) with
+      | Ok (tally, _clock) ->
+        Alcotest.(check int) "live stream replays all samples" 8
+          (Events.tally_total tally)
+      | Error e -> Alcotest.failf "live stream does not replay: %s" e);
+      (* the job settles as done *)
+      let rec wait_done tries =
+        let r = get (Fmt.str "/jobs/%d" id) in
+        if contains ~affix:"\"state\":\"done\"" r.Http.r_body then ()
+        else if tries = 0 then
+          Alcotest.failf "job never settled: %s" r.Http.r_body
+        else begin
+          Unix.sleepf 0.2;
+          wait_done (tries - 1)
+        end
+      in
+      wait_done 100;
+      let records_1 = (get (Fmt.str "/runs/%s/records" digest)).Http.r_body in
+      (* resubmitting the identical spec is a cache hit served from the
+         store: done immediately, same digest, byte-identical bytes *)
+      let id2, state2, digest2, cached2, status2 = submit () in
+      Alcotest.(check int) "cache hit is 200" 200 status2;
+      Alcotest.(check bool) "cache hit flagged" true cached2;
+      Alcotest.(check string) "cache hit is done" "done" state2;
+      Alcotest.(check string) "same digest" digest digest2;
+      Alcotest.(check bool) "new job id" true (id2 <> id);
+      let records_2 = (get (Fmt.str "/runs/%s/records" digest)).Http.r_body in
+      Alcotest.(check string) "served records byte-identical" records_1
+        records_2;
+      (match
+         Metrics.validate_lines ~kind:F.metrics_kind
+           ~record_fields:F.record_fields
+           (Metrics.lines_of_string records_1)
+       with
+      | Ok n -> Alcotest.(check int) "served records validate" 8 n
+      | Error e -> Alcotest.failf "served records invalid: %s" e);
+      (* cached job's event stream comes from the store and replays *)
+      let d2 = Sse.decoder () in
+      let cached_records = ref [] in
+      (match
+         Http.stream ~host ~port
+           ~path:(Fmt.str "/jobs/%d/events" id2)
+           ~on_chunk:(fun chunk ->
+             List.iter
+               (fun (e : Sse.event) -> cached_records := e.Sse.data :: !cached_records)
+               (Sse.feed d2 chunk))
+           ()
+       with
+      | Ok 200 -> ()
+      | Ok s -> Alcotest.failf "cached events status %d" s
+      | Error e -> Alcotest.failf "cached events: %s" e);
+      (match Events.replay (List.rev !cached_records) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "cached stream does not replay: %s" e);
+      (* queue and metricz endpoints validate as ferrum.jobs.v1 *)
+      List.iter
+        (fun path ->
+          match
+            Metrics.validate_lines ~kind:Queue.kind
+              ~record_fields:Queue.fields
+              (Metrics.lines_of_string (get path).Http.r_body)
+          with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s invalid: %s" path e)
+        [ "/jobs"; "/metricz" ];
+      (* history page lists the run *)
+      Alcotest.(check bool) "history names the digest" true
+        (contains ~affix:(String.sub digest 0 12)
+           (get "/history").Http.r_body))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "sse",
+        [
+          Alcotest.test_case "chunk-boundary independence" `Quick
+            test_sse_chunking;
+          Alcotest.test_case "crlf and field variants" `Quick test_sse_crlf;
+          Alcotest.test_case "Last-Event-ID resume replays" `Quick
+            test_sse_resume_replay;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "heartbeat ETA clamp" `Quick test_eta_clamp ] );
+      ( "store",
+        [
+          Alcotest.test_case "cache hit, byte identity" `Quick
+            test_store_cache_hit;
+          Alcotest.test_case "corrupt entries rejected" `Quick
+            test_store_corrupt_rejected;
+          Alcotest.test_case "index keeps publication order" `Quick
+            test_store_index_order;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "persistence and demotion" `Quick
+            test_queue_persistence;
+        ] );
+      ( "fsutil",
+        [ Alcotest.test_case "copy_tree and rename" `Quick test_fsutil_tree_ops ] );
+      ( "history",
+        [
+          Alcotest.test_case "weighted percentiles" `Quick
+            test_history_percentile;
+          Alcotest.test_case "render with diffs" `Quick test_history_render;
+          Alcotest.test_case "empty store" `Quick test_history_empty;
+        ] );
+      ( "http",
+        [ Alcotest.test_case "request parsing" `Quick test_http_request_parse ] );
+      ( "spec",
+        [ Alcotest.test_case "defaults and round-trip" `Quick test_spec_roundtrip ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "end-to-end over loopback" `Slow
+            test_daemon_end_to_end;
+        ] );
+    ]
