@@ -45,7 +45,7 @@ let rec copy_tree src dst =
 let rename src dst =
   try Unix.rename src dst
   with Unix.Unix_error (Unix.EXDEV, _, _) ->
-    let tmp = dst ^ ".exdev-tmp" in
+    let tmp = Printf.sprintf "%s.%d.exdev-tmp" dst (Unix.getpid ()) in
     rm_rf tmp;
     copy_tree src tmp;
     Unix.rename tmp dst;
@@ -53,10 +53,14 @@ let rename src dst =
 
 (* Atomic whole-file write: temp file in place, then rename.  The temp
    is a sibling of the target, so the rename itself cannot cross a
-   mount; [rename] keeps even pathological layouts safe. *)
+   mount; [rename] keeps even pathological layouts safe.  The temp name
+   carries the writer's pid: the daemon parent and a runner child may
+   both rewrite the same file (e.g. the store index), and a shared temp
+   path would let the two writers interleave truncate/write/rename and
+   publish a torn result. *)
 let write_file path content =
   mkdir_p (Filename.dirname path);
-  let tmp = path ^ ".tmp" in
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   let oc = open_out tmp in
   output_string oc content;
   close_out oc;

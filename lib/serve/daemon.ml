@@ -464,9 +464,18 @@ let rec loop d =
   | None, Some job -> start_runner d job
   | _ -> ());
   (match Unix.select [ d.listen_fd ] [] [] 0.25 with
-  | [ _ ], _, _ ->
-    let fd, _ = Unix.accept d.listen_fd in
-    handle_connection d fd
+  | [ _ ], _, _ -> (
+    (* accept can fail transiently (EINTR, ECONNABORTED, EMFILE under
+       fd pressure from SSE forks) and a hostile client can error the
+       handler; neither may take the daemon down with it. *)
+    match Unix.accept d.listen_fd with
+    | exception Unix.Unix_error (e, _, _) ->
+      log "accept: %s" (Unix.error_message e)
+    | fd, _ -> (
+      try handle_connection d fd
+      with e ->
+        log "connection error: %s" (Printexc.to_string e);
+        (try Unix.close fd with Unix.Unix_error _ -> ())))
   | _ -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
   loop d

@@ -11,21 +11,37 @@ let crlf = "\r\n"
 (* ------------------------------------------------------------------ *)
 
 (* Buffered reader over a file descriptor: [read_line] returns lines
-   without their terminator; [read_exactly] drains the buffer first. *)
-type reader = { fd : Unix.file_descr; buf : Buffer.t }
+   without their terminator; [read_exactly] drains the buffer first.
+   [total] counts every byte pulled off the socket, so callers can
+   bound how much a peer may send before a parse point is reached. *)
+type reader = { fd : Unix.file_descr; buf : Buffer.t; mutable total : int }
 
-let reader fd = { fd; buf = Buffer.create 4096 }
+exception Head_too_large
 
-let refill r =
+let reader fd = { fd; buf = Buffer.create 4096; total = 0 }
+
+(* A receive timeout (SO_RCVTIMEO) surfaces as EAGAIN/EWOULDBLOCK and a
+   reset peer as ECONNRESET; both mean "no more bytes are coming", so
+   they read as EOF rather than escaping into the caller.  [limit], when
+   given, caps [total] — checked after the bytes land, so a refill that
+   pushes past the cap raises even when it also completes the parse. *)
+let refill ?limit r =
   let chunk = Bytes.create 65536 in
   match Unix.read r.fd chunk 0 (Bytes.length chunk) with
   | 0 -> false
-  | n ->
+  | n -> (
     Buffer.add_subbytes r.buf chunk 0 n;
-    true
+    r.total <- r.total + n;
+    match limit with
+    | Some l when r.total > l -> raise Head_too_large
+    | _ -> true)
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNRESET), _, _) ->
+    false
 
-let rec read_line r =
+let rec read_line ?limit r =
   let data = Buffer.contents r.buf in
   match String.index_opt data '\n' with
   | Some nl ->
@@ -38,7 +54,7 @@ let rec read_line r =
       else line
     in
     Some line
-  | None -> if refill r then read_line r else None
+  | None -> if refill ?limit r then read_line ?limit r else None
 
 let rec read_exactly r n =
   if Buffer.length r.buf >= n then begin
@@ -74,9 +90,9 @@ type request = {
 let header_value name (headers : (string * string) list) =
   List.assoc_opt (String.lowercase_ascii name) headers
 
-let parse_headers r =
+let parse_headers ?limit r =
   let rec go acc =
-    match read_line r with
+    match read_line ?limit r with
     | None | Some "" -> List.rev acc
     | Some line -> (
       match String.index_opt line ':' with
@@ -93,26 +109,33 @@ let parse_headers r =
   in
   go []
 
-(* Body size cap: job specs are tiny; anything bigger is abuse. *)
+(* Body size cap: job specs are tiny; anything bigger is abuse.  The
+   request line + headers get their own, tighter cap so a client
+   streaming endless header bytes cannot exhaust the daemon's memory. *)
 let max_body = 1 lsl 20
+let max_head = 1 lsl 16
 
 let read_request fd : (request, string) result =
   let r = reader fd in
-  match read_line r with
-  | None -> Error "empty request"
-  | Some request_line -> (
-    match String.split_on_char ' ' request_line with
-    | meth :: path :: _ ->
-      let headers = parse_headers r in
-      let body =
-        match Option.map int_of_string_opt (header_value "content-length" headers)
-        with
-        | Some (Some n) when n >= 0 && n <= max_body ->
-          Option.value ~default:"" (read_exactly r n)
-        | _ -> ""
-      in
-      Ok { meth; path; headers; body }
-    | _ -> Error (Fmt.str "malformed request line %S" request_line))
+  try
+    match read_line ~limit:max_head r with
+    | None -> Error "empty request"
+    | Some request_line -> (
+      match String.split_on_char ' ' request_line with
+      | meth :: path :: _ ->
+        let headers = parse_headers ~limit:max_head r in
+        let body =
+          match
+            Option.map int_of_string_opt (header_value "content-length" headers)
+          with
+          | Some (Some n) when n >= 0 && n <= max_body ->
+            Option.value ~default:"" (read_exactly r n)
+          | _ -> ""
+        in
+        Ok { meth; path; headers; body }
+      | _ -> Error (Fmt.str "malformed request line %S" request_line))
+  with Head_too_large ->
+    Error (Fmt.str "request head exceeds %d bytes" max_head)
 
 (* ------------------------------------------------------------------ *)
 (* Responses.                                                          *)

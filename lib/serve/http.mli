@@ -16,7 +16,9 @@ type request = {
 val header_value : string -> (string * string) list -> string option
 
 (** Parse one request off a connected socket.  Bodies above 1 MiB are
-    dropped (job specs are tiny). *)
+    dropped (job specs are tiny); a request line + headers exceeding
+    64 KiB fails the parse, and a receive timeout or reset mid-read
+    counts as end of input rather than raising. *)
 val read_request : Unix.file_descr -> (request, string) result
 
 (** Write [s] fully, retrying short writes. *)

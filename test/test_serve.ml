@@ -429,6 +429,32 @@ let test_http_request_parse () =
   | Error e -> Alcotest.failf "parse: %s" e);
   Unix.close b
 
+(* A client that connects and sends nothing: the receive timeout must
+   surface as a parse error, not an exception out of [read_request] —
+   an uncaught EAGAIN here used to take down the whole daemon. *)
+let test_http_silent_client () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_float b Unix.SO_RCVTIMEO 0.2;
+  (match Http.read_request b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "silent client must not parse");
+  Unix.close a;
+  Unix.close b
+
+(* Unbounded header bytes must be rejected, not buffered forever. *)
+let test_http_head_cap () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Http.write_all a "GET / HTTP/1.1\r\n";
+  (* properly terminated on purpose: the cap must trip on the bytes
+     themselves, not rely on the parser never finding the blank line *)
+  Http.write_all a ("X-Flood: " ^ String.make (80 * 1024) 'a' ^ "\r\n\r\n");
+  Unix.close a;
+  (match Http.read_request b with
+  | Error e ->
+    Alcotest.(check bool) "head cap named" true (contains ~affix:"exceeds" e)
+  | Ok _ -> Alcotest.fail "oversized head must not parse");
+  Unix.close b
+
 (* ---- job specs ---- *)
 
 let test_spec_roundtrip () =
@@ -662,7 +688,12 @@ let () =
           Alcotest.test_case "empty store" `Quick test_history_empty;
         ] );
       ( "http",
-        [ Alcotest.test_case "request parsing" `Quick test_http_request_parse ] );
+        [
+          Alcotest.test_case "request parsing" `Quick test_http_request_parse;
+          Alcotest.test_case "silent client times out" `Quick
+            test_http_silent_client;
+          Alcotest.test_case "request head cap" `Quick test_http_head_cap;
+        ] );
       ( "spec",
         [ Alcotest.test_case "defaults and round-trip" `Quick test_spec_roundtrip ] );
       ( "daemon",
