@@ -4,8 +4,9 @@ SMOKE = /tmp/ferrum_smoke.jsonl
 VMAP = /tmp/ferrum_vulnmap.jsonl
 LINTM = /tmp/ferrum_lint.jsonl
 CAMP = /tmp/ferrum_campaign
+STATS = /tmp/ferrum_stats
 
-.PHONY: all build test fmt smoke lint campaign serve-smoke perf bench-snapshot check clean
+.PHONY: all build test fmt smoke lint campaign stats-smoke serve-smoke perf bench-snapshot check clean
 
 all: build
 
@@ -75,6 +76,22 @@ campaign: build
 	cmp $(CAMP)/injection.jsonl $(CAMP).seq
 	@echo "campaign: sharded run valid, reproducible and sequential-identical"
 
+# Confidence-telemetry smoke: an adaptive vulnmap campaign must emit a
+# schema-valid, byte-reproducible ferrum.stats.v1 stream, and a flat
+# run of the same workload must agree with it (overlapping Wilson
+# intervals — `ferrum stats A B` exits 1 on significant drift).
+stats-smoke: build
+	$(CLI) vulnmap kmeans -p ferrum --samples 60 --adaptive --rounds 3 \
+	  --stats $(STATS).jsonl > /dev/null
+	$(CLI) metrics $(STATS).jsonl
+	$(CLI) vulnmap kmeans -p ferrum --samples 60 --adaptive --rounds 3 \
+	  --stats $(STATS).2.jsonl > /dev/null
+	cmp $(STATS).jsonl $(STATS).2.jsonl
+	$(CLI) vulnmap kmeans -p ferrum --samples 60 \
+	  --stats $(STATS).flat.jsonl > /dev/null
+	$(CLI) stats $(STATS).jsonl $(STATS).flat.jsonl
+	@echo "stats-smoke: confidence stream valid, reproducible, drift-free"
+
 # Campaign-service smoke: daemon + job queue + live SSE (replay-valid)
 # + content-addressed store cache hit with byte-identical artifacts.
 serve-smoke: build
@@ -94,9 +111,10 @@ bench-snapshot: build
 	$(CLI) metrics BENCH_$$n.json && \
 	echo "bench-snapshot: wrote BENCH_$$n.json"
 
-check: fmt build test smoke lint campaign serve-smoke perf
+check: fmt build test smoke lint campaign stats-smoke serve-smoke perf
 
 clean:
 	dune clean
 	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2 $(LINTM) $(LINTM).2
+	rm -f $(STATS).jsonl $(STATS).2.jsonl $(STATS).flat.jsonl
 	rm -rf $(CAMP) $(CAMP).2 $(CAMP).html $(CAMP).seq

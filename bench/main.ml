@@ -25,7 +25,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig10|fig11|exectime|outcomes|summary|\n\
     \                 ablation|allsites|multibit|peephole|selective|vulnmap|\n\
-    \                 perf|lint|micro|all]\n\
+    \                 adaptive|perf|lint|micro|all]\n\
     \                [--samples N] [--seed N] [--shards N] [--csv PATH]\n\
     \                [--metrics PATH] [--vulnmap DIR] [--smoke]";
   exit 2
@@ -33,7 +33,7 @@ let usage () =
 type cmd =
   | Table1 | Table2 | Fig10 | Fig11 | Exectime | Outcomes | Summary
   | AblationCmd | Allsites | Multibit | PeepholeCmd | Selective | VulnmapCmd
-  | LintCmd | Micro | Perf | All
+  | AdaptiveCmd | LintCmd | Micro | Perf | All
   | Default
 
 let parse_args () =
@@ -84,6 +84,7 @@ let parse_args () =
          | "peephole" -> PeepholeCmd
          | "selective" -> Selective
          | "vulnmap" -> VulnmapCmd
+         | "adaptive" -> AdaptiveCmd
          | "lint" -> LintCmd
          | "micro" -> Micro
          | "perf" -> Perf
@@ -206,6 +207,139 @@ let vulnmap_compare ~samples ~seed ~shards dir =
        ~header:
          [ "technique"; "detected"; "sdc"; "mean"; "p50"; "p95"; "max" ]
        ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* E18: flat vs adaptive sample allocation at equal budget.            *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = Ferrum_telemetry.Stats
+module Runner = Ferrum_campaign.Runner
+
+(* Flat (occurrence-proportional, the paper's protocol) and adaptive
+   (CI-width-directed rounds) campaigns at the same total budget, on
+   raw workloads, scored by the mean Wilson 95% half-width over the
+   worst decile of vulnerability-map sites — the sites a flat campaign
+   leaves least certain.  The budget is at least 4x the candidate-site
+   count so either scheme can lift every site past a couple of
+   samples. *)
+let adaptive_compare ~samples ~seed =
+  let rounds = 8 in
+  let results =
+    List.map
+      (fun name ->
+        let entry = Option.get (Ferrum_workloads.Catalog.find name) in
+        let m = entry.Ferrum_workloads.Catalog.build () in
+        let img =
+          Ferrum_machine.Machine.load (Ferrum_eddi.Pipeline.raw m).program
+        in
+        let target = F.prepare img in
+        let sites = Array.length (F.site_candidates target) in
+        let budget = max samples (4 * sites) in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let flat, flat_wall =
+          timed (fun () ->
+              Runner.run ~mode:Runner.Traced ~shards:1 ~seed ~samples:budget
+                target)
+        in
+        let adaptive, adaptive_wall =
+          timed (fun () ->
+              Runner.run_adaptive ~mode:Runner.Traced ~shards:1 ~seed ~budget
+                ~policy:{ F.rounds; target_ci = 0.0 }
+                target)
+        in
+        let site_counts (r : Runner.result) i =
+          (Option.get r.Runner.vulnmap).F.v_sites.(i).F.s_counts
+        in
+        let p_hat (c : F.counts) =
+          if c.F.samples = 0 then 0.0
+          else float_of_int c.F.sdc /. float_of_int c.F.samples
+        in
+        let candidates =
+          List.filter
+            (fun i -> target.F.eligible.(i))
+            (List.init (Array.length target.F.eligible) Fun.id)
+        in
+        let ranked =
+          List.sort
+            (fun a b ->
+              let d =
+                compare
+                  (p_hat (site_counts flat b))
+                  (p_hat (site_counts flat a))
+              in
+              if d <> 0 then d else compare a b)
+            candidates
+        in
+        let decile =
+          let n = (List.length candidates + 9) / 10 in
+          List.filteri (fun i _ -> i < n) ranked
+        in
+        let mean f =
+          List.fold_left (fun acc i -> acc +. f i) 0.0 decile
+          /. float_of_int (List.length decile)
+        in
+        let mean_hw r =
+          mean (fun i ->
+              let c = site_counts r i in
+              Stats.half_width
+                (Stats.wilson { Stats.n = c.F.samples; k = c.F.sdc }))
+        in
+        let mean_n r =
+          mean (fun i -> float_of_int (site_counts r i).F.samples)
+        in
+        {
+          R.Export.a_benchmark = name;
+          a_budget = budget;
+          a_rounds = rounds;
+          a_sites = sites;
+          a_decile = List.length decile;
+          a_flat_n = mean_n flat;
+          a_adaptive_n = mean_n adaptive;
+          a_flat_hw = mean_hw flat;
+          a_adaptive_hw = mean_hw adaptive;
+          a_flat_wall = flat_wall;
+          a_adaptive_wall = adaptive_wall;
+        })
+      [ "kNN"; "LUD" ]
+  in
+  let rows =
+    List.map
+      (fun (a : R.Export.adaptive_result) ->
+        [
+          a.R.Export.a_benchmark;
+          string_of_int a.R.Export.a_sites;
+          string_of_int a.R.Export.a_budget;
+          Fmt.str "%.1f" a.R.Export.a_flat_n;
+          Fmt.str "%.1f" a.R.Export.a_adaptive_n;
+          Fmt.str "%.4f" a.R.Export.a_flat_hw;
+          Fmt.str "%.4f" a.R.Export.a_adaptive_hw;
+          R.Ascii.percent (R.Export.adaptive_savings a);
+          Fmt.str "%.1f / %.1f" a.R.Export.a_flat_wall
+            a.R.Export.a_adaptive_wall;
+        ])
+      results
+  in
+  let table =
+    Fmt.str
+      "Flat vs adaptive allocation at equal budget (seed %Ld, %d rounds;\n\
+       n-bar and Wilson 95%% half-width averaged over the worst decile \
+       of sites;\n\
+       savings = 1 - (adaptive/flat)^2, the flat budget share directed \
+       sampling saves)@.%s"
+      seed rounds
+      (R.Ascii.table
+         ~header:
+           [
+             "benchmark"; "sites"; "budget"; "flat n"; "adpt n"; "flat hw";
+             "adpt hw"; "savings"; "wall f/a";
+           ]
+         ~rows)
+  in
+  (table, results)
 
 (* ------------------------------------------------------------------ *)
 (* E14: static uncovered set vs dynamic checkable escapes.             *)
@@ -445,6 +579,14 @@ let () =
     r
   in
   let captured = ref [] in
+  let captured_adaptive = ref [] in
+  let run_adaptive () =
+    let table, results =
+      timed "adaptive" (fun () -> adaptive_compare ~samples ~seed)
+    in
+    captured_adaptive := results;
+    table
+  in
   let run ?(perf_only = false) () =
     let name = if perf_only then "experiments(perf)" else "experiments" in
     let r = timed name (fun () -> Experiments.run ~options:(options perf_only) ()) in
@@ -476,9 +618,14 @@ let () =
     print_endline (Render.summary results)
   in
   (match cmd with
-  | Default -> print_all ~with_outcomes:false ()
+  | Default ->
+    print_all ~with_outcomes:false ();
+    print_newline ();
+    print_endline (run_adaptive ())
   | All ->
     print_all ~with_outcomes:true ();
+    print_newline ();
+    print_endline (run_adaptive ());
     print_newline ();
     print_endline
       (timed "ablation" (fun () ->
@@ -515,6 +662,7 @@ let () =
     print_endline
       (timed "vulnmap" (fun () ->
            vulnmap_compare ~samples ~seed ~shards vulnmap_dir))
+  | AdaptiveCmd -> print_endline (run_adaptive ())
   | LintCmd ->
     print_endline (timed "lint" (fun () -> lint_compare ~samples ~seed))
   | Perf ->
@@ -523,7 +671,7 @@ let () =
   | Micro -> micro ());
   match metrics with
   | Some path ->
-    Ferrum_report.Export.write_metrics_json path ~samples ~seed
-      ~experiments:(List.rev !timings) !captured;
+    Ferrum_report.Export.write_metrics_json ~adaptive:!captured_adaptive
+      path ~samples ~seed ~experiments:(List.rev !timings) !captured;
     Fmt.pr "(wrote %s)@." path
   | None -> ()

@@ -33,6 +33,7 @@ module Metrics = Ferrum_telemetry.Metrics
 module Span = Ferrum_telemetry.Span
 module Profile = Ferrum_telemetry.Profile
 module Events = Ferrum_telemetry.Events
+module Stats = Ferrum_telemetry.Stats
 module Runner = Ferrum_campaign.Runner
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
@@ -253,24 +254,50 @@ let metrics_arg =
    return keeps it to a single updating line. *)
 let progress_renderer label =
   let shards = Hashtbl.create 8 in
+  let budget = ref (-1) in
+  let hw = ref 0.0 in
+  let closed = ref false in
   fun (e : Events.t) ->
     (match e.Events.body with
     | Events.Shard_started { lo; hi } ->
       Hashtbl.replace shards e.Events.shard (0, hi - lo, 0)
-    | Events.Progress { done_; total; clock; _ }
+    | Events.Progress { done_; total; clock; budget = b; hw = w; _ } ->
+      Hashtbl.replace shards e.Events.shard (done_, total, clock);
+      if b >= 0 then budget := b;
+      if w > 0.0 then hw := w
     | Events.Shard_finished { done_; total; clock; _ } ->
       Hashtbl.replace shards e.Events.shard (done_, total, clock)
     | _ -> ());
-    let done_, total, clock =
+    let done_, started, clock =
       Hashtbl.fold
         (fun _ (d, t, c) (ad, at, ac) -> (ad + d, at + t, ac + c))
         shards (0, 0, 0)
     in
-    if total > 0 then begin
+    (* Denominator: the campaign's sample budget when heartbeats carry
+       one (adaptive runs start shards round by round, so the sum of
+       started shard ranges would undercount and the bar would jump),
+       else the started total.  An early-stopped adaptive campaign ends
+       below its budget, so closing the line waits for the
+       campaign-finished event rather than done = total. *)
+    let total = if !budget > started then !budget else started in
+    if (not !closed) && total > 0 then begin
       let eta = Events.eta ~done_ ~total ~clock in
-      Fmt.epr "\r[%s] %d/%d samples  clock %d  eta ~%.0f steps   %!" label
-        done_ total clock eta;
-      if done_ = total then Fmt.epr "@."
+      if !hw > 0.0 then
+        Fmt.epr
+          "\r[%s] %d/%d samples  clock %d  ci ±%.4f  eta ~%.0f steps   %!"
+          label done_ total clock !hw eta
+      else
+        Fmt.epr "\r[%s] %d/%d samples  clock %d  eta ~%.0f steps   %!" label
+          done_ total clock eta;
+      let finished =
+        match e.Events.body with
+        | Events.Campaign_finished _ -> true
+        | _ -> done_ = total
+      in
+      if finished then begin
+        Fmt.epr "@.";
+        closed := true
+      end
     end
 
 (* Synthesize heartbeat events from a sequential record stream so the
@@ -303,7 +330,11 @@ let sequential_heartbeats ~samples fire =
           body =
             Events.Progress
               { done_ = !done_; total = samples; tally = !tally;
-                clock = !clock };
+                clock = !clock; spent = !done_; budget = samples;
+                hw =
+                  Stats.half_width
+                    (Stats.wilson
+                       { Stats.n = !done_; k = !tally.Events.sdc }) };
         }
 
 let progress_arg =
@@ -313,59 +344,175 @@ let progress_arg =
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
-let run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-    ~engine ~metrics ~progress img =
+(* ---- adaptive allocation / stats flags (inject, vulnmap, campaign) ---- *)
+
+let adaptive_arg =
+  let doc =
+    "Adaptive sample allocation: split the budget into rounds and \
+     direct each round at the fault sites with the widest SDC \
+     confidence intervals so far.  Byte-reproducible for a fixed seed."
+  in
+  Arg.(value & flag & info [ "adaptive" ] ~doc)
+
+let rounds_arg =
+  let doc = "Allocation rounds for $(b,--adaptive)." in
+  Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let target_ci_arg =
+  let doc =
+    "With $(b,--adaptive), stop early once every reached site's Wilson \
+     95% half-width is at or below $(docv) (0 disables early stop)."
+  in
+  Arg.(value & opt float 0.0 & info [ "target-ci" ] ~docv:"W" ~doc)
+
+let stats_out_arg =
+  let doc =
+    "Write the ferrum.stats.v1 convergence document (CI half-width vs \
+     samples spent, per-site intervals, campaign interval) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"PATH" ~doc)
+
+let write_stats_file ~path ~bench ~technique ~samples ~seed ~all_sites
+    ~fault_bits lines =
+  let header =
+    Store.stats_header ~benchmark:bench ~technique:(technique_name technique)
+      ~samples ~seed ~all_sites ~fault_bits
+  in
+  Fsutil.write_file path (Store.jsonl header lines);
+  Fmt.epr "[stats] wrote %s@." path
+
+let run_campaign ?technique ?stats_out ~bench ~samples ~seed ~all_sites
+    ~fault_bits ~engine ~metrics ~progress img =
   let scope = if all_sites then F.All_sites else F.Original_only in
   let heartbeat =
     if progress then
       sequential_heartbeats ~samples (progress_renderer "inject")
     else fun _ -> ()
   in
-  match metrics with
-  | None ->
-    F.campaign ~scope ~seed ~samples ~fault_bits ~engine
-      ~on_record:heartbeat img
-  | Some path ->
-    let sink = Metrics.file_sink path in
-    Metrics.emit sink
-      (Store.injection_header ~benchmark:bench
-         ~technique:(technique_name technique) ~samples ~seed ~all_sites
-         ~fault_bits);
-    let on_record r =
-      Metrics.emit sink (F.record_to_json r);
-      heartbeat r
-    in
-    let res =
-      Fun.protect
-        ~finally:(fun () -> Metrics.close sink)
-        (fun () ->
-          F.campaign ~scope ~seed ~samples ~fault_bits ~engine ~on_record img)
-    in
-    Fmt.epr "[inject] wrote %s@." path;
-    res
+  let stream =
+    match stats_out with
+    | None -> None
+    | Some path -> Some (path, Stats.create ~budget:samples ())
+  in
+  let observe (r : F.record) =
+    (match stream with
+    | Some (_, s) ->
+      Stats.observe s ~site:r.F.r_static_index ~sdc:(r.F.r_class = F.Sdc)
+    | None -> ());
+    heartbeat r
+  in
+  let res =
+    match metrics with
+    | None ->
+      F.campaign ~scope ~seed ~samples ~fault_bits ~engine
+        ~on_record:observe img
+    | Some path ->
+      let sink = Metrics.file_sink path in
+      Metrics.emit sink
+        (Store.injection_header ~benchmark:bench
+           ~technique:(technique_name technique) ~samples ~seed ~all_sites
+           ~fault_bits);
+      let on_record r =
+        Metrics.emit sink (F.record_to_json r);
+        observe r
+      in
+      let res =
+        Fun.protect
+          ~finally:(fun () -> Metrics.close sink)
+          (fun () ->
+            F.campaign ~scope ~seed ~samples ~fault_bits ~engine ~on_record
+              img)
+      in
+      Fmt.epr "[inject] wrote %s@." path;
+      res
+  in
+  (match stream with
+  | Some (path, s) ->
+    write_stats_file ~path ~bench ~technique ~samples ~seed ~all_sites
+      ~fault_bits (Stats.lines s)
+  | None -> ());
+  res
+
+(* Shared by inject/vulnmap --adaptive: a single-process adaptive
+   campaign through the runner's round machinery. *)
+let run_adaptive_local ~mode ~label ~rounds ~target_ci ~fault_bits ~seed
+    ~samples ~progress target =
+  let on_event = if progress then Some (progress_renderer label) else None in
+  try
+    Runner.run_adaptive ?on_event ~fault_bits
+      ~policy:{ F.rounds; target_ci } ~mode ~shards:1 ~seed ~budget:samples
+      target
+  with Failure msg | Invalid_argument msg ->
+    Fmt.epr "%s@." msg;
+    exit 1
+
+let pp_campaign_interval ppf (counts : F.counts) =
+  let t = F.sdc_tally counts in
+  let w = Stats.wilson t and j = Stats.jeffreys t in
+  Fmt.pf ppf
+    "SDC probability: %.4f +/- %.4f (Wilson 95%%: [%.4f, %.4f]; Jeffreys: \
+     [%.4f, %.4f])"
+    (F.sdc_probability counts)
+    (Stats.half_width w) w.Stats.lo w.Stats.hi j.Stats.lo j.Stats.hi
 
 let inject_cmd =
   let run bench technique knobs samples seed all_sites fault_bits engine
-      verbose metrics progress =
+      verbose metrics progress adaptive rounds target_ci stats_out =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
-    let res =
-      run_campaign ?technique ~bench ~samples ~seed ~all_sites ~fault_bits
-        ~engine ~metrics ~progress img
-    in
-    Fmt.pr "%a@." F.pp_counts res.F.counts;
-    Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
-      (F.sdc_probability res.F.counts)
-      (F.confidence95 res.F.counts);
-    if verbose then
-      List.iter
-        (fun (cls, (f : F.fault)) ->
-          Fmt.pr "  %-8s dyn=%-8d %s bit=%d@." (F.classification_name cls)
-            f.F.dyn_index f.F.dest_desc f.F.bit)
-        (List.rev res.F.faults)
+    if adaptive then begin
+      let scope = if all_sites then F.All_sites else F.Original_only in
+      let target =
+        try F.prepare ~scope ~engine img
+        with Invalid_argument msg ->
+          Fmt.epr "%s@." msg;
+          exit 1
+      in
+      let result =
+        run_adaptive_local ~mode:Runner.Inject ~label:"inject" ~rounds
+          ~target_ci ~fault_bits ~seed ~samples ~progress target
+      in
+      (match metrics with
+      | None -> ()
+      | Some path ->
+        let header =
+          Store.injection_header ~benchmark:bench
+            ~technique:(technique_name technique) ~samples ~seed ~all_sites
+            ~fault_bits
+        in
+        Fsutil.write_file path
+          (Store.jsonl header result.Runner.record_lines);
+        Fmt.epr "[inject] wrote %s@." path);
+      (match stats_out with
+      | None -> ()
+      | Some path ->
+        write_stats_file ~path ~bench ~technique ~samples ~seed ~all_sites
+          ~fault_bits result.Runner.stats_lines);
+      Fmt.pr "%a@." F.pp_counts result.Runner.counts;
+      Fmt.pr "%a@." pp_campaign_interval result.Runner.counts;
+      if result.Runner.counts.F.samples < samples then
+        Fmt.pr "early stop: spent %d of %d budget (target ci %.4f)@."
+          result.Runner.counts.F.samples samples target_ci
+    end
+    else begin
+      let res =
+        run_campaign ?technique ?stats_out ~bench ~samples ~seed ~all_sites
+          ~fault_bits ~engine ~metrics ~progress img
+      in
+      Fmt.pr "%a@." F.pp_counts res.F.counts;
+      Fmt.pr "%a@." pp_campaign_interval res.F.counts;
+      if verbose then
+        List.iter
+          (fun (cls, (f : F.fault)) ->
+            Fmt.pr "  %-8s dyn=%-8d %s bit=%d@." (F.classification_name cls)
+              f.F.dyn_index f.F.dest_desc f.F.bit)
+          (List.rev res.F.faults)
+    end
   in
   let verbose_arg =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every fault.")
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Print every fault (sequential campaigns only).")
   in
   Cmd.v
     (Cmd.info "inject"
@@ -375,7 +522,8 @@ let inject_cmd =
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
-      $ verbose_arg $ metrics_arg $ progress_arg)
+      $ verbose_arg $ metrics_arg $ progress_arg $ adaptive_arg
+      $ rounds_arg $ target_ci_arg $ stats_out_arg)
 
 (* ---- trace: annotated execution trace / flight-recorder dump ---- *)
 
@@ -541,8 +689,80 @@ let check_cmd =
 
 (* ---- stats: transform statistics ---- *)
 
+(* Load and validate a ferrum.stats.v1 file; returns its parsed record
+   rows (header excluded). *)
+let load_stats_rows file =
+  let lines =
+    try Metrics.read_lines file
+    with Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 1
+  in
+  match
+    Metrics.validate_lines ~kind:Stats.kind ~record_fields:Stats.fields
+      lines
+  with
+  | Error e ->
+    Fmt.epr "%s: invalid stats file: %s@." file e;
+    exit 1
+  | Ok _ ->
+    List.filteri (fun i _ -> i > 0) lines
+    |> List.filter_map (fun l ->
+           match Stats.row_of_string l with Ok r -> Some r | Error _ -> None)
+
+let stats_campaign_row file rows =
+  match List.find_opt (fun (r : Stats.row) -> r.Stats.row = "campaign") rows with
+  | Some c -> c
+  | None ->
+    Fmt.epr "%s: no campaign row@." file;
+    exit 1
+
+let print_stats_summary file rows =
+  let c = stats_campaign_row file rows in
+  Fmt.pr "campaign: p=%.4f  wilson [%.4f, %.4f] ±%.4f  jeffreys [%.4f, \
+          %.4f]  spent %d/%d@."
+    c.Stats.p c.Stats.lo c.Stats.hi c.Stats.hw c.Stats.jlo c.Stats.jhi
+    c.Stats.spent c.Stats.budget;
+  let count kind =
+    List.length (List.filter (fun (r : Stats.row) -> r.Stats.row = kind) rows)
+  in
+  Fmt.pr "rows: %d trace, %d round, %d site@." (count "trace")
+    (count "round") (count "site");
+  let sites =
+    List.filter (fun (r : Stats.row) -> r.Stats.row = "site") rows
+    |> List.sort (fun (a : Stats.row) (b : Stats.row) ->
+           if a.Stats.hw = b.Stats.hw then compare a.Stats.index b.Stats.index
+           else compare b.Stats.hw a.Stats.hw)
+  in
+  if sites <> [] then begin
+    Fmt.pr "widest site intervals:@.";
+    List.iteri
+      (fun i (r : Stats.row) ->
+        if i < 5 then
+          Fmt.pr "  site %-5d p=%.4f ±%.4f  (%d samples, %d sdc)@."
+            r.Stats.index r.Stats.p r.Stats.hw r.Stats.samples r.Stats.sdc)
+      sites
+  end
+
+(* Two campaigns drift significantly only when their Wilson intervals
+   are disjoint — overlapping intervals can't distinguish the runs at
+   the interval's confidence level. *)
+let compare_stats_files a b =
+  let ca = stats_campaign_row a (load_stats_rows a) in
+  let cb = stats_campaign_row b (load_stats_rows b) in
+  Fmt.pr "%-40s p=%.4f  [%.4f, %.4f]@." (Filename.basename a) ca.Stats.p
+    ca.Stats.lo ca.Stats.hi;
+  Fmt.pr "%-40s p=%.4f  [%.4f, %.4f]@." (Filename.basename b) cb.Stats.p
+    cb.Stats.lo cb.Stats.hi;
+  let disjoint = ca.Stats.hi < cb.Stats.lo || cb.Stats.hi < ca.Stats.lo in
+  if disjoint then begin
+    Fmt.pr "drift: SIGNIFICANT (95%% intervals are disjoint)@.";
+    exit 1
+  end
+  else Fmt.pr "drift: not significant (95%% intervals overlap)@."
+
 let stats_cmd =
-  let run bench knobs =
+  let transform_stats bench knobs =
     let e = find_bench bench in
     let m = e.Catalog.build () in
     let raw = (Pipeline.raw ~optimize:knobs.optimize m).program in
@@ -557,11 +777,33 @@ let stats_cmd =
       (Ferrum_asm.Stats.expansion ~baseline:sraw ~protected_:sprot);
     Fmt.pr "transform: %a@." Ferrum_eddi.Ferrum_pass.pp_stats fstats
   in
+  let run args knobs =
+    match args with
+    | [ a; b ] when Sys.file_exists a && Sys.file_exists b ->
+      compare_stats_files a b
+    | [ a ] when Sys.file_exists a -> print_stats_summary a (load_stats_rows a)
+    | [ bench ] -> transform_stats bench knobs
+    | _ ->
+      Fmt.epr
+        "expected a BENCH name, one ferrum.stats.v1 file, or two stats \
+         files to compare@.";
+      exit 1
+  in
+  let args_arg =
+    let doc =
+      "A benchmark name (static transform statistics), an existing \
+       ferrum.stats.v1 file (confidence summary), or two stats files \
+       (drift comparison; exits 1 when the campaigns' 95% intervals \
+       are disjoint)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"BENCH|FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Static composition and FERRUM transform statistics for a \
-             benchmark.")
-    Term.(const run $ bench_arg $ knobs_term)
+       ~doc:
+         "Static transform statistics for a benchmark, or confidence \
+          summaries and drift comparison of ferrum.stats.v1 files.")
+    Term.(const run $ args_arg $ knobs_term)
 
 (* ---- profile: per-opcode cycles and overhead attribution ---- *)
 
@@ -841,6 +1083,31 @@ let metrics_cmd =
       [ "pending"; "running"; "done"; "failed" ];
     Fmt.pr "  cached   %d@." !cached
   in
+  (* Confidence telemetry: row-type histogram plus the campaign
+     interval. *)
+  let summarize_stats lines =
+    let rows =
+      List.filteri (fun i _ -> i > 0) lines
+      |> List.filter_map (fun l ->
+             match Stats.row_of_string l with
+             | Ok r -> Some r
+             | Error _ -> None)
+    in
+    List.iter
+      (fun kind ->
+        Fmt.pr "  %-8s %d@." kind
+          (List.length
+             (List.filter (fun (r : Stats.row) -> r.Stats.row = kind) rows)))
+      [ "trace"; "round"; "site"; "campaign" ];
+    match
+      List.find_opt (fun (r : Stats.row) -> r.Stats.row = "campaign") rows
+    with
+    | Some c ->
+      Fmt.pr "  campaign: p=%.4f wilson [%.4f, %.4f] ±%.4f, spent %d/%d@."
+        c.Stats.p c.Stats.lo c.Stats.hi c.Stats.hw c.Stats.spent
+        c.Stats.budget
+    | None -> ()
+  in
   (* The schema registry: adding a schema to `ferrum metrics` is one
      entry here.  [s_fields] validates each record line (failures are
      reported with their line number); [s_summarize] renders the
@@ -852,6 +1119,7 @@ let metrics_cmd =
       (F.vulnmap_kind, F.vulnmap_fields, summarize_vulnmap);
       (Lint.metrics_kind, Lint.record_fields, summarize_lint);
       (Events.kind, Events.fields, summarize_events);
+      (Stats.kind, Stats.fields, summarize_stats);
       (Store.run_kind, Store.run_fields, summarize_runs);
       (Queue.kind, Queue.fields, summarize_jobs);
       (Ferrum_report.Export.bench_kind, [], summarize_bench);
@@ -914,22 +1182,55 @@ let metrics_cmd =
 
 let vulnmap_cmd =
   let run bench technique knobs samples seed all_sites fault_bits engine
-      metrics only_sampled progress =
+      metrics only_sampled progress adaptive rounds target_ci stats_out =
     let p = program_of ?technique knobs (find_bench bench) in
     let img = Machine.load p in
     let scope = if all_sites then F.All_sites else F.Original_only in
-    let heartbeat =
-      if progress then
-        sequential_heartbeats ~samples (progress_renderer "vulnmap")
-      else fun _ -> ()
-    in
-    let v =
-      try
-        F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits ~engine
-          ~on_record:heartbeat img
-      with Invalid_argument msg ->
-        Fmt.epr "%s@." msg;
-        exit 1
+    let v, stats_lines =
+      if adaptive then begin
+        let target =
+          try F.prepare ~scope ~engine img
+          with Invalid_argument msg ->
+            Fmt.epr "%s@." msg;
+            exit 1
+        in
+        let result =
+          run_adaptive_local ~mode:Runner.Traced ~label:"vulnmap" ~rounds
+            ~target_ci ~fault_bits ~seed ~samples ~progress target
+        in
+        match result.Runner.vulnmap with
+        | Some v -> (v, result.Runner.stats_lines)
+        | None -> assert false (* Traced mode always builds one *)
+      end
+      else begin
+        let heartbeat =
+          if progress then
+            sequential_heartbeats ~samples (progress_renderer "vulnmap")
+          else fun _ -> ()
+        in
+        let stream =
+          match stats_out with
+          | None -> None
+          | Some _ -> Some (Stats.create ~budget:samples ())
+        in
+        let on_record (r : F.record) =
+          (match stream with
+          | Some s ->
+            Stats.observe s ~site:r.F.r_static_index
+              ~sdc:(r.F.r_class = F.Sdc)
+          | None -> ());
+          heartbeat r
+        in
+        let v =
+          try
+            F.vulnmap_campaign ~scope ~seed ~samples ~fault_bits ~engine
+              ~on_record img
+          with Invalid_argument msg ->
+            Fmt.epr "%s@." msg;
+            exit 1
+        in
+        (v, match stream with Some s -> Stats.lines s | None -> [])
+      end
     in
     (match metrics with
     | None -> ()
@@ -942,6 +1243,11 @@ let vulnmap_cmd =
       List.iter (Metrics.emit sink) (F.vulnmap_rows v);
       Metrics.close sink;
       Fmt.epr "[vulnmap] wrote %s@." path);
+    (match stats_out with
+    | None -> ()
+    | Some path ->
+      write_stats_file ~path ~bench ~technique ~samples ~seed ~all_sites
+        ~fault_bits stats_lines);
     print_string (Ferrum_report.Vulnmap.render ~only_sampled v)
   in
   let only_sampled_arg =
@@ -954,12 +1260,15 @@ let vulnmap_cmd =
        ~doc:
          "Per-static-instruction vulnerability map: a traced injection \
           campaign aggregated by site, rendered as an annotated assembly \
-          listing with outcome distributions and detection latencies; \
-          --metrics exports it as ferrum.vulnmap.v1 JSONL.")
+          listing with outcome distributions, Wilson confidence \
+          intervals and detection latencies; --metrics exports it as \
+          ferrum.vulnmap.v1 JSONL, --stats as ferrum.stats.v1."
+    )
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
-      $ metrics_arg $ only_sampled_arg $ progress_arg)
+      $ metrics_arg $ only_sampled_arg $ progress_arg $ adaptive_arg
+      $ rounds_arg $ target_ci_arg $ stats_out_arg)
 
 (* ---- lint: static protection verifier ---- *)
 
@@ -1208,12 +1517,13 @@ let cc_cmd =
 
 let campaign_cmd =
   let run bench technique knobs samples seed all_sites fault_bits engine
-      shards workers no_trace out events_path html_path resume progress =
+      shards workers no_trace out events_path html_path resume progress
+      adaptive rounds target_ci =
     (* Configuration comes from the command line (BENCH given) or from a
        previous run's manifest (--resume DIR); the manifest's program
        digest gates resume against workload or knob drift. *)
     let bench, technique, samples, seed, all_sites, fault_bits, engine,
-        shards, traced, out, prior =
+        shards, traced, out, prior, adaptive, rounds, target_ci =
       match resume with
       | Some dir -> (
         match Manifest.load ~dir with
@@ -1242,7 +1552,9 @@ let campaign_cmd =
           ( m.Manifest.benchmark, technique, m.Manifest.samples,
             m.Manifest.seed, m.Manifest.scope = "all-sites",
             m.Manifest.fault_bits, engine, m.Manifest.shards,
-            m.Manifest.traced, dir, Some m ))
+            m.Manifest.traced, dir, Some m,
+            m.Manifest.policy = "adaptive", m.Manifest.rounds,
+            m.Manifest.target_ci ))
       | None -> (
         match bench with
         | None ->
@@ -1257,7 +1569,9 @@ let campaign_cmd =
                 (bench ^ "." ^ technique_name technique)
           in
           ( bench, technique, samples, seed, all_sites, fault_bits,
-            engine, shards, not no_trace, out, None ))
+            engine, shards, not no_trace, out, None, adaptive,
+            (if adaptive then rounds else 1),
+            (if adaptive then target_ci else 0.0) ))
     in
     let p = program_of ?technique knobs (find_bench bench) in
     (match prior with
@@ -1277,7 +1591,9 @@ let campaign_cmd =
         exit 1
     in
     let manifest =
-      Manifest.make ~benchmark:bench
+      Manifest.make
+        ~policy:(if adaptive then "adaptive" else "flat")
+        ~rounds ~target_ci ~benchmark:bench
         ~technique:(technique_name technique) ~samples ~seed ~shards
         ~fault_bits ~all_sites ~traced ~program:p target
     in
@@ -1302,9 +1618,15 @@ let campaign_cmd =
     let mode = if traced then Runner.Traced else Runner.Inject in
     let result =
       try
-        Runner.run ?workers ?on_event ~fault_bits
-          ~part_dir:(Store.parts_dir out) ~mode ~shards ~seed ~samples
-          target
+        if adaptive then
+          Runner.run_adaptive ?workers ?on_event ~fault_bits
+            ~part_dir:(Store.parts_dir out)
+            ~policy:{ F.rounds; target_ci } ~mode ~shards ~seed
+            ~budget:samples target
+        else
+          Runner.run ?workers ?on_event ~fault_bits
+            ~part_dir:(Store.parts_dir out) ~mode ~shards ~seed ~samples
+            target
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1
@@ -1336,9 +1658,10 @@ let campaign_cmd =
         Fmt.epr "--html: %s@." e;
         exit 1));
     Fmt.pr "%a@." F.pp_counts result.Runner.counts;
-    Fmt.pr "SDC probability: %.4f +/- %.4f (95%%)@."
-      (F.sdc_probability result.Runner.counts)
-      (F.confidence95 result.Runner.counts);
+    Fmt.pr "%a@." pp_campaign_interval result.Runner.counts;
+    if adaptive && result.Runner.counts.F.samples < samples then
+      Fmt.pr "early stop: spent %d of %d budget (target ci %.4f)@."
+        result.Runner.counts.F.samples samples target_ci;
     Fmt.pr "logical clock: %d steps over %d shards@." result.Runner.clock
       shards;
     if result.Runner.retried > 0 then
@@ -1372,8 +1695,8 @@ let campaign_cmd =
   let out_arg =
     let doc =
       "Run directory (default: _campaign/BENCH.TECH).  Receives \
-       manifest.json, injection.jsonl, events.jsonl, vulnmap.jsonl and \
-       parts/."
+       manifest.json, injection.jsonl, events.jsonl, stats.jsonl, \
+       vulnmap.jsonl and parts/."
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
@@ -1405,12 +1728,14 @@ let campaign_cmd =
           byte-identical to the sequential campaign for any shard \
           count, with a typed event log, a replayable manifest, \
           crash-safe per-shard resume state and an optional HTML \
-          dashboard.")
+          dashboard.  --adaptive allocates samples round by round \
+          toward the sites with the widest confidence intervals.")
     Term.(
       const run $ bench_opt_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
       $ shards_arg $ workers_arg $ no_trace_arg $ out_arg $ events_arg
-      $ html_arg $ resume_arg $ progress_arg)
+      $ html_arg $ resume_arg $ progress_arg $ adaptive_arg $ rounds_arg
+      $ target_ci_arg)
 
 (* ---- report ---- *)
 

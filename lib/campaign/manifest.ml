@@ -24,6 +24,9 @@ type t = {
   scope : string;  (** "original" | "all-sites" *)
   traced : bool;
   engine : string;  (** execution engine, {!F.engine_name} form *)
+  policy : string;  (** sample allocation: "flat" | "adaptive" *)
+  rounds : int;  (** adaptive allocation rounds (1 when flat) *)
+  target_ci : float;  (** early-stop CI half-width target (0 = none) *)
   shard_map : Shard.range array;
   program_digest : string;  (** MD5 hex of the printed assembly *)
   static_instructions : int;
@@ -38,8 +41,9 @@ type t = {
 let program_digest p =
   Digest.to_hex (Digest.string (Ferrum_asm.Printer.program_to_string p))
 
-let make ~benchmark ~technique ~samples ~seed ~shards ~fault_bits ~all_sites
-    ~traced ~program (target : F.target) =
+let make ?(policy = "flat") ?(rounds = 1) ?(target_ci = 0.0) ~benchmark
+    ~technique ~samples ~seed ~shards ~fault_bits ~all_sites ~traced ~program
+    (target : F.target) =
   let profile = Profile.run target.F.img in
   {
     benchmark;
@@ -51,6 +55,9 @@ let make ~benchmark ~technique ~samples ~seed ~shards ~fault_bits ~all_sites
     scope = (if all_sites then "all-sites" else "original");
     traced;
     engine = F.engine_name target.F.engine;
+    policy;
+    rounds;
+    target_ci;
     shard_map = Shard.plan ~shards ~samples;
     program_digest = program_digest program;
     static_instructions = Array.length target.F.img.F.Machine.code;
@@ -65,6 +72,7 @@ let make ~benchmark ~technique ~samples ~seed ~shards ~fault_bits ~all_sites
     schemas =
       (("events.jsonl", Ferrum_telemetry.Events.kind)
       :: ("injection.jsonl", F.metrics_kind)
+      :: ("stats.jsonl", Ferrum_telemetry.Stats.kind)
       ::
       (if traced then [ ("vulnmap.jsonl", F.vulnmap_kind) ] else []));
   }
@@ -83,6 +91,9 @@ let to_json (m : t) : Json.t =
       ("scope", Json.Str m.scope);
       ("traced", Json.Int (if m.traced then 1 else 0));
       ("engine", Json.Str m.engine);
+      ("policy", Json.Str m.policy);
+      ("rounds", Json.Int m.rounds);
+      ("target_ci", Json.Float m.target_ci);
       ( "shard_map",
         Json.Arr
           (Array.to_list m.shard_map
@@ -138,6 +149,27 @@ let of_json (j : Json.t) : (t, string) result =
   let* scope = str_member "scope" j in
   let* traced = int_member "traced" j in
   let* engine = str_member "engine" j in
+  (* pre-stats manifests lack the allocation policy: default to the
+     behavior they recorded (flat, one round, no CI target) *)
+  let* policy =
+    match Json.member "policy" j with
+    | None -> Ok "flat"
+    | Some (Json.Str p) -> Ok p
+    | Some _ -> Error "manifest: bad field \"policy\""
+  in
+  let* rounds =
+    match Json.member "rounds" j with
+    | None -> Ok 1
+    | Some (Json.Int r) -> Ok r
+    | Some _ -> Error "manifest: bad field \"rounds\""
+  in
+  let* target_ci =
+    match Json.member "target_ci" j with
+    | None -> Ok 0.0
+    | Some (Json.Float v) -> Ok v
+    | Some (Json.Int v) -> Ok (float_of_int v)
+    | Some _ -> Error "manifest: bad field \"target_ci\""
+  in
   let* shard_map =
     match Json.member "shard_map" j with
     | Some (Json.Arr rs) ->
@@ -199,6 +231,9 @@ let of_json (j : Json.t) : (t, string) result =
       scope;
       traced = traced <> 0;
       engine;
+      policy;
+      rounds;
+      target_ci;
       shard_map;
       program_digest;
       static_instructions;
@@ -221,6 +256,9 @@ let compatible (recorded : t) (fresh : t) =
   && recorded.scope = fresh.scope
   && recorded.traced = fresh.traced
   && recorded.engine = fresh.engine
+  && recorded.policy = fresh.policy
+  && recorded.rounds = fresh.rounds
+  && recorded.target_ci = fresh.target_ci
   && recorded.shard_map = fresh.shard_map
 
 (* Content address of a run: MD5 over the canonical manifest JSON.

@@ -21,6 +21,9 @@ type t = {
   scope : string;  (** "original" | "all-sites" *)
   traced : bool;
   engine : string;  (** execution engine, {!F.engine_name} form *)
+  policy : string;  (** sample allocation: "flat" | "adaptive" *)
+  rounds : int;  (** adaptive allocation rounds (1 when flat) *)
+  target_ci : float;  (** early-stop CI half-width target (0 = none) *)
   shard_map : Shard.range array;
   program_digest : string;  (** MD5 hex of the printed assembly *)
   static_instructions : int;
@@ -37,9 +40,16 @@ type t = {
 val program_digest : Ferrum_asm.Prog.t -> string
 
 val make :
-  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
-  shards:int -> fault_bits:int -> all_sites:bool -> traced:bool ->
+  ?policy:string -> ?rounds:int -> ?target_ci:float -> benchmark:string ->
+  technique:string -> samples:int -> seed:int64 -> shards:int ->
+  fault_bits:int -> all_sites:bool -> traced:bool ->
   program:Ferrum_asm.Prog.t -> F.target -> t
+(** [policy] (default ["flat"]), [rounds] (default [1]) and
+    [target_ci] (default [0.]) record the sample-allocation policy.
+    Adaptive campaigns must record ["adaptive"], their round count and
+    their early-stop target: all three feed {!compatible} (an adaptive
+    part file is only meaningful under the allocation schedule that
+    produced it) and {!digest}. *)
 
 val to_json : t -> Ferrum_telemetry.Json.t
 val of_json : Ferrum_telemetry.Json.t -> (t, string) result
@@ -47,8 +57,8 @@ val of_json : Ferrum_telemetry.Json.t -> (t, string) result
 (** [compatible recorded fresh] is true when part files written under
     the [recorded] manifest hold exactly the sample streams the
     [fresh] configuration would produce — same program digest, seed,
-    samples, fault bits, scope, traced mode, execution engine and
-    shard map.  Engines produce bit-identical streams, but gating on
+    samples, fault bits, scope, traced mode, execution engine,
+    allocation policy (policy, rounds, target CI) and shard map.  Engines produce bit-identical streams, but gating on
     the engine keeps a run directory attributable to one execution
     path (and protects resumes if an engine ever changes).  Display
     metadata (benchmark/technique names, profile) is not compared. *)

@@ -17,6 +17,14 @@
    [part_dir]/shard-<i>.jsonl (write-then-rename), so an interrupted
    campaign resumes by replaying finished shards from disk.
 
+   Adaptive campaigns ([run_adaptive]) reuse the same machinery in
+   waves: round r's shard s runs under the global shard id r*K + s, so
+   part files, the event log and progress aggregation all work
+   unchanged — each round-shard owns a unique id and a unique global
+   sample range.  Rounds are barriers: round r's allocation is a pure
+   function of the merged statistics of rounds < r, which is what keeps
+   adaptive runs byte-reproducible for any shard count.
+
    Live stream vs canonical log: [on_event] observes events as they
    arrive, including heartbeats from attempts that later die (each such
    attempt is closed off by a Shard_retry marker).  Aggregating live
@@ -27,6 +35,7 @@
 module F = Ferrum_faultsim.Faultsim
 module Events = Ferrum_telemetry.Events
 module Json = Ferrum_telemetry.Json
+module Stats = Ferrum_telemetry.Stats
 
 type mode = Inject | Traced
 
@@ -37,6 +46,7 @@ type result = {
   clock : int;  (** logical clock: summed injected-run steps *)
   events : Events.t list;  (** canonical merged log, seq 0.. *)
   retried : int;  (** worker deaths recovered by retry *)
+  stats_lines : string list;  (** ferrum.stats.v1 rows, canonical order *)
 }
 
 let tally_of_counts (c : F.counts) : Events.tally =
@@ -78,9 +88,16 @@ let parse_wire line : (wire, string) Stdlib.result =
 (* ------------------------------------------------------------------ *)
 
 (* Runs in the forked child; never returns.  Exits with Unix._exit so
-   no parent at_exit handler (test runners, sinks) fires twice. *)
+   no parent at_exit handler (test runners, sinks) fires twice.
+
+   [base_spent]/[budget]/[prior] parameterize the confidence heartbeat:
+   the global samples completed before this shard's range began, the
+   whole campaign's sample budget, and the SDC tally of those completed
+   samples — so Progress events carry budget-denominated progress and a
+   live Wilson half-width that already includes prior rounds. *)
 let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
-    ~die_after ~garble_after target (range : Shard.range) wfd =
+    ~die_after ~garble_after ~assign ~base_spent ~budget ~prior target
+    (range : Shard.range) wfd =
   let oc = Unix.out_channel_of_descr wfd in
   let emit_line j =
     output_string oc (Json.to_string j);
@@ -99,7 +116,7 @@ let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
   (try
      emit_event (Events.Shard_started { lo = range.Shard.lo; hi = range.hi });
      let done_ = ref 0 and tally = ref Events.zero_tally and clock = ref 0 in
-     Shard.run_range ~fault_bits ~traced ~seed target range
+     Shard.run_range ~fault_bits ?assign ~traced ~seed target range
        ~on_sample:(fun out ->
          (match die_after with
          | Some k when !done_ >= k ->
@@ -121,10 +138,22 @@ let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
           with
          | Some t -> tally := t
          | None -> ());
-         if !done_ mod every = 0 && !done_ < total then
+         if !done_ mod every = 0 && !done_ < total then begin
+           let seen =
+             Stats.merge prior { Stats.n = !done_; k = !tally.Events.sdc }
+           in
            emit_event
              (Events.Progress
-                { done_ = !done_; total; tally = !tally; clock = !clock }));
+                {
+                  done_ = !done_;
+                  total;
+                  tally = !tally;
+                  clock = !clock;
+                  spent = base_spent + !done_;
+                  budget;
+                  hw = Stats.half_width (Stats.wilson seen);
+                })
+         end);
      emit_event
        (Events.Shard_finished
           { done_ = !done_; total; tally = !tally; clock = !clock });
@@ -148,7 +177,8 @@ type shard_data = {
 }
 
 type running = {
-  r_shard : int;
+  r_shard : int;  (** global shard id *)
+  r_index : int;  (** index into this wave's range array *)
   r_attempt : int;
   r_pid : int;
   r_fd : Unix.file_descr;
@@ -221,30 +251,25 @@ let rec select_read fds =
   | ready, _, _ -> ready
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fds
 
-let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
-    ?part_dir ?sabotage ?garble ~mode ~shards ~seed ~samples
-    (target : F.target) : result =
-  let traced = mode = Traced in
-  let ranges = Shard.plan ~shards ~samples in
+(* One wave of shard execution: spawn, multiplex, retry and persist a
+   set of shards, where wave-local index i runs range [ranges.(i)]
+   under global shard id [ids.(i)].  A flat campaign is a single wave
+   with ids 0..K-1; an adaptive campaign runs one wave per round with
+   ids r*K + s.  Returns the per-shard successful streams, the
+   per-shard retry markers (chronological) and the retry count. *)
+let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
+    ~sabotage ~garble ~seed ~assign ~base_spent ~budget ~prior target
+    (ids : int array) (ranges : Shard.range array) :
+    shard_data array * Events.t list array * int =
   let k = Array.length ranges in
-  if k = 0 then invalid_arg "Runner.run: samples must be positive";
-  let workers = match workers with Some w -> max 1 w | None -> min k 4 in
-  let fire = match on_event with Some f -> f | None -> ignore in
   (* Resume: replay finished shards from their part files. *)
   let completed : shard_data option array = Array.make k None in
   (match part_dir with
   | Some dir ->
     Array.iteri
-      (fun i range -> completed.(i) <- load_part range (part_path dir i))
+      (fun i range -> completed.(i) <- load_part range (part_path dir ids.(i)))
       ranges
   | None -> ());
-  fire
-    {
-      Events.seq = 0;
-      shard = -1;
-      attempt = 0;
-      body = Events.Campaign_started { shards = k; samples };
-    };
   Array.iter
     (function
       | Some d -> List.iter fire d.d_events
@@ -265,21 +290,23 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
       List.iter (fun r -> try Unix.close r.r_fd with _ -> ()) !running;
       let die_after =
         match sabotage with
-        | Some f -> f ~shard:i ~attempt
+        | Some f -> f ~shard:ids.(i) ~attempt
         | None -> None
       in
       let garble_after =
         match garble with
-        | Some f -> f ~shard:i ~attempt
+        | Some f -> f ~shard:ids.(i) ~attempt
         | None -> None
       in
-      worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard:i ~attempt
-        ~die_after ~garble_after target ranges.(i) wfd
+      worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard:ids.(i)
+        ~attempt ~die_after ~garble_after ~assign ~base_spent ~budget ~prior
+        target ranges.(i) wfd
     | pid ->
       Unix.close wfd;
       running :=
         {
-          r_shard = i;
+          r_shard = ids.(i);
+          r_index = i;
           r_attempt = attempt;
           r_pid = pid;
           r_fd = rfd;
@@ -344,7 +371,7 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
     (try Unix.close r.r_fd with Unix.Unix_error _ -> ());
     let _, status = Unix.waitpid [] r.r_pid in
     running := List.filter (fun x -> x != r) !running;
-    let total = Shard.range_samples ranges.(r.r_shard) in
+    let total = Shard.range_samples ranges.(r.r_index) in
     let got = List.length r.r_samples in
     if r.r_fail = None && r.r_done && got = total then begin
       let d =
@@ -354,7 +381,7 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
           d_lines = List.rev r.r_lines;
         }
       in
-      completed.(r.r_shard) <- Some d;
+      completed.(r.r_index) <- Some d;
       match part_dir with
       | Some dir -> save_part dir r.r_shard d
       | None -> ()
@@ -374,7 +401,7 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
         }
       in
       fire marker;
-      retry_markers.(r.r_shard) <- marker :: retry_markers.(r.r_shard);
+      retry_markers.(r.r_index) <- marker :: retry_markers.(r.r_index);
       incr retried;
       if r.r_attempt + 1 > retries then begin
         reap_all ();
@@ -382,7 +409,7 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
           (Fmt.str "campaign shard %d failed after %d attempts: %s" r.r_shard
              (r.r_attempt + 1) reason)
       end
-      else spawn r.r_shard (r.r_attempt + 1)
+      else spawn r.r_index (r.r_attempt + 1)
     end
   in
   let next = ref 0 in
@@ -416,17 +443,22 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
         ready
     end
   done;
-  (* Merge in global sample order: shard ranges are contiguous and
-     ascending, so shard index order is sample order.  The traced fold
-     re-runs the float summation in exactly the sequential order. *)
   let datas =
     Array.map
       (function Some d -> d | None -> assert false (* loop invariant *))
       completed
   in
-  let all_samples =
-    List.concat_map (fun d -> d.d_samples) (Array.to_list datas)
-  in
+  (datas, Array.map List.rev retry_markers, !retried)
+
+(* ------------------------------------------------------------------ *)
+(* Merging.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge in global sample order: shard (and round) ranges are
+   contiguous and ascending, so processing order is sample order.  The
+   traced fold re-runs the float summation in exactly the sequential
+   order. *)
+let merge_samples ~mode target (all_samples : Shard.sample_out list) =
   let record_lines = List.map (fun s -> s.Shard.o_record) all_samples in
   let clock =
     List.fold_left (fun acc s -> acc + s.Shard.o_steps) 0 all_samples
@@ -448,34 +480,195 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
       let v = F.vulnmap_build b in
       (v.F.v_counts, Some v)
   in
-  let tally = tally_of_counts counts in
+  (record_lines, clock, counts, vulnmap)
+
+(* The ferrum.stats.v1 document of a merged campaign: fold every sample
+   in global order through a convergence stream, closing a round at
+   each boundary in [round_ends] (cumulative sample counts). *)
+let stats_of_samples ~budget ~round_ends (all_samples : Shard.sample_out list)
+    =
+  let s = Stats.create ~budget () in
+  List.iter
+    (fun (o : Shard.sample_out) ->
+      Stats.observe s ~site:o.Shard.o_static
+        ~sdc:(o.Shard.o_class = F.Sdc);
+      if List.mem (Stats.spent s) round_ends then Stats.round_end s)
+    all_samples;
+  Stats.lines s
+
+let started ~shards ~samples =
+  {
+    Events.seq = 0;
+    shard = -1;
+    attempt = 0;
+    body = Events.Campaign_started { shards; samples };
+  }
+
+(* Canonical log: campaign start, then per shard (global id order) its
+   retry markers followed by the successful attempt's events, then
+   campaign finish — renumbered into one contiguous sequence. *)
+let canonical_log ~start ~finished body =
+  List.mapi
+    (fun i e -> { e with Events.seq = i })
+    ((start :: body) @ [ finished ])
+
+let wave_body (datas : shard_data array) (markers : Events.t list array) =
+  List.concat
+    (List.init (Array.length datas) (fun i ->
+         markers.(i) @ datas.(i).d_events))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign drivers.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
+    ?part_dir ?sabotage ?garble ~mode ~shards ~seed ~samples
+    (target : F.target) : result =
+  let traced = mode = Traced in
+  let ranges = Shard.plan ~shards ~samples in
+  let k = Array.length ranges in
+  if k = 0 then invalid_arg "Runner.run: samples must be positive";
+  let workers = match workers with Some w -> max 1 w | None -> min k 4 in
+  let fire = match on_event with Some f -> f | None -> ignore in
+  let start = started ~shards:k ~samples in
+  fire start;
+  let datas, markers, retried =
+    run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
+      ~sabotage ~garble ~seed ~assign:None ~base_spent:0 ~budget:samples
+      ~prior:Stats.zero target
+      (Array.init k (fun i -> i))
+      ranges
+  in
+  let all_samples =
+    List.concat_map (fun d -> d.d_samples) (Array.to_list datas)
+  in
+  let record_lines, clock, counts, vulnmap = merge_samples ~mode target all_samples in
   let finished =
     {
       Events.seq = 0;
       shard = -1;
       attempt = 0;
-      body = Events.Campaign_finished { total = samples; tally; clock };
+      body =
+        Events.Campaign_finished
+          { total = samples; tally = tally_of_counts counts; clock };
     }
   in
   fire finished;
-  (* Canonical log: campaign start, then per shard (index order) its
-     retry markers followed by the successful attempt's events, then
-     campaign finish — renumbered into one contiguous sequence. *)
-  let body =
-    List.concat
-      (List.init k (fun i ->
-           List.rev retry_markers.(i) @ datas.(i).d_events))
+  {
+    counts;
+    record_lines;
+    vulnmap;
+    clock;
+    events = canonical_log ~start ~finished (wave_body datas markers);
+    retried;
+    stats_lines = stats_of_samples ~budget:samples ~round_ends:[] all_samples;
+  }
+
+(* Adaptive campaign: split the budget into rounds, run each round as
+   one wave of K shards (global shard ids r*K + s), and allocate round
+   r's samples from the merged per-site statistics of rounds < r via
+   {!F.allocate}.  Because rounds are barriers over contiguous global
+   index blocks and the allocation is a pure function of merged prior
+   output, the sample-to-site assignment — and hence every record —
+   is byte-identical for any shard count, and a resumed run (same
+   part_dir, compatible manifest) recomputes the same allocations from
+   its part files. *)
+let run_adaptive ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers
+    ?on_event ?part_dir ?(policy = F.default_policy) ~mode ~shards ~seed
+    ~budget (target : F.target) : result =
+  let traced = mode = Traced in
+  if budget <= 0 then invalid_arg "Runner.run_adaptive: budget must be positive";
+  let round_ranges = F.plan_rounds ~rounds:policy.F.rounds ~budget in
+  let nr = Array.length round_ranges in
+  let fire = match on_event with Some f -> f | None -> ignore in
+  let start = started ~shards ~samples:budget in
+  fire start;
+  let site_tallies : (int, Stats.tally) Hashtbl.t = Hashtbl.create 64 in
+  let tally site =
+    Option.value ~default:Stats.zero (Hashtbl.find_opt site_tallies site)
   in
-  let events =
-    List.mapi
-      (fun i e -> { e with Events.seq = i })
-      (({
-          Events.seq = 0;
-          shard = -1;
-          attempt = 0;
-          body = Events.Campaign_started { shards = k; samples };
-        }
-       :: body)
-      @ [ finished ])
+  let candidates = F.site_candidates target in
+  let prior = ref Stats.zero in
+  let rev_datas = ref [] in
+  let rev_body = ref [] in
+  let round_ends = ref [] in
+  let retried = ref 0 in
+  let round = ref 0 in
+  let stop = ref false in
+  while !round < nr && not !stop do
+    let lo, hi = round_ranges.(!round) in
+    let n = hi - lo in
+    let assign =
+      if !round = 0 then None
+      else begin
+        let alloc = F.allocate target ~tally ~n in
+        Some (fun sample -> alloc.(sample - lo))
+      end
+    in
+    let ranges =
+      Array.map
+        (fun (r : Shard.range) ->
+          { Shard.lo = r.Shard.lo + lo; hi = r.Shard.hi + lo })
+        (Shard.plan ~shards ~samples:n)
+    in
+    let k = Array.length ranges in
+    let ids = Array.init k (fun s -> (!round * shards) + s) in
+    let wv = match workers with Some w -> max 1 w | None -> min k 4 in
+    let datas, markers, r =
+      run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers:wv ~fire
+        ~part_dir ~sabotage:None ~garble:None ~seed ~assign ~base_spent:lo
+        ~budget ~prior:!prior target ids ranges
+    in
+    Array.iter
+      (fun (d : shard_data) ->
+        List.iter
+          (fun (o : Shard.sample_out) ->
+            if o.Shard.o_static >= 0 then
+              Hashtbl.replace site_tallies o.o_static
+                (Stats.add (tally o.o_static) (o.o_class = F.Sdc));
+            prior := Stats.add !prior (o.Shard.o_class = F.Sdc))
+          d.d_samples)
+      datas;
+    rev_datas := datas :: !rev_datas;
+    rev_body := wave_body datas markers :: !rev_body;
+    round_ends := hi :: !round_ends;
+    retried := !retried + r;
+    incr round;
+    if policy.F.target_ci > 0.0 && !round < nr then begin
+      let worst =
+        Array.fold_left
+          (fun acc site ->
+            Float.max acc (Stats.half_width (Stats.wilson (tally site))))
+          0.0 candidates
+      in
+      if worst <= policy.F.target_ci then stop := true
+    end
+  done;
+  let all_samples =
+    List.concat_map
+      (fun datas -> List.concat_map (fun d -> d.d_samples) (Array.to_list datas))
+      (List.rev !rev_datas)
   in
-  { counts; record_lines; vulnmap; clock; events; retried = !retried }
+  let record_lines, clock, counts, vulnmap = merge_samples ~mode target all_samples in
+  let finished =
+    {
+      Events.seq = 0;
+      shard = -1;
+      attempt = 0;
+      body =
+        Events.Campaign_finished
+          { total = counts.F.samples; tally = tally_of_counts counts; clock };
+    }
+  in
+  fire finished;
+  {
+    counts;
+    record_lines;
+    vulnmap;
+    clock;
+    events =
+      canonical_log ~start ~finished (List.concat (List.rev !rev_body));
+    retried = !retried;
+    stats_lines =
+      stats_of_samples ~budget ~round_ends:!round_ends all_samples;
+  }

@@ -29,6 +29,11 @@ type result = {
           (index order) its retry markers and successful attempt's
           events, then campaign_finished; [seq] contiguous from 0 *)
   retried : int;  (** worker deaths recovered by retry *)
+  stats_lines : string list;
+      (** [ferrum.stats.v1] convergence document built from the merged
+          sample stream in global order: trace rows (CI half-width vs.
+          samples spent), per-site rows, round rows (adaptive runs
+          only) and the final campaign row *)
 }
 
 (** Run a campaign split into [shards] ranges on at most [workers]
@@ -65,5 +70,38 @@ val run :
   shards:int ->
   seed:int64 ->
   samples:int ->
+  F.target ->
+  result
+
+(** Run an adaptive campaign: the sample [budget] is split into
+    [policy.rounds] near-equal rounds; round 0 samples fault sites
+    uniformly, and each later round directs its samples at the sites
+    with the widest Wilson SDC confidence intervals so far
+    ({!F.allocate} over the merged statistics of all prior rounds).
+    When [policy.target_ci > 0], the campaign stops early once every
+    reached site's half-width is at or below the target — the
+    [Campaign_finished] total then reports the samples actually spent.
+
+    Each round runs as one worker-pool wave of [shards] shards under
+    global shard ids [round * shards + s], so part files, retry
+    markers and event aggregation behave exactly as in {!run}; rounds
+    are barriers over contiguous global sample ranges and allocations
+    are pure functions of merged prior output, so the result is
+    byte-identical for any shard count and resumable via [part_dir]
+    like a flat campaign.  Progress events carry budget-denominated
+    [spent]/[budget] and a live Wilson half-width, so ETA displays do
+    not overshoot when rounds stop early. *)
+val run_adaptive :
+  ?fault_bits:int ->
+  ?heartbeats:int ->
+  ?retries:int ->
+  ?workers:int ->
+  ?on_event:(Events.t -> unit) ->
+  ?part_dir:string ->
+  ?policy:F.policy ->
+  mode:mode ->
+  shards:int ->
+  seed:int64 ->
+  budget:int ->
   F.target ->
   result

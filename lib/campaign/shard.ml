@@ -122,14 +122,17 @@ let sample_out_of_json (j : Json.t) : (sample_out, string) result =
 
 (* Run one shard's samples in index order.  [traced] selects the
    lockstep-traced variant (vulnmap campaigns); the record stream is
-   identical either way. *)
-let run_range ?(fault_bits = 1) ~traced ~seed (t : F.target) (r : range)
-    ~on_sample =
+   identical either way.  [assign] maps a global sample index to the
+   static site the adaptive allocator aimed it at (negative = uniform,
+   the default and the whole story for flat campaigns). *)
+let run_range ?(fault_bits = 1) ?(assign = fun _ -> -1) ~traced ~seed
+    (t : F.target) (r : range) ~on_sample =
   for sample = r.lo to r.hi - 1 do
+    let site = assign sample in
     let out =
       if traced then begin
         let cls, fault, record, summary =
-          F.vulnmap_sample ~fault_bits t ~seed ~sample
+          F.vulnmap_sample ~fault_bits ~site t ~seed ~sample
         in
         let latency =
           if cls = F.Detected then Propagation.detection_latency summary
@@ -150,7 +153,9 @@ let run_range ?(fault_bits = 1) ~traced ~seed (t : F.target) (r : range)
         }
       end
       else begin
-        let cls, fault, record = F.campaign_sample ~fault_bits t ~seed ~sample in
+        let cls, fault, record =
+          F.campaign_sample ~fault_bits ~site t ~seed ~sample
+        in
         {
           o_sample = sample;
           o_class = cls;

@@ -37,7 +37,9 @@ val sample_out_to_json : sample_out -> Json.t
 val sample_out_of_json : Json.t -> (sample_out, string) result
 
 (** Run one shard's samples in index order; [traced] selects the
-    lockstep-traced (vulnmap) variant. *)
+    lockstep-traced (vulnmap) variant.  [assign] maps a global sample
+    index to the static site the adaptive allocator aimed it at
+    (negative = uniform draw; default). *)
 val run_range :
-  ?fault_bits:int -> traced:bool -> seed:int64 -> F.target -> range ->
-  on_sample:(sample_out -> unit) -> unit
+  ?fault_bits:int -> ?assign:(int -> int) -> traced:bool -> seed:int64 ->
+  F.target -> range -> on_sample:(sample_out -> unit) -> unit

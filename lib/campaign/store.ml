@@ -17,6 +17,7 @@ module F = Ferrum_faultsim.Faultsim
 module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Events = Ferrum_telemetry.Events
+module Stats = Ferrum_telemetry.Stats
 
 (* Campaign configuration fields shared by every header, in the field
    order the v2 files have always used. *)
@@ -50,9 +51,16 @@ let events_header ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
        ~fault_bits
     @ [ ("shards", Json.Int shards) ])
 
+let stats_header ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
+    =
+  Stats.header
+    (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
+       ~fault_bits)
+
 let injection_file = "injection.jsonl"
 let vulnmap_file = "vulnmap.jsonl"
 let events_file = "events.jsonl"
+let stats_file = "stats.jsonl"
 let parts_dir dir = Filename.concat dir "parts"
 
 let jsonl header lines =
@@ -94,6 +102,9 @@ let write_run ~dir ~(manifest : Manifest.t) ~(result : Runner.result) =
        (List.map
           (fun e -> Json.to_string (Events.to_json e))
           result.Runner.events));
+  Fsutil.write_file
+    (Filename.concat dir stats_file)
+    (jsonl (header_of stats_header) result.Runner.stats_lines);
   Manifest.save ~dir m
 
 (* ------------------------------------------------------------------ *)

@@ -1,8 +1,8 @@
 (** Campaign run directories and canonical metrics headers.
 
     A finished run directory holds [manifest.json], [injection.jsonl],
-    [events.jsonl], optionally [vulnmap.jsonl], and a [parts/]
-    directory of per-shard resume state.  The header builders here are
+    [events.jsonl], [stats.jsonl], optionally [vulnmap.jsonl], and a
+    [parts/] directory of per-shard resume state.  The header builders here are
     the single source of campaign metrics headers — sequential CLI
     paths and the sharded runner share them, which is what makes
     sharded output byte-comparable to sequential output. *)
@@ -21,9 +21,17 @@ val events_header :
   benchmark:string -> technique:string -> samples:int -> seed:int64 ->
   all_sites:bool -> fault_bits:int -> shards:int -> Json.t
 
+(** [ferrum.stats.v1] header with the shared campaign config fields. *)
+val stats_header :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  all_sites:bool -> fault_bits:int -> Json.t
+
 val injection_file : string
 val vulnmap_file : string
 val events_file : string
+
+val stats_file : string
+(** ["stats.jsonl"] — [ferrum.stats.v1] convergence document *)
 
 (** [parts_dir dir] is the per-shard resume-state directory of run
     directory [dir]. *)

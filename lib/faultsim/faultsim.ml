@@ -93,12 +93,17 @@ let add_count c = function
 let sdc_probability c =
   if c.samples = 0 then 0.0 else float_of_int c.sdc /. float_of_int c.samples
 
-(* 95% normal-approximation confidence half-interval on a proportion. *)
-let confidence95 c =
-  if c.samples = 0 then 0.0
-  else
-    let p = sdc_probability c in
-    1.96 *. sqrt (p *. (1.0 -. p) /. float_of_int c.samples)
+module Stats = Ferrum_telemetry.Stats
+
+let sdc_tally c : Stats.tally = { Stats.n = c.samples; k = c.sdc }
+
+(* 95% confidence half-interval on the SDC proportion.  Historically a
+   normal approximation, which degenerates to zero width at p = 0,
+   p = 1 and n = 0 — exactly the regimes protected campaigns live in.
+   Now the Wilson half-width ({!Stats.wilson}): n = 0 is total
+   ignorance (0.5), and one-sided counts keep the width the sample
+   size actually supports.  Kept under its old name as an alias. *)
+let confidence95 c = Stats.half_width (Stats.wilson (sdc_tally c))
 
 let pp_counts ppf c =
   Fmt.pf ppf "n=%d benign=%d sdc=%d detected=%d crash=%d timeout=%d"
@@ -132,11 +137,13 @@ type target = {
   golden_steps : int;
   golden_cycles : float;
   eligible_steps : int; (* dynamic count of eligible write-backs *)
+  dyn_static : int array; (* static site of each eligible write-back *)
   fuel : int;
   engine : engine;
   mutable cache_ : Snapshot.cache option; (* lazy, per process *)
   mutable slot_ : Snapshot.slot option; (* pooled injected-run state *)
   mutable golden_slot_ : Snapshot.slot option; (* pooled lockstep golden *)
+  mutable occ_ : int array array option; (* lazy per-site occurrences *)
 }
 
 exception Golden_failure of string
@@ -147,7 +154,13 @@ let prepare ?(scope = Original_only) ?(engine = default_engine)
     (img : Machine.image) : target =
   let eligible = eligibility img scope in
   let count = ref 0 in
-  let on_step _st idx = if eligible.(idx) then incr count in
+  let rev_sites = ref [] in
+  let on_step _st idx =
+    if eligible.(idx) then begin
+      incr count;
+      rev_sites := idx :: !rev_sites
+    end
+  in
   let outcome, st = Machine.run_fresh ~on_step img in
   match outcome with
   | Machine.Exit out ->
@@ -158,15 +171,49 @@ let prepare ?(scope = Original_only) ?(engine = default_engine)
       golden_steps = st.Machine.steps;
       golden_cycles = st.Machine.cycles;
       eligible_steps = !count;
+      dyn_static = Array.of_list (List.rev !rev_sites);
       fuel = (st.Machine.steps * 3) + 100_000;
       engine;
       cache_ = None;
       slot_ = None;
       golden_slot_ = None;
+      occ_ = None;
     }
   | o ->
     raise
       (Golden_failure (Fmt.str "golden run did not exit: %a" Machine.pp_outcome o))
+
+(* Per-site occurrence table: the ascending dynamic ordinals of each
+   static site's eligible write-backs, inverted from [dyn_static] on
+   first use.  This is what lets the adaptive allocator aim a sample at
+   a chosen static site while the injection machinery keeps addressing
+   faults by dynamic ordinal. *)
+let occurrences (t : target) : int array array =
+  match t.occ_ with
+  | Some o -> o
+  | None ->
+    let nstatic = Array.length t.img.Machine.code in
+    let counts = Array.make nstatic 0 in
+    Array.iter (fun site -> counts.(site) <- counts.(site) + 1) t.dyn_static;
+    let occ = Array.init nstatic (fun i -> Array.make counts.(i) 0) in
+    let fill = Array.make nstatic 0 in
+    Array.iteri
+      (fun dyn site ->
+        occ.(site).(fill.(site)) <- dyn;
+        fill.(site) <- fill.(site) + 1)
+      t.dyn_static;
+    t.occ_ <- Some occ;
+    occ
+
+(* Static sites with at least one eligible dynamic occurrence,
+   ascending — the population adaptive allocation draws from. *)
+let site_candidates (t : target) : int array =
+  let occ = occurrences t in
+  let out = ref [] in
+  for i = Array.length occ - 1 downto 0 do
+    if Array.length occ.(i) > 0 then out := i :: !out
+  done;
+  Array.of_list !out
 
 let cache (t : target) =
   match t.cache_ with
@@ -495,15 +542,32 @@ let make_record (t : target) ~sample cls (fault : fault) ~steps ~cycles :
     cycles;
   }
 
+(* Where sample [site] aims: uniform over all eligible dynamic
+   write-backs by default (site = -1, the flat campaign), or uniform
+   over one static site's occurrences when the adaptive allocator has
+   assigned the sample there.  Either way the draw consumes exactly one
+   [Rng.int] from the per-sample stream, so the remaining stream (bit
+   choice, etc.) is identical across policies. *)
+let sample_dyn_index (t : target) rng ~site =
+  if site < 0 then Rng.int rng t.eligible_steps
+  else begin
+    let occ = (occurrences t).(site) in
+    match Array.length occ with
+    | 0 ->
+      invalid_arg
+        (Fmt.str "Faultsim: site %d has no eligible dynamic occurrences" site)
+    | n -> occ.(Rng.int rng n)
+  end
+
 (* One campaign sample, addressed by its global index alone: the
    per-sample generator is [Rng.split_at ~seed sample], exactly the
    stream the (sample+1)-th split of a fresh generator yields, so a
    shard can run any contiguous slice of a campaign and the union over
    shards reproduces the sequential run bit for bit. *)
-let campaign_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
+let campaign_sample ?(fault_bits = 1) ?(site = -1) (t : target) ~seed ~sample :
     classification * fault * record =
   let rng = Rng.split_at ~seed sample in
-  let dyn_index = Rng.int rng t.eligible_steps in
+  let dyn_index = sample_dyn_index t rng ~site in
   let cls, fault, st =
     match t.engine with
     | Scratch -> inject_full ~fault_bits t rng ~dyn_index
@@ -514,23 +578,100 @@ let campaign_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
     make_record t ~sample cls fault ~steps:st.Machine.steps
       ~cycles:st.Machine.cycles )
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive sample allocation.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* How an adaptive campaign splits its budget: [rounds] equal slices,
+   each allocated from the statistics of everything before it;
+   [target_ci] > 0 stops early (at round granularity) once every
+   candidate site's Wilson half-width is at or under the target. *)
+type policy = { rounds : int; target_ci : float }
+
+let default_policy = { rounds = 8; target_ci = 0.0 }
+
+(* Contiguous global-sample ranges for the rounds, mirroring
+   {!Shard.plan}: near-equal, the first (budget mod rounds) rounds one
+   sample larger, clamped so every round is non-empty. *)
+let plan_rounds ~rounds ~budget : (int * int) array =
+  if budget <= 0 then [||]
+  else begin
+    let r = max 1 (min rounds budget) in
+    let base = budget / r and extra = budget mod r in
+    Array.init r (fun i ->
+        let lo = (i * base) + min i extra in
+        (lo, lo + base + if i < extra then 1 else 0))
+  end
+
+(* Allocate [n] samples over the candidate sites, in proportion to the
+   Wilson half-widths of their SDC tallies so far ([tally site]; an
+   unsampled site has half-width 0.5, maximal pull).  Largest-remainder
+   apportionment with ties broken by lower static index; the result
+   lists sites ascending with multiplicity, so the mapping from a
+   round-local sample index to its site is a pure function of the
+   merged prior statistics — byte-reproducible for any shard count. *)
+let allocate (t : target) ~tally ~n : int array =
+  let sites = site_candidates t in
+  let m = Array.length sites in
+  if m = 0 then invalid_arg "Faultsim.allocate: no eligible sites";
+  if n < 0 then invalid_arg "Faultsim.allocate: negative sample count";
+  let w =
+    Array.map
+      (fun site -> Stats.half_width (Stats.wilson (tally site : Stats.tally)))
+      sites
+  in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let quota = Array.map (fun wi -> float_of_int n *. wi /. total) w in
+  let base = Array.map (fun q -> int_of_float (Float.floor q)) quota in
+  let rem = max 0 (n - Array.fold_left ( + ) 0 base) in
+  let order = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let fa = quota.(a) -. Float.floor quota.(a)
+      and fb = quota.(b) -. Float.floor quota.(b) in
+      if fa = fb then compare a b else compare fb fa)
+    order;
+  for j = 0 to rem - 1 do
+    let i = order.(j mod m) in
+    base.(i) <- base.(i) + 1
+  done;
+  let out = Array.make n (-1) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i site ->
+      for _ = 1 to base.(i) do
+        out.(!pos) <- site;
+        incr pos
+      done)
+    sites;
+  assert (!pos = n);
+  out
+
 (* Sample [samples] single-fault runs with the given seed.  [on_record]
    streams one structured record per injection, in sample order;
-   [progress] is called after every sample with (done, total). *)
+   [progress] is called after every sample with (done, total);
+   [on_stats] observes the running counts every samples/32 injections
+   (and at the end) — the sequential per-batch confidence hook. *)
 let campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1) ?engine
-    ?on_record ?progress ~samples img =
+    ?on_record ?progress ?on_stats ~samples img =
   let t = prepare ~scope ?engine img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.campaign: no eligible injection sites";
+  let every = max 1 (samples / 32) in
   let rec go sample counts faults =
     if sample = samples then { counts; target = t; faults }
     else
       let cls, fault, record = campaign_sample ~fault_bits t ~seed ~sample in
+      let counts = add_count counts cls in
       (match on_record with Some f -> f record | None -> ());
       (match progress with
       | Some f -> f (sample + 1) samples
       | None -> ());
-      go (sample + 1) (add_count counts cls) ((cls, fault) :: faults)
+      (match on_stats with
+      | Some f when (sample + 1) mod every = 0 || sample + 1 = samples ->
+        f ~spent:(sample + 1) counts
+      | _ -> ());
+      go (sample + 1) counts ((cls, fault) :: faults)
   in
   go 0 zero_counts []
 
@@ -637,10 +778,10 @@ type vulnmap = {
 (* One traced campaign sample, addressed by its global index — same RNG
    stream as {!campaign_sample}, so the record stream is byte-identical
    whether or not tracing is on. *)
-let vulnmap_sample ?(fault_bits = 1) (t : target) ~seed ~sample :
+let vulnmap_sample ?(fault_bits = 1) ?(site = -1) (t : target) ~seed ~sample :
     classification * fault * record * Propagation.summary =
   let rng = Rng.split_at ~seed sample in
-  let dyn_index = Rng.int rng t.eligible_steps in
+  let dyn_index = sample_dyn_index t rng ~site in
   let cls, fault, summary =
     match t.engine with
     | Scratch -> trace_propagation ~fault_bits t rng ~dyn_index
@@ -713,11 +854,12 @@ let vulnmap_build b : vulnmap =
    static site.  [on_record] streams the same per-injection records as
    {!campaign}. *)
 let vulnmap_campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
-    ?engine ?on_record ?progress ~samples img : vulnmap =
+    ?engine ?on_record ?progress ?on_stats ~samples img : vulnmap =
   let t = prepare ~scope ?engine img in
   if t.eligible_steps = 0 then
     invalid_arg "Faultsim.vulnmap_campaign: no eligible injection sites";
   let b = vulnmap_builder t in
+  let every = max 1 (samples / 32) in
   for sample = 0 to samples - 1 do
     let cls, fault, record, summary =
       vulnmap_sample ~fault_bits t ~seed ~sample
@@ -731,6 +873,10 @@ let vulnmap_campaign ?(scope = Original_only) ?(seed = 42L) ?(fault_bits = 1)
     vulnmap_add b ~sample ~static_index:fault.static_index cls ~latency
       ~escape;
     (match on_record with Some f -> f record | None -> ());
+    (match on_stats with
+    | Some f when (sample + 1) mod every = 0 || sample + 1 = samples ->
+      f ~spent:(sample + 1) b.b_counts
+    | _ -> ());
     match progress with Some f -> f (sample + 1) samples | None -> ()
   done;
   vulnmap_build b

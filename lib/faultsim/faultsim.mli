@@ -64,7 +64,18 @@ val add_count : counts -> classification -> counts
 (** Fraction of samples that were SDC. *)
 val sdc_probability : counts -> float
 
-(** 95% normal-approximation half-interval on the SDC proportion. *)
+(** The SDC outcome as an exact binomial tally (n = samples, k = sdc),
+    for the {!Ferrum_telemetry.Stats} interval estimators. *)
+val sdc_tally : counts -> Ferrum_telemetry.Stats.tally
+
+(** 95% confidence half-interval on the SDC proportion.
+
+    @deprecated Alias for the Wilson half-width,
+    [Stats.half_width (Stats.wilson (sdc_tally c))].  Historically a
+    normal approximation, which degenerated to zero width at p = 0,
+    p = 1 and n = 0; the Wilson interval stays honest there (n = 0
+    yields 0.5 — total ignorance).  Prefer {!Ferrum_telemetry.Stats}
+    directly, which also exposes both interval endpoints. *)
 val confidence95 : counts -> float
 
 val pp_counts : Format.formatter -> counts -> unit
@@ -83,11 +94,15 @@ type target = {
   golden_steps : int;
   golden_cycles : float;
   eligible_steps : int;  (** dynamic count of eligible write-backs *)
+  dyn_static : int array;
+      (** static site of each eligible dynamic write-back, in dynamic
+          order (length [eligible_steps]) *)
   fuel : int;  (** injected-run budget: 3x golden + slack *)
   engine : engine;
   mutable cache_ : Ferrum_machine.Snapshot.cache option;
   mutable slot_ : Ferrum_machine.Snapshot.slot option;
   mutable golden_slot_ : Ferrum_machine.Snapshot.slot option;
+  mutable occ_ : int array array option;
 }
 
 exception Golden_failure of string
@@ -96,6 +111,10 @@ exception Golden_failure of string
     exit normally.  [engine] (default {!default_engine}) selects how
     {!campaign_sample}/{!vulnmap_sample} execute. *)
 val prepare : ?scope:scope -> ?engine:engine -> Machine.image -> target
+
+(** Static sites with at least one eligible dynamic occurrence,
+    ascending — the population adaptive allocation draws from. *)
+val site_candidates : target -> int array
 
 (** Structured description of a flipped destination: kind, register
     index, lane, flag — mirrored into the metrics stream so analysis
@@ -179,18 +198,56 @@ type campaign_result = {
     per-sample RNG is a pure function of [seed] and [sample]
     ({!Rng.split_at}), so any subrange of a campaign can run anywhere —
     a shard needs only its index range — and still reproduce the
-    sequential run bit-for-bit. *)
+    sequential run bit-for-bit.
+
+    [site] (default -1) aims the sample: negative draws uniformly over
+    all eligible dynamic write-backs (the flat campaign), a static site
+    index draws uniformly over that site's occurrences (the adaptive
+    allocator).  Either way exactly one draw is consumed before the
+    bit choice, so the rest of the per-sample stream is identical
+    across policies. *)
 val campaign_sample :
-  ?fault_bits:int -> target -> seed:int64 -> sample:int ->
+  ?fault_bits:int -> ?site:int -> target -> seed:int64 -> sample:int ->
   classification * fault * record
 
 (** Sample [samples] single-fault runs; bit-reproducible per seed.
     [on_record] streams one {!record} per injection in sample order;
-    [progress] is called after every sample with [done_so_far total]. *)
+    [progress] is called after every sample with [done_so_far total];
+    [on_stats] observes the running outcome counts every [samples/32]
+    injections and at the end — the per-batch confidence hook. *)
 val campaign :
   ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> ?engine:engine ->
   ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
+  ?on_stats:(spent:int -> counts -> unit) ->
   samples:int -> Machine.image -> campaign_result
+
+(** {1 Adaptive sample allocation}
+
+    FastFlip-style uncertainty-directed sampling: run the campaign in
+    rounds, and spend each round's samples on the static sites whose
+    SDC estimates are least certain. *)
+
+(** [rounds] budget slices (default 8); [target_ci] > 0 stops early (at
+    round granularity) once every candidate site's Wilson half-width is
+    at or under the target (default 0: always spend the budget). *)
+type policy = { rounds : int; target_ci : float }
+
+val default_policy : policy
+
+(** Contiguous global-sample ranges [(lo, hi)] for the rounds:
+    near-equal, first [budget mod rounds] rounds one larger, clamped so
+    every round is non-empty.  Empty on a non-positive budget. *)
+val plan_rounds : rounds:int -> budget:int -> (int * int) array
+
+(** Allocate [n] samples over {!site_candidates}, proportionally to the
+    Wilson half-widths of their current SDC tallies ([tally site]),
+    largest-remainder apportioned with ties to the lower static index.
+    Returns the per-sample site assignment, sites ascending with
+    multiplicity — a pure function of the tallies, hence
+    byte-reproducible for any shard count. *)
+val allocate :
+  target -> tally:(int -> Ferrum_telemetry.Stats.tally) -> n:int ->
+  int array
 
 (** SDC coverage relative to the raw baseline (paper §IV-A3):
     [(p_raw - p_prot) / p_raw], clamped to [0; 1]. *)
@@ -242,7 +299,7 @@ type vulnmap = {
     same RNG stream as {!campaign_sample}, so the record stream is
     byte-identical whether or not tracing is on. *)
 val vulnmap_sample :
-  ?fault_bits:int -> target -> seed:int64 -> sample:int ->
+  ?fault_bits:int -> ?site:int -> target -> seed:int64 -> sample:int ->
   classification * fault * record * Propagation.summary
 
 (** Incremental vulnerability-map aggregation.  Feed samples in global
@@ -268,6 +325,7 @@ val vulnmap_build : vulnmap_builder -> vulnmap
 val vulnmap_campaign :
   ?scope:scope -> ?seed:int64 -> ?fault_bits:int -> ?engine:engine ->
   ?on_record:(record -> unit) -> ?progress:(int -> int -> unit) ->
+  ?on_stats:(spent:int -> counts -> unit) ->
   samples:int -> Machine.image -> vulnmap
 
 (** Mean detection latency (steps, cycles) of a site; [None] when no

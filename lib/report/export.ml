@@ -100,31 +100,77 @@ let json_of_bench (b : bench_result) =
            ("counts", json_of_counts b.raw_counts) ]);
       ("techniques", Json.Arr (List.map json_of_tech b.techniques)) ]
 
+(* Flat-vs-adaptive allocation comparison over one benchmark: mean
+   Wilson 95% half-width on the worst decile of vulnerability-map
+   sites under the same total budget, and the implied sample savings
+   (half-width scales as 1/sqrt(n), so matching the adaptive width
+   with flat sampling would cost a factor (flat/adaptive)^2 more
+   samples). *)
+type adaptive_result = {
+  a_benchmark : string;
+  a_budget : int;
+  a_rounds : int;
+  a_sites : int;  (** candidate static sites *)
+  a_decile : int;  (** worst-decile size *)
+  a_flat_n : float;  (** mean samples per worst-decile site, flat *)
+  a_adaptive_n : float;
+  a_flat_hw : float;  (** mean Wilson half-width over the decile *)
+  a_adaptive_hw : float;
+  a_flat_wall : float;
+  a_adaptive_wall : float;
+}
+
+let adaptive_savings (a : adaptive_result) =
+  if a.a_flat_hw <= 0.0 then 0.0
+  else 1.0 -. ((a.a_adaptive_hw /. a.a_flat_hw) ** 2.0)
+
+let json_of_adaptive (a : adaptive_result) =
+  Json.Obj
+    [ ("benchmark", Json.Str a.a_benchmark);
+      ("budget", Json.Int a.a_budget);
+      ("rounds", Json.Int a.a_rounds);
+      ("sites", Json.Int a.a_sites);
+      ("worst_decile_sites", Json.Int a.a_decile);
+      ("flat_decile_samples", Json.Float a.a_flat_n);
+      ("adaptive_decile_samples", Json.Float a.a_adaptive_n);
+      ("flat_decile_half_width", Json.Float a.a_flat_hw);
+      ("adaptive_decile_half_width", Json.Float a.a_adaptive_hw);
+      ("sample_savings", Json.Float (adaptive_savings a));
+      ("flat_wall_seconds", Json.Float a.a_flat_wall);
+      ("adaptive_wall_seconds", Json.Float a.a_adaptive_wall) ]
+
 (* Full bench metrics document: meta (sample counts, seed), one entry
    per timed experiment (name + wall seconds — wall clock is confined
-   here, the per-benchmark results are deterministic per seed), and the
-   per-benchmark results themselves. *)
+   here, the per-benchmark results are deterministic per seed), the
+   per-benchmark results themselves, and the flat-vs-adaptive
+   allocation comparison when it ran. *)
 let bench_kind = "ferrum.bench.v1"
 
-let metrics_json ~samples ~seed ~experiments (results : bench_result list) =
+let metrics_json ?(adaptive = []) ~samples ~seed ~experiments
+    (results : bench_result list) =
   Json.Obj
-    [ ("schema", Json.Str bench_kind);
-      ("version", Json.Int Ferrum_telemetry.Metrics.schema_version);
-      ("samples", Json.Int samples);
-      ("seed", Json.Str (Int64.to_string seed));
-      ("experiments",
-       Json.Arr
-         (List.map
-            (fun (name, wall_seconds) ->
-              Json.Obj
-                [ ("name", Json.Str name);
-                  ("wall_seconds", Json.Float wall_seconds) ])
-            experiments));
-      ("results", Json.Arr (List.map json_of_bench results)) ]
+    ([ ("schema", Json.Str bench_kind);
+       ("version", Json.Int Ferrum_telemetry.Metrics.schema_version);
+       ("samples", Json.Int samples);
+       ("seed", Json.Str (Int64.to_string seed));
+       ("experiments",
+        Json.Arr
+          (List.map
+             (fun (name, wall_seconds) ->
+               Json.Obj
+                 [ ("name", Json.Str name);
+                   ("wall_seconds", Json.Float wall_seconds) ])
+             experiments));
+       ("results", Json.Arr (List.map json_of_bench results)) ]
+    @
+    match adaptive with
+    | [] -> []
+    | l -> [ ("adaptive", Json.Arr (List.map json_of_adaptive l)) ])
 
-let write_metrics_json path ~samples ~seed ~experiments results =
+let write_metrics_json ?adaptive path ~samples ~seed ~experiments results =
   let oc = open_out path in
   output_string oc
-    (Json.to_string (metrics_json ~samples ~seed ~experiments results));
+    (Json.to_string
+       (metrics_json ?adaptive ~samples ~seed ~experiments results));
   output_char oc '\n';
   close_out oc

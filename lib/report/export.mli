@@ -9,10 +9,34 @@ val write_csv : string -> Experiments.bench_result list -> unit
 val bench_kind : string
 (** ["ferrum.bench.v1"] — the whole-document schema below. *)
 
+(** One benchmark's flat-vs-adaptive allocation comparison: mean Wilson
+    95% half-width (and mean samples) over the worst decile of
+    vulnerability-map sites, same total budget for both schemes. *)
+type adaptive_result = {
+  a_benchmark : string;
+  a_budget : int;
+  a_rounds : int;
+  a_sites : int;
+  a_decile : int;
+  a_flat_n : float;
+  a_adaptive_n : float;
+  a_flat_hw : float;
+  a_adaptive_hw : float;
+  a_flat_wall : float;
+  a_adaptive_wall : float;
+}
+
+(** Implied sample savings of adaptive allocation: half-width scales as
+    1/sqrt(n), so [1 - (adaptive_hw / flat_hw)^2] is the fraction of
+    the flat budget that directed sampling saved on the worst decile. *)
+val adaptive_savings : adaptive_result -> float
+
 (** Bench metrics document: meta (sample count, seed), per-experiment
     wall times (wall clock is confined here; per-benchmark results are
-    deterministic per seed), and per-benchmark results. *)
+    deterministic per seed), per-benchmark results, and — when the
+    comparison ran — a flat-vs-adaptive [adaptive] section. *)
 val metrics_json :
+  ?adaptive:adaptive_result list ->
   samples:int ->
   seed:int64 ->
   experiments:(string * float) list ->
@@ -20,6 +44,7 @@ val metrics_json :
   Ferrum_telemetry.Json.t
 
 val write_metrics_json :
+  ?adaptive:adaptive_result list ->
   string ->
   samples:int ->
   seed:int64 ->

@@ -9,6 +9,7 @@
 
 module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
+module Stats = Ferrum_telemetry.Stats
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
 
@@ -47,29 +48,39 @@ let percentile q dist =
   end
 
 (* Vulnerability-map drift between two traced runs: sites are matched
-   by static index; [changed] counts sites whose SDC count moved,
-   [magnitude] sums |delta| over them.  [None] when either run is
-   untraced (no map to compare). *)
+   by static index; a site counts as drifted only when the two runs'
+   Wilson 95% intervals on its SDC rate are disjoint — a moved tally
+   inside overlapping intervals is sampling noise, not a shift.
+   [significant] counts such sites, [magnitude] sums |SDC delta| over
+   them.  [None] when either run is untraced (no map to compare). *)
 let drift prev cur =
   match (Html.sites prev, Html.sites cur) with
   | [], _ | _, [] -> None
   | prev_sites, cur_sites ->
-    let sdc_by_index sites =
-      List.map (fun (s : Html.site) -> (s.Html.si_index, s.Html.si_sdc)) sites
+    let by_index sites =
+      List.map
+        (fun (s : Html.site) ->
+          (s.Html.si_index, (s.Html.si_samples, s.Html.si_sdc)))
+        sites
     in
-    let p = sdc_by_index prev_sites and c = sdc_by_index cur_sites in
+    let p = by_index prev_sites and c = by_index cur_sites in
     let indices =
       List.sort_uniq compare (List.map fst p @ List.map fst c)
     in
-    let changed, magnitude =
+    let at l i =
+      let n, k = Option.value ~default:(0, 0) (List.assoc_opt i l) in
+      (Stats.wilson { Stats.n; k }, k)
+    in
+    let significant, magnitude =
       List.fold_left
         (fun (n, m) i ->
-          let at l = Option.value ~default:0 (List.assoc_opt i l) in
-          let d = at c - at p in
-          if d = 0 then (n, m) else (n + 1, m + abs d))
+          let wp, kp = at p i and wc, kc = at c i in
+          if wp.Stats.hi < wc.Stats.lo || wc.Stats.hi < wp.Stats.lo then
+            (n + 1, m + abs (kc - kp))
+          else (n, m))
         (0, 0) indices
     in
-    Some (changed, magnitude)
+    Some (significant, magnitude)
 
 let short_digest d = if String.length d > 12 then String.sub d 0 12 else d
 
@@ -151,8 +162,9 @@ let diffs_table digests runs =
       in
       let drift_cell =
         match drift prev cur with
-        | Some (changed, magnitude) ->
-          Fmt.str "%d sites, &#931;|&#916;sdc| %d" changed magnitude
+        | Some (significant, magnitude) ->
+          Fmt.str "%d significant, &#931;|&#916;sdc| %d" significant
+            magnitude
         | None -> "&#8212;"
       in
       Fmt.str "<tr><td>%s</td><td><code>%s &#8594; %s</code></td>%s<td>%s</td><td>%s</td></tr>"
@@ -172,7 +184,9 @@ let diffs_table digests runs =
       "<div class=\"panel\"><h2>Run-to-run diff</h2><p class=\"sub\">Each \
        workload&#8217;s consecutive publications compared: outcome tally \
        deltas, latency percentile deltas and vulnerability-map drift \
-       (sites whose SDC count moved).</p><table><tr>%s</tr>%s</table></div>"
+       (sites whose Wilson 95%% SDC intervals are disjoint between the \
+       two runs &#8212; overlapping intervals are treated as sampling \
+       noise).</p><table><tr>%s</tr>%s</table></div>"
       (String.concat "" (List.map (Fmt.str "<th>%s</th>") head))
       (String.concat "" (List.map row pairs))
   end

@@ -13,8 +13,11 @@
 val percentile : float -> (float * int) list -> float option
 
 (** Vulnerability-map drift between two traced runs: sites matched by
-    static index, [(changed sites, summed |SDC delta|)]; [None] when
-    either run is untraced. *)
+    static index, [(significant sites, summed |SDC delta| over them)].
+    A site is significant only when the two runs' Wilson 95% intervals
+    on its SDC rate are disjoint — tally movement inside overlapping
+    intervals is sampling noise, not drift.  [None] when either run is
+    untraced. *)
 val drift : Html.run -> Html.run -> (int * int) option
 
 (** Render the history page for a store root.  An empty store renders

@@ -14,6 +14,7 @@
 
 module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
+module Stats = Ferrum_telemetry.Stats
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
 
@@ -38,6 +39,9 @@ type run = {
       (** (site mean detection-latency cycles, detected count),
           ascending — the site-weighted latency distribution *)
   r_sites : site list;  (** static-index order *)
+  r_trace : (int * float * float * float) list;
+      (** stats.jsonl convergence trace: (samples spent, SDC p-hat,
+          Wilson lo, Wilson hi), chronological; empty without stats *)
 }
 
 let label r =
@@ -47,6 +51,7 @@ let manifest r = r.r_manifest
 let run_dir r = r.r_dir
 let latency r = r.r_latency
 let sites r = r.r_sites
+let convergence r = r.r_trace
 
 let classes = [ "detected"; "sdc"; "crash"; "timeout"; "benign" ]
 
@@ -139,7 +144,18 @@ let load_run dir : (run, string) result =
           (List.map fst sites, latency)
         end
       in
-      Ok { r_dir = dir; r_manifest = m; r_classes; r_latency; r_sites })
+      let stats = Filename.concat dir Store.stats_file in
+      let r_trace =
+        if not (Sys.file_exists stats) then []
+        else
+          List.filteri (fun i _ -> i > 0) (Metrics.read_lines stats)
+          |> List.filter_map (fun line ->
+                 match Stats.row_of_string line with
+                 | Ok r when r.Stats.row = "trace" ->
+                   Some (r.Stats.spent, r.Stats.p, r.Stats.lo, r.Stats.hi)
+                 | _ -> None)
+      in
+      Ok { r_dir = dir; r_manifest = m; r_classes; r_latency; r_sites; r_trace })
 
 let load_runs dir : (run list, string) result =
   let manifest_here d = Sys.file_exists (Filename.concat d Manifest.file) in
@@ -450,6 +466,121 @@ let latency_panel runs =
       note table
   end
 
+(* Convergence panel: campaign SDC estimate vs samples spent, one line
+   per run with its Wilson 95% band as a translucent polygon — the
+   live view of how much certainty each additional sample bought. *)
+let convergence_panel runs =
+  let runs = List.filter (fun r -> r.r_trace <> []) runs in
+  if runs = [] then
+    "<section class=\"panel\"><h2>Convergence</h2><p class=\"sub\">No \
+     confidence telemetry (stats.jsonl) in this set.</p></section>"
+  else begin
+    let shown = List.filteri (fun i _ -> i < 8) runs in
+    let dropped = List.length runs - List.length shown in
+    let w = chart_w and h = 240 in
+    let mx = 56 and my = 12 and mb = 28 in
+    let pw = w - mx - 12 and ph = h - my - mb in
+    let max_x =
+      List.fold_left
+        (fun a r ->
+          List.fold_left (fun a (s, _, _, _) -> max a s) a r.r_trace)
+        1 shown
+    in
+    let max_y =
+      List.fold_left
+        (fun a r ->
+          List.fold_left (fun a (_, _, _, hi) -> Float.max a hi) a r.r_trace)
+        0.01 shown
+    in
+    let max_y = Float.min 1.0 (max_y *. 1.05) in
+    let px s = mx + (s * pw / max_x) in
+    let py v =
+      my + ph - int_of_float (v /. max_y *. float_of_int ph)
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Fmt.str
+         "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"SDC estimate convergence\">"
+         w h);
+    List.iter
+      (fun q ->
+        let y = my + ph - int_of_float (float_of_int ph *. q) in
+        Buffer.add_string buf
+          (Fmt.str
+             "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"var(--grid)\"/><text class=\"axis-label\" x=\"%d\" y=\"%d\" text-anchor=\"end\">%.3f</text>"
+             mx y (mx + pw) y (mx - 6) (y + 4) (q *. max_y)))
+      [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+    Buffer.add_string buf
+      (Fmt.str
+         "<text class=\"axis-label\" x=\"%d\" y=\"%d\">samples spent (SDC probability with Wilson 95%% band)</text>"
+         mx (h - 8));
+    Buffer.add_string buf
+      (Fmt.str
+         "<text class=\"axis-label\" x=\"%d\" y=\"%d\" text-anchor=\"end\">%d</text>"
+         (mx + pw) (my + ph + 14) max_x);
+    List.iteri
+      (fun i r ->
+        let color = series_vars.(i mod Array.length series_vars) in
+        (* CI band: upper bound forward, lower bound back. *)
+        let band = Buffer.create 256 in
+        List.iter
+          (fun (s, _, _, hi) ->
+            Buffer.add_string band (Fmt.str "%d,%d " (px s) (py hi)))
+          r.r_trace;
+        List.iter
+          (fun (s, _, lo, _) ->
+            Buffer.add_string band (Fmt.str "%d,%d " (px s) (py lo)))
+          (List.rev r.r_trace);
+        Buffer.add_string buf
+          (Fmt.str
+             "<polygon points=\"%s\" fill=\"%s\" fill-opacity=\"0.18\" stroke=\"none\"/>"
+             (String.trim (Buffer.contents band))
+             color);
+        let pts = Buffer.create 256 in
+        List.iter
+          (fun (s, p, _, _) ->
+            Buffer.add_string pts (Fmt.str "%d,%d " (px s) (py p)))
+          r.r_trace;
+        Buffer.add_string buf
+          (Fmt.str
+             "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\" stroke-linejoin=\"round\"><title>%s</title></polyline>"
+             (String.trim (Buffer.contents pts))
+             color (esc (label r))))
+      shown;
+    Buffer.add_string buf "</svg>";
+    let note =
+      if dropped > 0 then
+        Fmt.str
+          "<p class=\"sub\">%d more runs omitted (series cap 8); see the data table.</p>"
+          dropped
+      else ""
+    in
+    let table =
+      Fmt.str
+        "<details><summary>Data table</summary><table><tr><th>run</th><th>samples</th><th>final p</th><th>final 95%% interval</th></tr>%s</table></details>"
+        (String.concat ""
+           (List.map
+              (fun r ->
+                let spent, p, lo, hi =
+                  List.fold_left (fun _ last -> last) (0, 0.0, 0.0, 1.0)
+                    r.r_trace
+                in
+                Fmt.str
+                  "<tr><td>%s</td><td>%d</td><td>%.4f</td><td>[%.4f, %.4f]</td></tr>"
+                  (esc (label r)) spent p lo hi)
+              runs))
+    in
+    Fmt.str
+      "<section class=\"panel\"><h2>Convergence</h2><p class=\"sub\">Campaign SDC estimate vs samples spent; shaded region is the Wilson 95%% confidence band.</p>%s%s%s%s</section>"
+      (Buffer.contents buf)
+      (legend
+         (List.mapi
+            (fun i r ->
+              (label r, series_vars.(i mod Array.length series_vars)))
+            shown))
+      note table
+  end
+
 (* Panel 3: per-site vulnerability heat strips — one row per traced
    run, one cell per (eligible or hit) static site, sequential blue by
    SDC rate. *)
@@ -627,6 +758,7 @@ let render (runs : run list) : string =
       "<h1>ferrum campaign dashboard</h1>";
       summary;
       outcomes_panel runs;
+      convergence_panel runs;
       latency_panel runs;
       vulnmap_panel runs;
       overhead_panel runs;

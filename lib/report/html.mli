@@ -1,11 +1,11 @@
 (** Self-contained HTML dashboard over campaign run directories.
 
-    A single file with no external assets: four inline-SVG panels —
-    outcome stacked bars per workload × technique, detection-latency
-    CDFs, per-site vulnerability heat strips, and the
-    protection-overhead provenance split — rendered from the
-    JSONL/manifest files a finished [ferrum campaign] run directory
-    contains.
+    A single file with no external assets: five inline-SVG panels —
+    outcome stacked bars per workload × technique, SDC-estimate
+    convergence with Wilson confidence bands, detection-latency CDFs,
+    per-site vulnerability heat strips, and the protection-overhead
+    provenance split — rendered from the JSONL/manifest files a
+    finished [ferrum campaign] run directory contains.
 
     The run accessors and panel builders are exposed so other pages
     (the serve daemon's cross-run history) can reuse them. *)
@@ -52,6 +52,11 @@ val latency : run -> (float * int) list
     untraced. *)
 val sites : run -> site list
 
+(** Convergence trace from [stats.jsonl]: (samples spent, SDC p-hat,
+    Wilson 95% lo, hi), chronological; empty when the run has no
+    confidence telemetry. *)
+val convergence : run -> (int * float * float * float) list
+
 (** {1 Page building blocks} *)
 
 (** HTML-escape text content. *)
@@ -66,6 +71,11 @@ val legend : (string * string) list -> string
 (** {1 Panels} *)
 
 val outcomes_panel : run list -> string
+
+(** Campaign SDC estimate vs samples spent, with Wilson 95% confidence
+    bands — rendered from each run's [stats.jsonl]. *)
+val convergence_panel : run list -> string
+
 val latency_panel : run list -> string
 val vulnmap_panel : run list -> string
 val overhead_panel : run list -> string

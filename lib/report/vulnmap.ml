@@ -12,6 +12,11 @@
 open Ferrum_asm
 module F = Ferrum_faultsim.Faultsim
 module Propagation = Ferrum_telemetry.Propagation
+module Stats = Ferrum_telemetry.Stats
+
+(* Wilson 95% half-width of a site's SDC rate. *)
+let site_hw (c : F.counts) =
+  Stats.half_width (Stats.wilson { Stats.n = c.F.samples; k = c.F.sdc })
 
 let prov_tag = function
   | Instr.Original -> "original"
@@ -64,8 +69,9 @@ let listing ?(only_sampled = false) (v : F.vulnmap) =
   let buf = Buffer.create 4096 in
   let code = v.F.v_target.F.img.Ferrum_machine.Machine.code in
   Buffer.add_string buf
-    (Fmt.str "%5s  %-9s %-44s %5s %5s %4s %4s %5s %4s %9s@." "idx" "prov"
-       "instruction" "n" "ben" "sdc" "det" "crash" "t/o" "det-lat");
+    (Fmt.str "%5s  %-9s %-44s %5s %5s %4s %4s %5s %4s %9s %8s@." "idx"
+       "prov" "instruction" "n" "ben" "sdc" "det" "crash" "t/o" "det-lat"
+       "sdc ±95");
   Array.iteri
     (fun i (ins : Instr.ins) ->
       let s = v.F.v_sites.(i) in
@@ -78,12 +84,13 @@ let listing ?(only_sampled = false) (v : F.vulnmap) =
             | None -> Fmt.str "%9s" "-"
           in
           Buffer.add_string buf
-            (Fmt.str "%5d  %-9s %-44s %5d %5d %4d %4d %5d %4d %s@." i
+            (Fmt.str "%5d  %-9s %-44s %5d %5d %4d %4d %5d %4d %s %8s@." i
                (prov_tag ins.Instr.prov)
                (Printer.string_of_instr ins.Instr.op)
                s.F.s_counts.F.samples s.F.s_counts.F.benign
                s.F.s_counts.F.sdc s.F.s_counts.F.detected
-               s.F.s_counts.F.crash s.F.s_counts.F.timeout lat)
+               s.F.s_counts.F.crash s.F.s_counts.F.timeout lat
+               (Fmt.str "±%.3f" (site_hw s.F.s_counts)))
         else
           Buffer.add_string buf
             (Fmt.str "%5d  %-9s %-44s %5s@." i (prov_tag ins.Instr.prov)
@@ -113,6 +120,16 @@ let summary (v : F.vulnmap) =
   let c = v.F.v_counts in
   Buffer.add_string buf
     (Fmt.str "campaign: %a@." F.pp_counts c);
+  (let t = F.sdc_tally c in
+   let w = Stats.wilson t in
+   let j = Stats.jeffreys t in
+   Buffer.add_string buf
+     (Fmt.str
+        "SDC probability: %.4f +/- %.4f (Wilson 95%%: [%.4f, %.4f]; \
+         Jeffreys: [%.4f, %.4f])@."
+        (if t.Stats.n = 0 then 0.0
+         else float_of_int t.Stats.k /. float_of_int t.Stats.n)
+        (Stats.half_width w) w.Stats.lo w.Stats.hi j.Stats.lo j.Stats.hi));
   (match latency_stats v with
   | None -> Buffer.add_string buf "detection latency: no detected faults\n"
   | Some l ->
@@ -129,10 +146,11 @@ let summary (v : F.vulnmap) =
     List.iter
       (fun (i, (s : F.site_stat)) ->
         Buffer.add_string buf
-          (Fmt.str "  %5d  %-44s %d sdc / %d samples@." i
+          (Fmt.str "  %5d  %-44s %d sdc / %d samples (±%.3f)@." i
              (Printer.string_of_instr
                 v.F.v_target.F.img.Ferrum_machine.Machine.code.(i).Instr.op)
-             s.F.s_counts.F.sdc s.F.s_counts.F.samples))
+             s.F.s_counts.F.sdc s.F.s_counts.F.samples
+             (site_hw s.F.s_counts)))
       worst);
   (match v.F.v_escapes with
   | [] -> ()

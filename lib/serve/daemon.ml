@@ -329,6 +329,7 @@ let run_artifact d digest artifact fd =
     | "records" -> file Store.injection_file
     | "vulnmap" -> file Store.vulnmap_file
     | "events" -> file Store.events_file
+    | "stats" -> file Store.stats_file
     | "run" -> file Store.run_file
     | "manifest" -> file ~content_type:"application/json" Manifest.file
     | "dashboard" -> file ~content_type:"text/html" Store.dashboard_file

@@ -48,7 +48,15 @@ let tally_of_name t = function
 type body =
   | Campaign_started of { shards : int; samples : int }
   | Shard_started of { lo : int; hi : int }
-  | Progress of { done_ : int; total : int; tally : tally; clock : int }
+  | Progress of {
+      done_ : int;
+      total : int;
+      tally : tally;
+      clock : int;
+      spent : int;
+      budget : int;
+      hw : float;
+    }
   | Shard_finished of { done_ : int; total : int; tally : tally; clock : int }
   | Shard_retry of { reason : string }
   | Campaign_finished of { total : int; tally : tally; clock : int }
@@ -91,7 +99,7 @@ let to_json (e : t) : Json.t =
   in
   let done_, total, tally, clock =
     match e.body with
-    | Progress { done_; total; tally; clock }
+    | Progress { done_; total; tally; clock; _ }
     | Shard_finished { done_; total; tally; clock } ->
       (done_, total, tally, clock)
     | Campaign_finished { total; tally; clock } -> (total, total, tally, clock)
@@ -103,6 +111,15 @@ let to_json (e : t) : Json.t =
     match e.body with
     | Progress _ -> eta ~done_ ~total ~clock
     | _ -> 0.
+  in
+  (* Confidence heartbeat: global budget spent/total and the live
+     Wilson half-width of the SDC estimate.  Adaptive campaigns run
+     rounds, so a shard's own (done, total) no longer bounds campaign
+     progress — watch/dashboard bars key off these instead. *)
+  let spent, budget, hw =
+    match e.body with
+    | Progress { spent; budget; hw; _ } -> (spent, budget, hw)
+    | _ -> (-1, -1, 0.)
   in
   Json.Obj
     [
@@ -124,6 +141,9 @@ let to_json (e : t) : Json.t =
       ("clock", Json.Int clock);
       ("eta", Json.Float eta_v);
       ("detail", Json.Str detail);
+      ("spent", Json.Int spent);
+      ("budget", Json.Int budget);
+      ("hw", Json.Float hw);
     ]
 
 let int_member name j =
@@ -131,6 +151,21 @@ let int_member name j =
   | Some (Json.Int v) -> Ok v
   | Some _ -> Error (Fmt.str "field %S is not an int" name)
   | None -> Error (Fmt.str "missing field %S" name)
+
+(* The confidence fields arrived after v1 logs existed; stored logs
+   without them still parse (and validate) with the unused defaults. *)
+let opt_int_member ~default name j =
+  match Json.member name j with
+  | Some (Json.Int v) -> Ok v
+  | Some _ -> Error (Fmt.str "field %S is not an int" name)
+  | None -> Ok default
+
+let opt_float_member ~default name j =
+  match Json.member name j with
+  | Some (Json.Float v) -> Ok v
+  | Some (Json.Int v) -> Ok (float_of_int v)
+  | Some _ -> Error (Fmt.str "field %S is not a number" name)
+  | None -> Ok default
 
 let str_member name j =
   match Json.member name j with
@@ -172,7 +207,10 @@ let of_json (j : Json.t) : (t, string) result =
       Ok (Shard_started { lo; hi })
     | "progress" ->
       let* done_, total, tally, clock = progresslike j in
-      Ok (Progress { done_; total; tally; clock })
+      let* spent = opt_int_member ~default:(-1) "spent" j in
+      let* budget = opt_int_member ~default:(-1) "budget" j in
+      let* hw = opt_float_member ~default:0. "hw" j in
+      Ok (Progress { done_; total; tally; clock; spent; budget; hw })
     | "shard_finished" ->
       let* done_, total, tally, clock = progresslike j in
       Ok (Shard_finished { done_; total; tally; clock })
@@ -216,6 +254,9 @@ let fields =
       field "clock" F_int;
       field "eta" F_float;
       field "detail" F_string;
+      field ~required:false "spent" F_int;
+      field ~required:false "budget" F_int;
+      field ~required:false "hw" F_float;
     ]
 
 let header extra = Metrics.header ~kind extra

@@ -36,7 +36,19 @@ val tally_of_name : tally -> string -> tally option
 type body =
   | Campaign_started of { shards : int; samples : int }
   | Shard_started of { lo : int; hi : int }  (** sample range [lo, hi) *)
-  | Progress of { done_ : int; total : int; tally : tally; clock : int }
+  | Progress of {
+      done_ : int;
+      total : int;
+      tally : tally;
+      clock : int;
+      spent : int;
+          (** samples of the global budget spent as of this heartbeat
+              (prior rounds plus this shard's progress); -1 when the
+              emitter does not track a budget *)
+      budget : int;  (** global campaign sample budget; -1 if unknown *)
+      hw : float;
+          (** live Wilson 95% half-width of the campaign SDC estimate *)
+    }
   | Shard_finished of { done_ : int; total : int; tally : tally; clock : int }
   | Shard_retry of { reason : string }
       (** the previous attempt of this shard died; a fresh attempt

@@ -195,7 +195,9 @@ let test_event_roundtrip () =
   let bodies =
     [ Events.Campaign_started { shards = 4; samples = 100 };
       Events.Shard_started { lo = 25; hi = 50 };
-      Events.Progress { done_ = 13; total = 25; tally; clock = 991 };
+      Events.Progress
+        { done_ = 13; total = 25; tally; clock = 991; spent = 38;
+          budget = 100; hw = 0.125 };
       Events.Shard_finished { done_ = 25; total = 25; tally; clock = 1800 };
       Events.Shard_retry { reason = "worker exited 66 after 2/25 samples" };
       Events.Campaign_finished { total = 100; tally; clock = 7200 } ]
