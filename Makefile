@@ -5,8 +5,9 @@ VMAP = /tmp/ferrum_vulnmap.jsonl
 LINTM = /tmp/ferrum_lint.jsonl
 CAMP = /tmp/ferrum_campaign
 STATS = /tmp/ferrum_stats
+TRACE = /tmp/ferrum_trace
 
-.PHONY: all build test fmt smoke lint campaign stats-smoke serve-smoke perf bench-snapshot check clean
+.PHONY: all build test fmt smoke lint campaign stats-smoke trace-smoke serve-smoke perf bench-snapshot check clean
 
 all: build
 
@@ -92,6 +93,24 @@ stats-smoke: build
 	$(CLI) stats $(STATS).jsonl $(STATS).flat.jsonl
 	@echo "stats-smoke: confidence stream valid, reproducible, drift-free"
 
+# Distributed-tracing smoke: a 2-shard campaign must yield one stitched
+# ferrum.trace.v1 document (single root, resolvable parent chains) whose
+# logical rows are byte-identical across reruns, and the exporters must
+# emit loadable Perfetto JSON and folded flamegraph stacks.
+trace-smoke: build
+	rm -rf $(TRACE).d $(TRACE).d2
+	$(CLI) campaign kmeans -p ferrum --samples 40 --shards 2 \
+	  --out $(TRACE).d --trace $(TRACE).jsonl > /dev/null
+	$(CLI) metrics $(TRACE).jsonl
+	$(CLI) trace-export $(TRACE).d --perfetto $(TRACE).perfetto.json \
+	  --folded $(TRACE).folded
+	grep -q traceEvents $(TRACE).perfetto.json
+	grep -q "campaign;" $(TRACE).folded
+	$(CLI) campaign kmeans -p ferrum --samples 40 --shards 2 \
+	  --out $(TRACE).d2 > /dev/null
+	cmp $(TRACE).jsonl $(TRACE).d2/trace.jsonl
+	@echo "trace-smoke: stitched, reproducible, exporters loadable"
+
 # Campaign-service smoke: daemon + job queue + live SSE (replay-valid)
 # + content-addressed store cache hit with byte-identical artifacts.
 serve-smoke: build
@@ -111,10 +130,11 @@ bench-snapshot: build
 	$(CLI) metrics BENCH_$$n.json && \
 	echo "bench-snapshot: wrote BENCH_$$n.json"
 
-check: fmt build test smoke lint campaign stats-smoke serve-smoke perf
+check: fmt build test smoke lint campaign stats-smoke trace-smoke serve-smoke perf
 
 clean:
 	dune clean
 	rm -f $(SMOKE) $(SMOKE).2 $(VMAP) $(VMAP).2 $(LINTM) $(LINTM).2
 	rm -f $(STATS).jsonl $(STATS).2.jsonl $(STATS).flat.jsonl
-	rm -rf $(CAMP) $(CAMP).2 $(CAMP).html $(CAMP).seq
+	rm -f $(TRACE).jsonl $(TRACE).jsonl.wall $(TRACE).perfetto.json $(TRACE).folded
+	rm -rf $(CAMP) $(CAMP).2 $(CAMP).html $(CAMP).seq $(TRACE).d $(TRACE).d2

@@ -530,6 +530,15 @@ let micro () =
             fun () ->
               Ferrum_faultsim.Faultsim.inject target rng
                 ~dyn_index:(target.eligible_steps / 2)));
+      (* the per-span cost every traced campaign pays: recorder setup,
+         one span open/close with its wall+rusage readings, one counter *)
+      Test.make ~name:"trace.span"
+        (Staged.stage (fun () ->
+             let module Trace = Ferrum_telemetry.Trace in
+             let tr = Trace.create ~trace:"bench" ~proc:"bench" () in
+             Trace.span tr "span" (fun () ->
+                 Trace.counter tr "n" 1;
+                 Trace.advance tr 1)));
     ]
   in
   let benchmark test =

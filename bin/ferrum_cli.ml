@@ -34,6 +34,7 @@ module Span = Ferrum_telemetry.Span
 module Profile = Ferrum_telemetry.Profile
 module Events = Ferrum_telemetry.Events
 module Stats = Ferrum_telemetry.Stats
+module Trace = Ferrum_telemetry.Trace
 module Runner = Ferrum_campaign.Runner
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
@@ -1108,6 +1109,40 @@ let metrics_cmd =
         c.Stats.budget
     | None -> ()
   in
+  (* Trace documents: per-process span counts plus the stitching
+     check (skipped for the wall sidecar, which has no span rows). *)
+  let summarize_trace lines =
+    let records = List.filteri (fun i _ -> i > 0) lines in
+    match Trace.rows_of_lines records with
+    | Error e ->
+      Fmt.epr "trace does not parse: %s@." e;
+      exit 1
+    | Ok rows ->
+      let spans = Trace.spans_of_rows rows in
+      let walls = Trace.walls_of_rows rows in
+      let by_proc = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun (s : Trace.span) ->
+          if not (Hashtbl.mem by_proc s.Trace.sp_proc) then
+            order := s.Trace.sp_proc :: !order;
+          Hashtbl.replace by_proc s.Trace.sp_proc
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_proc s.Trace.sp_proc)))
+        spans;
+      List.iter
+        (fun p ->
+          Fmt.pr "  %-12s %d spans@." p
+            (Option.value ~default:0 (Hashtbl.find_opt by_proc p)))
+        (List.rev !order);
+      if walls <> [] then Fmt.pr "  wall     %d rows@." (List.length walls);
+      if spans <> [] then begin
+        match Trace.validate_stitched records with
+        | Ok root -> Fmt.pr "  stitched: one trace, root span %s@." root
+        | Error e ->
+          Fmt.epr "trace does not stitch: %s@." e;
+          exit 1
+      end
+  in
   (* The schema registry: adding a schema to `ferrum metrics` is one
      entry here.  [s_fields] validates each record line (failures are
      reported with their line number); [s_summarize] renders the
@@ -1120,6 +1155,7 @@ let metrics_cmd =
       (Lint.metrics_kind, Lint.record_fields, summarize_lint);
       (Events.kind, Events.fields, summarize_events);
       (Stats.kind, Stats.fields, summarize_stats);
+      (Trace.kind, Trace.fields, summarize_trace);
       (Store.run_kind, Store.run_fields, summarize_runs);
       (Queue.kind, Queue.fields, summarize_jobs);
       (Ferrum_report.Export.bench_kind, [], summarize_bench);
@@ -1517,8 +1553,8 @@ let cc_cmd =
 
 let campaign_cmd =
   let run bench technique knobs samples seed all_sites fault_bits engine
-      shards workers no_trace out events_path html_path resume progress
-      adaptive rounds target_ci =
+      shards workers no_trace out events_path html_path trace_path resume
+      progress adaptive rounds target_ci =
     (* Configuration comes from the command line (BENCH given) or from a
        previous run's manifest (--resume DIR); the manifest's program
        digest gates resume against workload or knob drift. *)
@@ -1631,7 +1667,7 @@ let campaign_cmd =
         Fmt.epr "%s@." msg;
         exit 1
     in
-    Store.write_run ~dir:out ~manifest ~result;
+    Store.write_run ~dir:out ~manifest ~result ();
     (match events_path with
     | None -> ()
     | Some path ->
@@ -1647,6 +1683,17 @@ let campaign_cmd =
       in
       Fsutil.write_file path (Store.jsonl header lines);
       Fmt.epr "[campaign] wrote %s@." path);
+    (match trace_path with
+    | None -> ()
+    | Some path ->
+      (* The run directory already holds the canonical copy; --trace
+         re-emits it (and its wall sidecar next to it) for pipelines
+         that want the stitched trace without the directory. *)
+      Fsutil.write_file path
+        (Fsutil.read_file (Filename.concat out Store.trace_file));
+      Fsutil.write_file (path ^ ".wall")
+        (Fsutil.read_file (Filename.concat out Store.trace_wall_file));
+      Fmt.epr "[campaign] wrote %s (+ %s.wall)@." path path);
     (match html_path with
     | None -> ()
     | Some path -> (
@@ -1696,7 +1743,7 @@ let campaign_cmd =
     let doc =
       "Run directory (default: _campaign/BENCH.TECH).  Receives \
        manifest.json, injection.jsonl, events.jsonl, stats.jsonl, \
-       vulnmap.jsonl and parts/."
+       trace.jsonl, trace-wall.jsonl, vulnmap.jsonl and parts/."
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
@@ -1711,6 +1758,14 @@ let campaign_cmd =
        $(docv)."
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"PATH" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Also write the stitched ferrum.trace.v1 span document to $(docv) \
+       (and its wall sidecar to $(docv).wall).  Span rows carry logical \
+       clocks only and are byte-identical across same-seed reruns."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
   in
   let resume_arg =
     let doc =
@@ -1734,8 +1789,109 @@ let campaign_cmd =
       const run $ bench_opt_arg $ protect_arg $ knobs_term $ samples_arg
       $ seed_arg $ all_sites_arg $ fault_bits_arg $ engine_term
       $ shards_arg $ workers_arg $ no_trace_arg $ out_arg $ events_arg
-      $ html_arg $ resume_arg $ progress_arg $ adaptive_arg $ rounds_arg
-      $ target_ci_arg)
+      $ html_arg $ trace_arg $ resume_arg $ progress_arg $ adaptive_arg
+      $ rounds_arg $ target_ci_arg)
+
+(* ---- trace-export ---- *)
+
+(* Export a stored campaign trace for external viewers.  Accepts a run
+   directory (uses its trace.jsonl + trace-wall.jsonl) or a trace file
+   written by `campaign --trace` (sidecar expected at PATH.wall).  The
+   document is schema-validated and stitch-checked before export, so a
+   file that exports at all is a coherent single-root trace. *)
+let trace_export_cmd =
+  let run src perfetto folded =
+    let trace_path, wall_path =
+      if Sys.file_exists src && Sys.is_directory src then
+        ( Filename.concat src Store.trace_file,
+          Filename.concat src Store.trace_wall_file )
+      else (src, src ^ ".wall")
+    in
+    let lines =
+      try Metrics.read_lines trace_path
+      with Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    (match
+       Metrics.validate_lines ~kind:Trace.kind ~record_fields:Trace.fields
+         lines
+     with
+    | Ok _ -> ()
+    | Error e ->
+      Fmt.epr "%s: invalid trace document: %s@." trace_path e;
+      exit 1);
+    let records = match lines with _hdr :: r -> r | [] -> [] in
+    let root =
+      match Trace.validate_stitched records with
+      | Ok root -> root
+      | Error e ->
+        Fmt.epr "%s: trace does not stitch: %s@." trace_path e;
+        exit 1
+    in
+    let spans =
+      match Trace.rows_of_lines records with
+      | Ok rows -> Trace.spans_of_rows rows
+      | Error _ -> assert false (* validated above *)
+    in
+    let walls =
+      if not (Sys.file_exists wall_path) then []
+      else
+        match Metrics.read_lines wall_path with
+        | _hdr :: records -> (
+          match Trace.rows_of_lines records with
+          | Ok rows -> Trace.walls_of_rows rows
+          | Error e ->
+            Fmt.epr "%s: invalid wall sidecar: %s@." wall_path e;
+            exit 1)
+        | [] -> []
+    in
+    Fmt.pr "%d spans, root %s, wall rows for %d@." (List.length spans) root
+      (List.length walls);
+    (match perfetto with
+    | None -> ()
+    | Some path ->
+      Fsutil.write_file path
+        (Json.to_string (Trace.perfetto ~spans ~walls) ^ "\n");
+      Fmt.pr "wrote %s (chrome trace-event JSON)@." path);
+    match folded with
+    | None -> ()
+    | Some path ->
+      Fsutil.write_file path
+        (String.concat "" (List.map (fun l -> l ^ "\n") (Trace.folded ~spans ~walls)));
+      Fmt.pr "wrote %s (folded flamegraph stacks)@." path
+  in
+  let src_arg =
+    let doc =
+      "Campaign run directory (its trace.jsonl is used), or a trace \
+       file from `campaign --trace' (wall sidecar expected at \
+       $(docv).wall)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN" ~doc)
+  in
+  let perfetto_arg =
+    let doc =
+      "Write Chrome trace-event JSON to $(docv) (loadable in Perfetto \
+       and chrome://tracing).  Wall-clock timestamps when the sidecar \
+       covers every span; logical steps as microseconds otherwise."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"PATH" ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Write folded flamegraph stacks (one `a;b;c weight' line per \
+       stack, flamegraph.pl-compatible) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"PATH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:
+         "Validate a stored campaign trace (ferrum.trace.v1) and export \
+          it as Chrome trace-event JSON (--perfetto) and/or folded \
+          flamegraph stacks (--folded).")
+    Term.(const run $ src_arg $ perfetto_arg $ folded_arg)
 
 (* ---- report ---- *)
 
@@ -1818,10 +1974,20 @@ let submit_cmd =
         engine = F.engine_name engine;
       }
     in
+    let body = Jobspec.to_string spec in
+    (* Root the job's trace on the client side: the daemon stitches its
+       job/queue-wait/campaign spans under this id, so the stored trace
+       names the submission, not just the execution. *)
+    let trace = Trace.derive_id ~seed (Fmt.str "submit:%s" body) in
+    Fmt.epr "[submit] trace %s@." trace;
     match
       Http.request ~host ~port ~meth:"POST" ~path:"/jobs"
-        ~headers:[ ("Content-Type", "application/json") ]
-        ~body:(Jobspec.to_string spec) ()
+        ~headers:
+          [
+            ("Content-Type", "application/json");
+            ("traceparent", Trace.to_traceparent ~trace ~span:"0");
+          ]
+        ~body ()
     with
     | Error e ->
       Fmt.epr "ferrum submit: %s@." e;
@@ -1942,5 +2108,6 @@ let () =
        (Cmd.group info
           [ list_cmd; ir_cmd; compile_cmd; run_cmd; inject_cmd; cc_cmd;
             check_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            vulnmap_cmd; lint_cmd; explain_cmd; campaign_cmd; serve_cmd;
-            submit_cmd; watch_cmd; fetch_cmd; report_cmd ]))
+            vulnmap_cmd; lint_cmd; explain_cmd; campaign_cmd;
+            trace_export_cmd; serve_cmd; submit_cmd; watch_cmd; fetch_cmd;
+            report_cmd ]))

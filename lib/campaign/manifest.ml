@@ -73,6 +73,7 @@ let make ?(policy = "flat") ?(rounds = 1) ?(target_ci = 0.0) ~benchmark
       (("events.jsonl", Ferrum_telemetry.Events.kind)
       :: ("injection.jsonl", F.metrics_kind)
       :: ("stats.jsonl", Ferrum_telemetry.Stats.kind)
+      :: ("trace.jsonl", Ferrum_telemetry.Trace.kind)
       ::
       (if traced then [ ("vulnmap.jsonl", F.vulnmap_kind) ] else []));
   }

@@ -37,6 +37,8 @@ type job = {
   digest : string;  (** manifest digest; "" until computed *)
   cached : bool;  (** served from the run store without running *)
   error : string;  (** failure reason, "" otherwise *)
+  trace : string;  (** client traceparent header; "" when absent *)
+  submitted : float;  (** submission wall time; 0. for legacy records *)
 }
 
 let fields =
@@ -48,18 +50,24 @@ let fields =
       field "cached" F_int;
       field "error" F_string;
       field "spec" F_string;
+      field ~required:false "trace" F_string;
+      field ~required:false "submitted" F_float;
     ]
 
 let job_to_json (j : job) : Json.t =
   Json.Obj
-    [
-      ("id", Json.Int j.id);
-      ("state", Json.Str (state_name j.state));
-      ("digest", Json.Str j.digest);
-      ("cached", Json.Int (if j.cached then 1 else 0));
-      ("error", Json.Str j.error);
-      ("spec", Json.Str j.spec);
-    ]
+    ([
+       ("id", Json.Int j.id);
+       ("state", Json.Str (state_name j.state));
+       ("digest", Json.Str j.digest);
+       ("cached", Json.Int (if j.cached then 1 else 0));
+       ("error", Json.Str j.error);
+       ("spec", Json.Str j.spec);
+     ]
+    @ (if j.trace = "" then [] else [ ("trace", Json.Str j.trace) ])
+    @
+    if j.submitted = 0.0 then []
+    else [ ("submitted", Json.Float j.submitted) ])
 
 let ( let* ) = Result.bind
 
@@ -85,7 +93,17 @@ let job_of_json (j : Json.t) : (job, string) result =
   let* cached = int_member "cached" j in
   let* error = str_member "error" j in
   let* spec = str_member "spec" j in
-  Ok { id; spec; state; digest; cached = cached <> 0; error }
+  (* both absent from pre-trace queue files *)
+  let trace =
+    match Json.member "trace" j with Some (Json.Str t) -> t | _ -> ""
+  in
+  let submitted =
+    match Json.member "submitted" j with
+    | Some (Json.Float v) -> v
+    | Some (Json.Int v) -> float_of_int v
+    | _ -> 0.0
+  in
+  Ok { id; spec; state; digest; cached = cached <> 0; error; trace; submitted }
 
 let header extra = Metrics.header ~kind extra
 
@@ -145,9 +163,9 @@ let load ~dir =
 
 (* Append a new job and persist.  Ids are dense from 1 in submission
    order — stable across restarts because the queue file is. *)
-let submit t ~spec ~digest ~cached ~state =
+let submit ?(trace = "") ?(submitted = 0.0) t ~spec ~digest ~cached ~state =
   let id = 1 + List.fold_left (fun a j -> max a j.id) 0 t.jobs in
-  let job = { id; spec; state; digest; cached; error = "" } in
+  let job = { id; spec; state; digest; cached; error = ""; trace; submitted } in
   t.jobs <- t.jobs @ [ job ];
   save t;
   job

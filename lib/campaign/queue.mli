@@ -27,6 +27,13 @@ type job = {
   digest : string;  (** manifest digest; [""] until computed *)
   cached : bool;  (** served from the run store without running *)
   error : string;  (** failure reason, [""] otherwise *)
+  trace : string;
+      (** the client's traceparent header at submission, [""] when
+          absent — lets the runner's spans stitch under the caller's
+          trace *)
+  submitted : float;
+      (** submission wall time ([Unix.gettimeofday]); [0.] in records
+          from pre-trace queue files *)
 }
 
 (** Field list for {!Ferrum_telemetry.Metrics.validate_lines}. *)
@@ -51,9 +58,18 @@ val find : t -> int -> job option
 (** Oldest [Pending] job, if any. *)
 val next_pending : t -> job option
 
-(** Append a new job (dense ids from 1) and persist. *)
+(** Append a new job (dense ids from 1) and persist.  [trace] is the
+    client's traceparent header (default [""]); [submitted] the
+    submission wall time (default [0.], meaning unknown). *)
 val submit :
-  t -> spec:string -> digest:string -> cached:bool -> state:state -> job
+  ?trace:string ->
+  ?submitted:float ->
+  t ->
+  spec:string ->
+  digest:string ->
+  cached:bool ->
+  state:state ->
+  job
 
 (** Replace the job with the same id and persist. *)
 val update : t -> job -> unit

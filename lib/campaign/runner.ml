@@ -11,7 +11,14 @@
    Wire protocol (one JSON object per line, worker -> parent):
      {"t":"ev","ev":{...}}   a Ferrum_telemetry.Events event
      {"t":"s","d":{...}}     a Shard.sample_out
+     {"t":"tr","l":"..."}    a serialized ferrum.trace.v1 span row
+     {"t":"tw","l":"..."}    a serialized ferrum.trace.v1 wall row
      {"t":"done"}            clean end of stream
+
+   Trace rows are emitted in one batch after the shard's last sample
+   (a worker that dies or garbles mid-shard contributes none), so the
+   stitched campaign trace — like the canonical event log — contains
+   only successful attempts and stays byte-reproducible per seed.
 
    A shard's successful raw stream is also persisted verbatim to
    [part_dir]/shard-<i>.jsonl (write-then-rename), so an interrupted
@@ -36,6 +43,7 @@ module F = Ferrum_faultsim.Faultsim
 module Events = Ferrum_telemetry.Events
 module Json = Ferrum_telemetry.Json
 module Stats = Ferrum_telemetry.Stats
+module Trace = Ferrum_telemetry.Trace
 
 type mode = Inject | Traced
 
@@ -47,6 +55,8 @@ type result = {
   events : Events.t list;  (** canonical merged log, seq 0.. *)
   retried : int;  (** worker deaths recovered by retry *)
   stats_lines : string list;  (** ferrum.stats.v1 rows, canonical order *)
+  trace_spans : string list;  (** ferrum.trace.v1 span rows, deterministic *)
+  trace_walls : string list;  (** wall sidecar rows (non-deterministic) *)
 }
 
 let tally_of_counts (c : F.counts) : Events.tally =
@@ -65,6 +75,8 @@ let tally_of_counts (c : F.counts) : Events.tally =
 type wire =
   | W_event of Events.t
   | W_sample of Shard.sample_out
+  | W_trace of string  (** raw ferrum.trace.v1 span row *)
+  | W_twall of string  (** raw ferrum.trace.v1 wall row *)
   | W_done
 
 let parse_wire line : (wire, string) Stdlib.result =
@@ -80,6 +92,14 @@ let parse_wire line : (wire, string) Stdlib.result =
       match Json.member "d" j with
       | Some d -> Result.map (fun s -> W_sample s) (Shard.sample_out_of_json d)
       | None -> Error "sample line lacks payload")
+    | Some (Json.Str "tr") -> (
+      match Json.member "l" j with
+      | Some (Json.Str l) -> Ok (W_trace l)
+      | _ -> Error "trace line lacks payload")
+    | Some (Json.Str "tw") -> (
+      match Json.member "l" j with
+      | Some (Json.Str l) -> Ok (W_twall l)
+      | _ -> Error "trace wall line lacks payload")
     | Some (Json.Str "done") -> Ok W_done
     | _ -> Error "worker line lacks a known tag")
 
@@ -96,7 +116,7 @@ let parse_wire line : (wire, string) Stdlib.result =
    samples — so Progress events carry budget-denominated progress and a
    live Wilson half-width that already includes prior rounds. *)
 let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
-    ~die_after ~garble_after ~assign ~base_spent ~budget ~prior target
+    ~die_after ~garble_after ~assign ~base_spent ~budget ~prior ~tctx target
     (range : Shard.range) wfd =
   let oc = Unix.out_channel_of_descr wfd in
   let emit_line j =
@@ -111,52 +131,80 @@ let worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard ~attempt
            ("ev", Events.to_json { Events.seq = 0; shard; attempt; body });
          ])
   in
+  (* The worker's span recorder continues the parent's trace context
+     inherited through the fork: its root span id was minted by the
+     parent from the global shard id, so ids are collision-free across
+     the pool without coordination.  Rows ship back over the pipe in
+     one batch before the done marker — a dead attempt contributes
+     nothing, keeping the stitched trace deterministic under retries. *)
+  let tr = Trace.scoped tctx ~proc:(Fmt.str "worker-%d" shard) in
+  F.reset_phases target;
   let total = Shard.range_samples range in
   let every = max 1 (total / max 1 heartbeats) in
   (try
-     emit_event (Events.Shard_started { lo = range.Shard.lo; hi = range.hi });
-     let done_ = ref 0 and tally = ref Events.zero_tally and clock = ref 0 in
-     Shard.run_range ~fault_bits ?assign ~traced ~seed target range
-       ~on_sample:(fun out ->
-         (match die_after with
-         | Some k when !done_ >= k ->
-           flush oc;
-           Unix._exit 66
-         | _ -> ());
-         (match garble_after with
-         | Some k when !done_ = k ->
-           output_string oc "{\"t\":\"bogus\"}\n"
-         | _ -> ());
-         emit_line
-           (Json.Obj
-              [ ("t", Json.Str "s"); ("d", Shard.sample_out_to_json out) ]);
-         incr done_;
-         clock := !clock + out.Shard.o_steps;
-         (match
-            Events.tally_of_name !tally
-              (F.classification_name out.Shard.o_class)
-          with
-         | Some t -> tally := t
-         | None -> ());
-         if !done_ mod every = 0 && !done_ < total then begin
-           let seen =
-             Stats.merge prior { Stats.n = !done_; k = !tally.Events.sdc }
-           in
-           emit_event
-             (Events.Progress
-                {
-                  done_ = !done_;
-                  total;
-                  tally = !tally;
-                  clock = !clock;
-                  spent = base_spent + !done_;
-                  budget;
-                  hw = Stats.half_width (Stats.wilson seen);
-                })
-         end);
-     emit_event
-       (Events.Shard_finished
-          { done_ = !done_; total; tally = !tally; clock = !clock });
+     Trace.span tr "shard" (fun () ->
+         emit_event
+           (Events.Shard_started { lo = range.Shard.lo; hi = range.hi });
+         let done_ = ref 0 and tally = ref Events.zero_tally and clock = ref 0 in
+         Shard.run_range ~fault_bits ?assign ~traced ~seed target range
+           ~on_sample:(fun out ->
+             (match die_after with
+             | Some k when !done_ >= k ->
+               flush oc;
+               Unix._exit 66
+             | _ -> ());
+             (match garble_after with
+             | Some k when !done_ = k ->
+               output_string oc "{\"t\":\"bogus\"}\n"
+             | _ -> ());
+             emit_line
+               (Json.Obj
+                  [ ("t", Json.Str "s"); ("d", Shard.sample_out_to_json out) ]);
+             incr done_;
+             clock := !clock + out.Shard.o_steps;
+             Trace.advance tr out.Shard.o_steps;
+             (match
+                Events.tally_of_name !tally
+                  (F.classification_name out.Shard.o_class)
+              with
+             | Some t -> tally := t
+             | None -> ());
+             if !done_ mod every = 0 && !done_ < total then begin
+               let seen =
+                 Stats.merge prior { Stats.n = !done_; k = !tally.Events.sdc }
+               in
+               emit_event
+                 (Events.Progress
+                    {
+                      done_ = !done_;
+                      total;
+                      tally = !tally;
+                      clock = !clock;
+                      spent = base_spent + !done_;
+                      budget;
+                      hw = Stats.half_width (Stats.wilson seen);
+                    })
+             end);
+         (* Engine-phase breakdown of this shard's work, as one span of
+            deterministic counters (golden walk, checkpoint restores,
+            prefix replay, post-flip suffixes). *)
+         Trace.span tr "engine" (fun () ->
+             let ph = F.phases target in
+             Trace.counter tr "walks" ph.F.ph_walks;
+             Trace.counter tr "walk_steps" ph.F.ph_walk_steps;
+             Trace.counter tr "restores" ph.F.ph_restores;
+             Trace.counter tr "prefix_steps" ph.F.ph_prefix_steps;
+             Trace.counter tr "suffix_steps" ph.F.ph_suffix_steps);
+         Trace.counter tr "samples" !done_;
+         emit_event
+           (Events.Shard_finished
+              { done_ = !done_; total; tally = !tally; clock = !clock }));
+     List.iter
+       (fun l -> emit_line (Json.Obj [ ("t", Json.Str "tr"); ("l", Json.Str l) ]))
+       (Trace.span_lines tr);
+     List.iter
+       (fun l -> emit_line (Json.Obj [ ("t", Json.Str "tw"); ("l", Json.Str l) ]))
+       (Trace.wall_lines tr);
      emit_line (Json.Obj [ ("t", Json.Str "done") ]);
      flush oc;
      Unix._exit 0
@@ -174,6 +222,8 @@ type shard_data = {
   d_events : Events.t list;  (** stream order *)
   d_samples : Shard.sample_out list;  (** stream order *)
   d_lines : string list;  (** raw protocol lines, stream order *)
+  d_tr : string list;  (** raw span rows, stream order *)
+  d_tw : string list;  (** raw wall rows, stream order *)
 }
 
 type running = {
@@ -186,6 +236,8 @@ type running = {
   mutable r_events : Events.t list;  (** reversed *)
   mutable r_samples : Shard.sample_out list;  (** reversed *)
   mutable r_lines : string list;  (** reversed *)
+  mutable r_tr : string list;  (** reversed *)
+  mutable r_tw : string list;  (** reversed *)
   mutable r_done : bool;
   mutable r_fail : string option;
       (** protocol violation on this attempt's stream; treated like
@@ -201,7 +253,7 @@ let load_part (range : Shard.range) path : shard_data option =
   if not (Sys.file_exists path) then None
   else begin
     let lines = Ferrum_telemetry.Metrics.read_lines path in
-    let rec go events samples expected = function
+    let rec go events samples tr tw expected = function
       | [] -> None (* no done marker *)
       | [ last ] -> (
         match parse_wire last with
@@ -211,18 +263,22 @@ let load_part (range : Shard.range) path : shard_data option =
               d_events = List.rev events;
               d_samples = List.rev samples;
               d_lines = lines;
+              d_tr = List.rev tr;
+              d_tw = List.rev tw;
             }
         | _ -> None)
       | line :: rest -> (
         match parse_wire line with
-        | Ok (W_event e) -> go (e :: events) samples expected rest
+        | Ok (W_event e) -> go (e :: events) samples tr tw expected rest
         | Ok (W_sample s) ->
           if s.Shard.o_sample = expected then
-            go events (s :: samples) (expected + 1) rest
+            go events (s :: samples) tr tw (expected + 1) rest
           else None
+        | Ok (W_trace l) -> go events samples (l :: tr) tw expected rest
+        | Ok (W_twall l) -> go events samples tr (l :: tw) expected rest
         | Ok W_done | Error _ -> None)
     in
-    go [] [] range.Shard.lo lines
+    go [] [] [] [] range.Shard.lo lines
   end
 
 let save_part dir shard (d : shard_data) =
@@ -258,7 +314,7 @@ let rec select_read fds =
    ids r*K + s.  Returns the per-shard successful streams, the
    per-shard retry markers (chronological) and the retry count. *)
 let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
-    ~sabotage ~garble ~seed ~assign ~base_spent ~budget ~prior target
+    ~sabotage ~garble ~seed ~assign ~base_spent ~budget ~prior ~tracer target
     (ids : int array) (ranges : Shard.range array) :
     shard_data array * Events.t list array * int =
   let k = Array.length ranges in
@@ -279,6 +335,11 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
   let retried = ref 0 in
   let running : running list ref = ref [] in
   let spawn i attempt =
+    (* Span context for the child, keyed on the global shard id alone:
+       a retried attempt re-mints the identical context, so the
+       eventual successful attempt's span ids do not depend on how
+       many attempts preceded it. *)
+    let tctx = Trace.ctx_for tracer ~seg:(Fmt.str "s%d" ids.(i)) in
     let rfd, wfd = Unix.pipe () in
     flush stdout;
     flush stderr;
@@ -300,7 +361,7 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
       in
       worker_main ~fault_bits ~traced ~seed ~heartbeats ~shard:ids.(i)
         ~attempt ~die_after ~garble_after ~assign ~base_spent ~budget ~prior
-        target ranges.(i) wfd
+        ~tctx target ranges.(i) wfd
     | pid ->
       Unix.close wfd;
       running :=
@@ -314,6 +375,8 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
           r_events = [];
           r_samples = [];
           r_lines = [];
+          r_tr = [];
+          r_tw = [];
           r_done = false;
           r_fail = None;
         }
@@ -342,6 +405,14 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
             consume (nl + 1)
           | Ok (W_sample s) ->
             r.r_samples <- s :: r.r_samples;
+            r.r_lines <- line :: r.r_lines;
+            consume (nl + 1)
+          | Ok (W_trace l) ->
+            r.r_tr <- l :: r.r_tr;
+            r.r_lines <- line :: r.r_lines;
+            consume (nl + 1)
+          | Ok (W_twall l) ->
+            r.r_tw <- l :: r.r_tw;
             r.r_lines <- line :: r.r_lines;
             consume (nl + 1)
           | Ok W_done ->
@@ -379,6 +450,8 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
           d_events = List.rev r.r_events;
           d_samples = List.rev r.r_samples;
           d_lines = List.rev r.r_lines;
+          d_tr = List.rev r.r_tr;
+          d_tw = List.rev r.r_tw;
         }
       in
       completed.(r.r_index) <- Some d;
@@ -448,6 +521,20 @@ let run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
       (function Some d -> d | None -> assert false (* loop invariant *))
       completed
   in
+  (* Stitch worker rows into the parent recorder in shard-id order —
+     completion order is racy, absorption order is not — and advance
+     the parent's logical clock past the wave's work so later spans
+     start after every child span they follow. *)
+  Array.iter
+    (fun (d : shard_data) ->
+      Trace.absorb tracer ~span_lines:d.d_tr ~wall_lines:d.d_tw)
+    datas;
+  Trace.advance tracer
+    (Array.fold_left
+       (fun acc d ->
+         List.fold_left (fun a (o : Shard.sample_out) -> a + o.Shard.o_steps)
+           acc d.d_samples)
+       0 datas);
   (datas, Array.map List.rev retry_markers, !retried)
 
 (* ------------------------------------------------------------------ *)
@@ -521,47 +608,87 @@ let wave_body (datas : shard_data array) (markers : Events.t list array) =
 (* Campaign drivers.                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* The campaign tracer: continue a caller-provided context (daemon job
+   span), or root a fresh trace whose id is either caller-chosen or
+   derived from the campaign parameters — so a campaign traces
+   unconditionally and trace.jsonl is a total artifact like the event
+   log. *)
+let make_tracer ?trace_ctx ?trace_id ~seed ~samples ~shards () =
+  match trace_ctx with
+  | Some ctx -> Trace.scoped ctx ~proc:"runner"
+  | None ->
+    let trace =
+      match trace_id with
+      | Some t -> t
+      | None ->
+        Trace.derive_id ~seed (Fmt.str "campaign:%d:%d" samples shards)
+    in
+    Trace.create ~trace ~proc:"runner" ()
+
 let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
-    ?part_dir ?sabotage ?garble ~mode ~shards ~seed ~samples
-    (target : F.target) : result =
+    ?part_dir ?sabotage ?garble ?trace_ctx ?trace_id ~mode ~shards ~seed
+    ~samples (target : F.target) : result =
   let traced = mode = Traced in
   let ranges = Shard.plan ~shards ~samples in
   let k = Array.length ranges in
   if k = 0 then invalid_arg "Runner.run: samples must be positive";
   let workers = match workers with Some w -> max 1 w | None -> min k 4 in
   let fire = match on_event with Some f -> f | None -> ignore in
+  let tracer = make_tracer ?trace_ctx ?trace_id ~seed ~samples ~shards () in
   let start = started ~shards:k ~samples in
   fire start;
-  let datas, markers, retried =
-    run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire ~part_dir
-      ~sabotage ~garble ~seed ~assign:None ~base_spent:0 ~budget:samples
-      ~prior:Stats.zero target
-      (Array.init k (fun i -> i))
-      ranges
+  let counts, record_lines, vulnmap, clock, events, retried, stats_lines =
+    Trace.span tracer "campaign" (fun () ->
+        let datas, markers, retried =
+          Trace.span tracer "wave" (fun () ->
+              run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers ~fire
+                ~part_dir ~sabotage ~garble ~seed ~assign:None ~base_spent:0
+                ~budget:samples ~prior:Stats.zero ~tracer target
+                (Array.init k (fun i -> i))
+                ranges)
+        in
+        let all_samples =
+          List.concat_map (fun d -> d.d_samples) (Array.to_list datas)
+        in
+        let record_lines, clock, counts, vulnmap =
+          Trace.span tracer "merge" (fun () ->
+              merge_samples ~mode target all_samples)
+        in
+        let stats_lines =
+          Trace.span tracer "stats" (fun () ->
+              stats_of_samples ~budget:samples ~round_ends:[] all_samples)
+        in
+        Trace.counter tracer "samples" samples;
+        Trace.counter tracer "shards" k;
+        let finished =
+          {
+            Events.seq = 0;
+            shard = -1;
+            attempt = 0;
+            body =
+              Events.Campaign_finished
+                { total = samples; tally = tally_of_counts counts; clock };
+          }
+        in
+        fire finished;
+        ( counts,
+          record_lines,
+          vulnmap,
+          clock,
+          canonical_log ~start ~finished (wave_body datas markers),
+          retried,
+          stats_lines ))
   in
-  let all_samples =
-    List.concat_map (fun d -> d.d_samples) (Array.to_list datas)
-  in
-  let record_lines, clock, counts, vulnmap = merge_samples ~mode target all_samples in
-  let finished =
-    {
-      Events.seq = 0;
-      shard = -1;
-      attempt = 0;
-      body =
-        Events.Campaign_finished
-          { total = samples; tally = tally_of_counts counts; clock };
-    }
-  in
-  fire finished;
   {
     counts;
     record_lines;
     vulnmap;
     clock;
-    events = canonical_log ~start ~finished (wave_body datas markers);
+    events;
     retried;
-    stats_lines = stats_of_samples ~budget:samples ~round_ends:[] all_samples;
+    stats_lines;
+    trace_spans = Trace.span_lines tracer;
+    trace_walls = Trace.wall_lines tracer;
   }
 
 (* Adaptive campaign: split the budget into rounds, run each round as
@@ -574,101 +701,133 @@ let run ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers ?on_event
    part_dir, compatible manifest) recomputes the same allocations from
    its part files. *)
 let run_adaptive ?(fault_bits = 1) ?(heartbeats = 8) ?(retries = 2) ?workers
-    ?on_event ?part_dir ?(policy = F.default_policy) ~mode ~shards ~seed
-    ~budget (target : F.target) : result =
+    ?on_event ?part_dir ?(policy = F.default_policy) ?trace_ctx ?trace_id
+    ~mode ~shards ~seed ~budget (target : F.target) : result =
   let traced = mode = Traced in
   if budget <= 0 then invalid_arg "Runner.run_adaptive: budget must be positive";
   let round_ranges = F.plan_rounds ~rounds:policy.F.rounds ~budget in
   let nr = Array.length round_ranges in
   let fire = match on_event with Some f -> f | None -> ignore in
+  let tracer =
+    make_tracer ?trace_ctx ?trace_id ~seed ~samples:budget ~shards ()
+  in
   let start = started ~shards ~samples:budget in
   fire start;
-  let site_tallies : (int, Stats.tally) Hashtbl.t = Hashtbl.create 64 in
-  let tally site =
-    Option.value ~default:Stats.zero (Hashtbl.find_opt site_tallies site)
+  let counts, record_lines, vulnmap, clock, events, retried, stats_lines =
+    Trace.span tracer "campaign" (fun () ->
+        let site_tallies : (int, Stats.tally) Hashtbl.t = Hashtbl.create 64 in
+        let tally site =
+          Option.value ~default:Stats.zero (Hashtbl.find_opt site_tallies site)
+        in
+        let candidates = F.site_candidates target in
+        let prior = ref Stats.zero in
+        let rev_datas = ref [] in
+        let rev_body = ref [] in
+        let round_ends = ref [] in
+        let retried = ref 0 in
+        let round = ref 0 in
+        let stop = ref false in
+        while !round < nr && not !stop do
+          Trace.span tracer "round" (fun () ->
+              let lo, hi = round_ranges.(!round) in
+              let n = hi - lo in
+              let assign =
+                if !round = 0 then None
+                else
+                  Trace.span tracer "allocate" (fun () ->
+                      let alloc = F.allocate target ~tally ~n in
+                      Some (fun sample -> alloc.(sample - lo)))
+              in
+              let ranges =
+                Array.map
+                  (fun (r : Shard.range) ->
+                    { Shard.lo = r.Shard.lo + lo; hi = r.Shard.hi + lo })
+                  (Shard.plan ~shards ~samples:n)
+              in
+              let k = Array.length ranges in
+              let ids = Array.init k (fun s -> (!round * shards) + s) in
+              let wv = match workers with Some w -> max 1 w | None -> min k 4 in
+              let datas, markers, r =
+                run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers:wv
+                  ~fire ~part_dir ~sabotage:None ~garble:None ~seed ~assign
+                  ~base_spent:lo ~budget ~prior:!prior ~tracer target ids
+                  ranges
+              in
+              Array.iter
+                (fun (d : shard_data) ->
+                  List.iter
+                    (fun (o : Shard.sample_out) ->
+                      if o.Shard.o_static >= 0 then
+                        Hashtbl.replace site_tallies o.o_static
+                          (Stats.add (tally o.o_static) (o.o_class = F.Sdc));
+                      prior := Stats.add !prior (o.Shard.o_class = F.Sdc))
+                    d.d_samples)
+                datas;
+              Trace.counter tracer "round" !round;
+              Trace.counter tracer "samples" n;
+              rev_datas := datas :: !rev_datas;
+              rev_body := wave_body datas markers :: !rev_body;
+              round_ends := hi :: !round_ends;
+              retried := !retried + r;
+              incr round;
+              if policy.F.target_ci > 0.0 && !round < nr then begin
+                let worst =
+                  Array.fold_left
+                    (fun acc site ->
+                      Float.max acc
+                        (Stats.half_width (Stats.wilson (tally site))))
+                    0.0 candidates
+                in
+                if worst <= policy.F.target_ci then stop := true
+              end)
+        done;
+        let all_samples =
+          List.concat_map
+            (fun datas ->
+              List.concat_map (fun d -> d.d_samples) (Array.to_list datas))
+            (List.rev !rev_datas)
+        in
+        let record_lines, clock, counts, vulnmap =
+          Trace.span tracer "merge" (fun () ->
+              merge_samples ~mode target all_samples)
+        in
+        let stats_lines =
+          Trace.span tracer "stats" (fun () ->
+              stats_of_samples ~budget ~round_ends:!round_ends all_samples)
+        in
+        Trace.counter tracer "samples" counts.F.samples;
+        Trace.counter tracer "rounds" !round;
+        let finished =
+          {
+            Events.seq = 0;
+            shard = -1;
+            attempt = 0;
+            body =
+              Events.Campaign_finished
+                {
+                  total = counts.F.samples;
+                  tally = tally_of_counts counts;
+                  clock;
+                };
+          }
+        in
+        fire finished;
+        ( counts,
+          record_lines,
+          vulnmap,
+          clock,
+          canonical_log ~start ~finished (List.concat (List.rev !rev_body)),
+          !retried,
+          stats_lines ))
   in
-  let candidates = F.site_candidates target in
-  let prior = ref Stats.zero in
-  let rev_datas = ref [] in
-  let rev_body = ref [] in
-  let round_ends = ref [] in
-  let retried = ref 0 in
-  let round = ref 0 in
-  let stop = ref false in
-  while !round < nr && not !stop do
-    let lo, hi = round_ranges.(!round) in
-    let n = hi - lo in
-    let assign =
-      if !round = 0 then None
-      else begin
-        let alloc = F.allocate target ~tally ~n in
-        Some (fun sample -> alloc.(sample - lo))
-      end
-    in
-    let ranges =
-      Array.map
-        (fun (r : Shard.range) ->
-          { Shard.lo = r.Shard.lo + lo; hi = r.Shard.hi + lo })
-        (Shard.plan ~shards ~samples:n)
-    in
-    let k = Array.length ranges in
-    let ids = Array.init k (fun s -> (!round * shards) + s) in
-    let wv = match workers with Some w -> max 1 w | None -> min k 4 in
-    let datas, markers, r =
-      run_wave ~fault_bits ~traced ~heartbeats ~retries ~workers:wv ~fire
-        ~part_dir ~sabotage:None ~garble:None ~seed ~assign ~base_spent:lo
-        ~budget ~prior:!prior target ids ranges
-    in
-    Array.iter
-      (fun (d : shard_data) ->
-        List.iter
-          (fun (o : Shard.sample_out) ->
-            if o.Shard.o_static >= 0 then
-              Hashtbl.replace site_tallies o.o_static
-                (Stats.add (tally o.o_static) (o.o_class = F.Sdc));
-            prior := Stats.add !prior (o.Shard.o_class = F.Sdc))
-          d.d_samples)
-      datas;
-    rev_datas := datas :: !rev_datas;
-    rev_body := wave_body datas markers :: !rev_body;
-    round_ends := hi :: !round_ends;
-    retried := !retried + r;
-    incr round;
-    if policy.F.target_ci > 0.0 && !round < nr then begin
-      let worst =
-        Array.fold_left
-          (fun acc site ->
-            Float.max acc (Stats.half_width (Stats.wilson (tally site))))
-          0.0 candidates
-      in
-      if worst <= policy.F.target_ci then stop := true
-    end
-  done;
-  let all_samples =
-    List.concat_map
-      (fun datas -> List.concat_map (fun d -> d.d_samples) (Array.to_list datas))
-      (List.rev !rev_datas)
-  in
-  let record_lines, clock, counts, vulnmap = merge_samples ~mode target all_samples in
-  let finished =
-    {
-      Events.seq = 0;
-      shard = -1;
-      attempt = 0;
-      body =
-        Events.Campaign_finished
-          { total = counts.F.samples; tally = tally_of_counts counts; clock };
-    }
-  in
-  fire finished;
   {
     counts;
     record_lines;
     vulnmap;
     clock;
-    events =
-      canonical_log ~start ~finished (List.concat (List.rev !rev_body));
-    retried = !retried;
-    stats_lines =
-      stats_of_samples ~budget ~round_ends:!round_ends all_samples;
+    events;
+    retried;
+    stats_lines;
+    trace_spans = Trace.span_lines tracer;
+    trace_walls = Trace.wall_lines tracer;
   }

@@ -8,6 +8,7 @@
 
 module F = Ferrum_faultsim.Faultsim
 module Events = Ferrum_telemetry.Events
+module Trace = Ferrum_telemetry.Trace
 
 type mode =
   | Inject  (** plain campaign: outcome counts + record stream *)
@@ -34,6 +35,15 @@ type result = {
           sample stream in global order: trace rows (CI half-width vs.
           samples spent), per-site rows, round rows (adaptive runs
           only) and the final campaign row *)
+  trace_spans : string list;
+      (** [ferrum.trace.v1] span rows of the stitched campaign trace:
+          the runner's own spans (campaign / wave / round / allocate /
+          merge / stats) followed by each worker's spans in shard-id
+          order — logical clocks only, byte-identical per seed for any
+          shard count *)
+  trace_walls : string list;
+      (** wall-clock / CPU / peak-RSS sidecar rows for the same spans;
+          non-deterministic, never byte-compared *)
 }
 
 (** Run a campaign split into [shards] ranges on at most [workers]
@@ -56,7 +66,15 @@ type result = {
     Malformed worker output is treated like worker death: the worker
     is killed and the shard retried.  Raises [Failure] if a shard
     exhausts its retries — outstanding workers are killed and reaped
-    before the exception propagates. *)
+    before the exception propagates.
+
+    Every campaign is traced: [trace_ctx] continues a caller's span
+    context (e.g. the serve daemon's job span) so the campaign spans
+    stitch under it; otherwise a fresh trace is rooted whose id is
+    [trace_id] when given and {!Trace.derive_id} of the campaign
+    parameters when not.  Worker span contexts are keyed on the global
+    shard id alone, so retries do not perturb span ids and the span
+    rows in [trace_spans] are byte-identical per seed. *)
 val run :
   ?fault_bits:int ->
   ?heartbeats:int ->
@@ -66,6 +84,8 @@ val run :
   ?part_dir:string ->
   ?sabotage:(shard:int -> attempt:int -> int option) ->
   ?garble:(shard:int -> attempt:int -> int option) ->
+  ?trace_ctx:Trace.ctx ->
+  ?trace_id:string ->
   mode:mode ->
   shards:int ->
   seed:int64 ->
@@ -90,7 +110,10 @@ val run :
     byte-identical for any shard count and resumable via [part_dir]
     like a flat campaign.  Progress events carry budget-denominated
     [spent]/[budget] and a live Wilson half-width, so ETA displays do
-    not overshoot when rounds stop early. *)
+    not overshoot when rounds stop early.
+
+    Tracing works as in {!run}, with one "round" span per round (each
+    holding its "allocate" phase and its workers' spans). *)
 val run_adaptive :
   ?fault_bits:int ->
   ?heartbeats:int ->
@@ -99,6 +122,8 @@ val run_adaptive :
   ?on_event:(Events.t -> unit) ->
   ?part_dir:string ->
   ?policy:F.policy ->
+  ?trace_ctx:Trace.ctx ->
+  ?trace_id:string ->
   mode:mode ->
   shards:int ->
   seed:int64 ->

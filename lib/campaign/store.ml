@@ -6,6 +6,10 @@
      injection.jsonl    ferrum.injection.v2 (header + per-sample records)
      vulnmap.jsonl      ferrum.vulnmap.v1 (traced runs only)
      events.jsonl       ferrum.events.v1 (canonical merged event log)
+     stats.jsonl        ferrum.stats.v1 (convergence document)
+     trace.jsonl        ferrum.trace.v1 (stitched spans, logical clocks)
+     trace-wall.jsonl   ferrum.trace.v1 wall sidecar (not in schemas:
+                        wall/CPU/RSS data is non-deterministic)
      parts/             per-shard raw streams (resume state)
 
    The header builders here are the single source of the campaign
@@ -57,10 +61,18 @@ let stats_header ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
     (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
        ~fault_bits)
 
+let trace_header ~benchmark ~technique ~samples ~seed ~all_sites ~fault_bits
+    =
+  Ferrum_telemetry.Trace.header
+    (config_fields ~benchmark ~technique ~samples ~seed ~all_sites
+       ~fault_bits)
+
 let injection_file = "injection.jsonl"
 let vulnmap_file = "vulnmap.jsonl"
 let events_file = "events.jsonl"
 let stats_file = "stats.jsonl"
+let trace_file = "trace.jsonl"
+let trace_wall_file = "trace-wall.jsonl"
 let parts_dir dir = Filename.concat dir "parts"
 
 let jsonl header lines =
@@ -75,8 +87,13 @@ let jsonl header lines =
   Buffer.contents buf
 
 (* Write a finished run.  All files are written atomically so a
-   directory either has a coherent set or is still resumable. *)
-let write_run ~dir ~(manifest : Manifest.t) ~(result : Runner.result) =
+   directory either has a coherent set or is still resumable.
+
+   [extra_trace] prepends caller span rows (e.g. the serve daemon's
+   job/queue-wait spans) to the campaign's own, so the stored trace is
+   the whole stitched story; the wall sidecar is appended likewise. *)
+let write_run ?(extra_trace = ([], [])) ~dir ~(manifest : Manifest.t)
+    ~(result : Runner.result) () =
   Fsutil.mkdir_p dir;
   let m = manifest in
   let technique = m.Manifest.technique in
@@ -105,6 +122,15 @@ let write_run ~dir ~(manifest : Manifest.t) ~(result : Runner.result) =
   Fsutil.write_file
     (Filename.concat dir stats_file)
     (jsonl (header_of stats_header) result.Runner.stats_lines);
+  let extra_spans, extra_walls = extra_trace in
+  Fsutil.write_file
+    (Filename.concat dir trace_file)
+    (jsonl (header_of trace_header)
+       (extra_spans @ result.Runner.trace_spans));
+  Fsutil.write_file
+    (Filename.concat dir trace_wall_file)
+    (jsonl (header_of trace_header)
+       (extra_walls @ result.Runner.trace_walls));
   Manifest.save ~dir m
 
 (* ------------------------------------------------------------------ *)

@@ -1,11 +1,14 @@
 (** Campaign run directories and canonical metrics headers.
 
     A finished run directory holds [manifest.json], [injection.jsonl],
-    [events.jsonl], [stats.jsonl], optionally [vulnmap.jsonl], and a
-    [parts/] directory of per-shard resume state.  The header builders here are
-    the single source of campaign metrics headers — sequential CLI
-    paths and the sharded runner share them, which is what makes
-    sharded output byte-comparable to sequential output. *)
+    [events.jsonl], [stats.jsonl], [trace.jsonl] (stitched
+    [ferrum.trace.v1] spans, logical clocks only), [trace-wall.jsonl]
+    (its non-deterministic wall/CPU/RSS sidecar), optionally
+    [vulnmap.jsonl], and a [parts/] directory of per-shard resume
+    state.  The header builders here are the single source of campaign
+    metrics headers — sequential CLI paths and the sharded runner
+    share them, which is what makes sharded output byte-comparable to
+    sequential output. *)
 
 module Json = Ferrum_telemetry.Json
 
@@ -26,12 +29,25 @@ val stats_header :
   benchmark:string -> technique:string -> samples:int -> seed:int64 ->
   all_sites:bool -> fault_bits:int -> Json.t
 
+(** [ferrum.trace.v1] header with the shared campaign config fields
+    (used for both the span document and the wall sidecar). *)
+val trace_header :
+  benchmark:string -> technique:string -> samples:int -> seed:int64 ->
+  all_sites:bool -> fault_bits:int -> Json.t
+
 val injection_file : string
 val vulnmap_file : string
 val events_file : string
 
 val stats_file : string
 (** ["stats.jsonl"] — [ferrum.stats.v1] convergence document *)
+
+val trace_file : string
+(** ["trace.jsonl"] — stitched [ferrum.trace.v1] span document *)
+
+val trace_wall_file : string
+(** ["trace-wall.jsonl"] — wall/CPU/RSS sidecar (non-deterministic,
+    excluded from the manifest's schema map and byte comparisons) *)
 
 (** [parts_dir dir] is the per-shard resume-state directory of run
     directory [dir]. *)
@@ -40,8 +56,17 @@ val parts_dir : string -> string
 (** One JSONL document: header line then record lines. *)
 val jsonl : Json.t -> string list -> string
 
-(** Write a finished run's files (atomically, write-then-rename). *)
-val write_run : dir:string -> manifest:Manifest.t -> result:Runner.result -> unit
+(** Write a finished run's files (atomically, write-then-rename).
+    [extra_trace] is [(span_rows, wall_rows)] from an enclosing tracer
+    (e.g. the serve daemon's job spans), prepended to the campaign's
+    own rows so the stored trace is the whole stitched story. *)
+val write_run :
+  ?extra_trace:string list * string list ->
+  dir:string ->
+  manifest:Manifest.t ->
+  result:Runner.result ->
+  unit ->
+  unit
 
 (** {1 Content-addressed run store ([ferrum.run.v1])}
 

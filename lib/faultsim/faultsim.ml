@@ -125,6 +125,30 @@ let eligibility (img : Machine.image) scope =
       prov_ok && img.Machine.dests.(i) <> [])
     img.Machine.code
 
+(* Cumulative engine-phase tallies for one process: how many golden
+   walks (snapshot-cache builds) ran and how many machine steps went
+   into each phase of the fast engines — checkpoint restores, replayed
+   prefixes, post-flip suffixes.  Deterministic for a given seed and
+   sample set, so campaign trace spans can carry them as counters
+   without breaking byte-reproducibility.  Reset per worker process
+   ({!reset_phases}) so a shard's tally covers exactly its own work. *)
+type phases = {
+  mutable ph_walks : int; (* snapshot-cache builds (golden walks) *)
+  mutable ph_walk_steps : int;
+  mutable ph_restores : int; (* checkpoint/initial-state restores *)
+  mutable ph_prefix_steps : int; (* unobserved replay up to the flip *)
+  mutable ph_suffix_steps : int; (* flip + post-flip execution *)
+}
+
+let zero_phases () =
+  {
+    ph_walks = 0;
+    ph_walk_steps = 0;
+    ph_restores = 0;
+    ph_prefix_steps = 0;
+    ph_suffix_steps = 0;
+  }
+
 (* A profiled program ready for injection.  The checkpoint cache and the
    pooled slots are built lazily on first use and never cross process
    boundaries usefully by reference — a forked campaign worker that
@@ -144,7 +168,18 @@ type target = {
   mutable slot_ : Snapshot.slot option; (* pooled injected-run state *)
   mutable golden_slot_ : Snapshot.slot option; (* pooled lockstep golden *)
   mutable occ_ : int array array option; (* lazy per-site occurrences *)
+  phases : phases; (* per-process engine-phase tallies *)
 }
+
+let phases (t : target) = t.phases
+
+let reset_phases (t : target) =
+  let p = t.phases in
+  p.ph_walks <- 0;
+  p.ph_walk_steps <- 0;
+  p.ph_restores <- 0;
+  p.ph_prefix_steps <- 0;
+  p.ph_suffix_steps <- 0
 
 exception Golden_failure of string
 
@@ -178,6 +213,7 @@ let prepare ?(scope = Original_only) ?(engine = default_engine)
       slot_ = None;
       golden_slot_ = None;
       occ_ = None;
+      phases = zero_phases ();
     }
   | o ->
     raise
@@ -225,6 +261,8 @@ let cache (t : target) =
       | Scratch | Pooled -> None
     in
     let c = Snapshot.build ?interval ~counted:(fun i -> t.eligible.(i)) t.img in
+    t.phases.ph_walks <- t.phases.ph_walks + 1;
+    t.phases.ph_walk_steps <- t.phases.ph_walk_steps + t.golden_steps;
     t.cache_ <- Some c;
     c
 
@@ -340,9 +378,11 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
   let st = Machine.fresh_state t.img in
   let seen = ref 0 in
   let fault = ref None in
+  let flip_steps = ref (-1) in
   let on_step mstate idx =
     if t.eligible.(idx) then begin
       if !seen = dyn_index then begin
+        flip_steps := mstate.Machine.steps;
         fault := Some (apply_flip ~fault_bits t rng mstate ~dyn_index idx);
         match on_inject with Some f -> f mstate | None -> ()
       end;
@@ -351,6 +391,12 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
     match observe with Some f -> f mstate idx | None -> ()
   in
   let outcome = Machine.run ~fuel:t.fuel ~on_step t.img st in
+  (* Phase accounting for the scratch engine: everything up to the flip
+     is prefix, the rest suffix (an unreached site is all prefix). *)
+  let pre = if !flip_steps >= 0 then !flip_steps else st.Machine.steps in
+  t.phases.ph_prefix_steps <- t.phases.ph_prefix_steps + pre;
+  t.phases.ph_suffix_steps <-
+    t.phases.ph_suffix_steps + (st.Machine.steps - pre);
   let cls = classify t outcome in
   let fault =
     match !fault with Some f -> f | None -> unreached_fault dyn_index
@@ -394,24 +440,40 @@ let inject_fast ~fault_bits (t : target) rng ~dyn_index :
   let sl = slot t in
   let seen = ref (Snapshot.restore sl ~dyn_index) in
   let st = Snapshot.state sl in
+  t.phases.ph_restores <- t.phases.ph_restores + 1;
+  let s0 = st.Machine.steps in
+  let prefix_done () =
+    t.phases.ph_prefix_steps <- t.phases.ph_prefix_steps + (st.Machine.steps - s0)
+  in
   match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
-  | Some o -> (classify t o, unreached_fault dyn_index, st)
+  | Some o ->
+    prefix_done ();
+    (classify t o, unreached_fault dyn_index, st)
   | None -> (
+    prefix_done ();
+    let s1 = st.Machine.steps in
+    let suffix_done () =
+      t.phases.ph_suffix_steps <-
+        t.phases.ph_suffix_steps + (st.Machine.steps - s1)
+    in
     let idx = st.Machine.ip in
     match Machine.step t.img st with
     | _retired ->
       let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
       let outcome = Machine.run ~fuel:t.fuel t.img st in
+      suffix_done ();
       (classify t outcome, fault, st)
     | exception Machine.Halt o ->
       (* Unreachable in practice — halting instructions define no
          destinations, so they are never eligible — but mirror
          {!Machine.run}, whose observer fires on the halting step. *)
       let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
+      suffix_done ();
       (classify t o, fault, st)
     | exception Machine.Trap m ->
       (* A trapped step is never observed by {!Machine.run}: no flip,
          no RNG draws, the fault stays unreached. *)
+      suffix_done ();
       (classify t (Machine.Crash m), unreached_fault dyn_index, st))
 
 let inject ?fault_bits (t : target) rng ~dyn_index : classification * fault =
@@ -719,15 +781,28 @@ let trace_fast ~fault_bits (t : target) rng ~dyn_index :
   let isl = slot t in
   let seen = ref (Snapshot.restore isl ~dyn_index) in
   let st = Snapshot.state isl in
+  t.phases.ph_restores <- t.phases.ph_restores + 1;
+  let s0 = st.Machine.steps in
+  let prefix_done () =
+    t.phases.ph_prefix_steps <- t.phases.ph_prefix_steps + (st.Machine.steps - s0)
+  in
   match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
   | Some o ->
     (* Site unreached: the traced run never diverged, so the summary is
        that of a tracer that observed nothing. *)
+    prefix_done ();
     let tracer = Propagation.create t.img in
     (classify t o, unreached_fault dyn_index, Propagation.finish tracer st)
   | None -> (
+    prefix_done ();
+    let s1 = st.Machine.steps in
+    let suffix_done () =
+      t.phases.ph_suffix_steps <-
+        t.phases.ph_suffix_steps + (st.Machine.steps - s1)
+    in
     let gsl = golden_slot t in
     ignore (Snapshot.restore gsl ~dyn_index : int);
+    t.phases.ph_restores <- t.phases.ph_restores + 1;
     Snapshot.sync ~src:isl gsl;
     let tracer = Propagation.create ~golden:(Snapshot.state gsl) t.img in
     let idx = st.Machine.ip in
@@ -740,6 +815,7 @@ let trace_fast ~fault_bits (t : target) rng ~dyn_index :
         Machine.run ~fuel:t.fuel ~on_step:(Propagation.observe tracer) t.img
           st
       in
+      suffix_done ();
       (classify t outcome, fault, Propagation.finish tracer st)
     | exception Machine.Halt o ->
       (* Unreachable (halting instructions are never eligible); mirrors
@@ -747,8 +823,10 @@ let trace_fast ~fault_bits (t : target) rng ~dyn_index :
       let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
       Propagation.note_injection tracer st;
       Propagation.observe tracer st idx;
+      suffix_done ();
       (classify t o, fault, Propagation.finish tracer st)
     | exception Machine.Trap m ->
+      suffix_done ();
       (classify t (Machine.Crash m), unreached_fault dyn_index,
        Propagation.finish tracer st))
 

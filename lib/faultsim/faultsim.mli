@@ -83,6 +83,20 @@ val pp_counts : Format.formatter -> counts -> unit
 (** Per static instruction: is it a sampling-eligible site? *)
 val eligibility : Machine.image -> scope -> bool array
 
+(** Cumulative per-process engine-phase tallies: golden walks
+    (snapshot-cache builds) and the machine steps spent restoring
+    checkpoints, replaying unobserved prefixes and running post-flip
+    suffixes.  Deterministic for a given seed and sample set, so trace
+    spans carry them as counters without breaking
+    byte-reproducibility. *)
+type phases = {
+  mutable ph_walks : int;  (** snapshot-cache builds (golden walks) *)
+  mutable ph_walk_steps : int;
+  mutable ph_restores : int;  (** checkpoint/initial-state restores *)
+  mutable ph_prefix_steps : int;  (** unobserved replay up to the flip *)
+  mutable ph_suffix_steps : int;  (** flip + post-flip execution *)
+}
+
 (** A profiled program ready for injection.  The trailing mutable
     fields lazily cache the checkpoint set and the pooled run states;
     they are built on first sample in each process (so each forked
@@ -103,7 +117,15 @@ type target = {
   mutable slot_ : Ferrum_machine.Snapshot.slot option;
   mutable golden_slot_ : Ferrum_machine.Snapshot.slot option;
   mutable occ_ : int array array option;
+  phases : phases;
 }
+
+(** This process's engine-phase tallies for [target]. *)
+val phases : target -> phases
+
+(** Zero the tallies (each campaign worker resets at startup so its
+    shard's counters cover exactly its own work). *)
+val reset_phases : target -> unit
 
 exception Golden_failure of string
 

@@ -15,6 +15,7 @@
 module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Stats = Ferrum_telemetry.Stats
+module Trace = Ferrum_telemetry.Trace
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
 
@@ -258,6 +259,8 @@ let style =
   .legend .chip { display: inline-block; width: 10px; height: 10px;
     border-radius: 3px; margin-right: 4px; vertical-align: baseline; }
   .rowlabel { fill: var(--ink-2); font-size: 12px; }
+  .spanlabel { fill: #ffffff; font-size: 11px; pointer-events: none; }
+  h3 { font-size: 13px; color: var(--ink-2); margin: 10px 0 4px; }
   .val { fill: var(--ink-1); font-size: 11px; }
   .axis-label { fill: var(--ink-3); font-size: 11px; }
   svg { display: block; max-width: 100%; }
@@ -733,6 +736,210 @@ let overhead_panel runs =
     (legend (List.map (fun p -> (p, prov_var p)) prov_order))
     table
 
+(* Panel 5: campaign trace — one packed icicle (flamegraph layout) per
+   run from trace.jsonl.  Worker logical clocks are process-local, so
+   spans are packed by relative weight (a span's logical duration, or
+   the sum of its children's weights when larger) rather than placed
+   on an absolute time axis; the wall sidecar, when present, only
+   feeds the hover titles and the hot-span table. *)
+
+let trace_row_h = 20
+let trace_bar_h = 16
+
+(* Per-process colors: categorical, first-seen order, cycled. *)
+let trace_palette =
+  [| "#4477aa"; "#ee6677"; "#228833"; "#ccbb44"; "#66ccee"; "#aa3377" |]
+
+let load_trace_doc dir file parse =
+  let path = Filename.concat dir file in
+  if not (Sys.file_exists path) then []
+  else
+    match Metrics.read_lines path with
+    | _header :: records -> (
+      match Trace.rows_of_lines records with
+      | Ok rows -> parse rows
+      | Error _ -> [])
+    | [] -> []
+
+let trace_panel runs =
+  let data =
+    List.map
+      (fun r ->
+        ( r,
+          load_trace_doc r.r_dir Store.trace_file Trace.spans_of_rows,
+          load_trace_doc r.r_dir Store.trace_wall_file Trace.walls_of_rows ))
+      runs
+  in
+  if List.for_all (fun (_, spans, _) -> spans = []) data then ""
+  else begin
+    let buf = Buffer.create 8192 in
+    let hot = ref [] in
+    List.iter
+      (fun (r, spans, walls) ->
+        if spans <> [] then begin
+          let wall_of =
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun (w : Trace.wall) -> Hashtbl.replace tbl w.Trace.wl_span w)
+              walls;
+            Hashtbl.find_opt tbl
+          in
+          List.iter
+            (fun (w : Trace.wall) ->
+              hot := (label r, w) :: !hot)
+            walls;
+          let procs = ref [] in
+          let proc_color p =
+            (match List.assoc_opt p !procs with
+            | Some c -> c
+            | None ->
+              let c =
+                trace_palette.(List.length !procs
+                               mod Array.length trace_palette)
+              in
+              procs := !procs @ [ (p, c) ];
+              c)
+          in
+          let children = Hashtbl.create 64 in
+          let ids = Hashtbl.create 64 in
+          List.iter
+            (fun (s : Trace.span) -> Hashtbl.replace ids s.Trace.sp_id s)
+            spans;
+          List.iter
+            (fun (s : Trace.span) ->
+              if Hashtbl.mem ids s.Trace.sp_parent then
+                Hashtbl.replace children s.Trace.sp_parent
+                  (s
+                  :: Option.value ~default:[]
+                       (Hashtbl.find_opt children s.Trace.sp_parent)))
+            spans;
+          let kids id =
+            List.sort
+              (fun (a : Trace.span) b ->
+                compare
+                  (a.Trace.sp_l_start, a.Trace.sp_id)
+                  (b.Trace.sp_l_start, b.Trace.sp_id))
+              (Option.value ~default:[] (Hashtbl.find_opt children id))
+          in
+          let rec weight (s : Trace.span) =
+            let own = s.Trace.sp_l_end - s.Trace.sp_l_start in
+            let below =
+              List.fold_left (fun a c -> a +. weight c) 0.0 (kids s.sp_id)
+            in
+            Float.max 1.0 (Float.max (float_of_int own) below)
+          in
+          let roots =
+            List.filter
+              (fun (s : Trace.span) ->
+                s.Trace.sp_parent = ""
+                || not (Hashtbl.mem ids s.Trace.sp_parent))
+              spans
+          in
+          let depth = ref 1 in
+          let rec measure d (s : Trace.span) =
+            if d + 1 > !depth then depth := d + 1;
+            List.iter (measure (d + 1)) (kids s.Trace.sp_id)
+          in
+          List.iter (measure 0) roots;
+          let h = !depth * trace_row_h in
+          Buffer.add_string buf
+            (Fmt.str
+               "<h3>%s</h3><svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"Trace icicle for %s\">"
+               (esc (label r)) chart_w h (esc (label r)));
+          let rec emit d x w (s : Trace.span) =
+            if w >= 1.5 then begin
+              let title =
+                let counters =
+                  match s.Trace.sp_counters with
+                  | [] -> ""
+                  | cs ->
+                    " ["
+                    ^ String.concat ", "
+                        (List.map (fun (k, v) -> Fmt.str "%s=%d" k v) cs)
+                    ^ "]"
+                in
+                let wall =
+                  match wall_of s.Trace.sp_id with
+                  | Some wl ->
+                    Fmt.str " wall %.1f ms, cpu %.1f ms"
+                      ((wl.Trace.wl_end -. wl.Trace.wl_start) *. 1e3)
+                      ((wl.Trace.wl_cpu_user +. wl.Trace.wl_cpu_sys) *. 1e3)
+                  | None -> ""
+                in
+                Fmt.str "%s (%s): %d steps%s%s" s.Trace.sp_name
+                  s.Trace.sp_proc
+                  (s.Trace.sp_l_end - s.Trace.sp_l_start)
+                  wall counters
+              in
+              Buffer.add_string buf
+                (Fmt.str
+                   "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" rx=\"2\" fill=\"%s\"><title>%s</title></rect>"
+                   x
+                   (d * trace_row_h)
+                   (Float.max 1.0 (w -. 1.0))
+                   trace_bar_h
+                   (proc_color s.Trace.sp_proc)
+                   (esc title));
+              if w >= 40.0 then
+                Buffer.add_string buf
+                  (Fmt.str
+                     "<text class=\"spanlabel\" x=\"%.1f\" y=\"%d\">%s</text>"
+                     (x +. 3.0)
+                     ((d * trace_row_h) + trace_bar_h - 4)
+                     (esc s.Trace.sp_name));
+              let total = weight s in
+              let cx = ref x in
+              List.iter
+                (fun c ->
+                  let cw = w *. weight c /. total in
+                  emit (d + 1) !cx cw c;
+                  cx := !cx +. cw)
+                (kids s.Trace.sp_id)
+            end
+          in
+          let rtotal =
+            List.fold_left (fun a s -> a +. weight s) 0.0 roots
+          in
+          let x = ref 0.0 in
+          List.iter
+            (fun s ->
+              let w = float_of_int chart_w *. weight s /. rtotal in
+              emit 0 !x w s;
+              x := !x +. w)
+            roots;
+          Buffer.add_string buf "</svg>";
+          Buffer.add_string buf
+            (legend (List.map (fun (p, c) -> (p, c)) !procs))
+        end)
+      data;
+    let table =
+      let rows =
+        List.sort
+          (fun (_, (a : Trace.wall)) (_, b) ->
+            compare
+              (b.Trace.wl_end -. b.Trace.wl_start)
+              (a.Trace.wl_end -. a.Trace.wl_start))
+          !hot
+        |> List.filteri (fun i _ -> i < 10)
+        |> List.map (fun (lbl, (w : Trace.wall)) ->
+               Fmt.str
+                 "<tr><td>%s</td><td>%s</td><td>%s</td><td>%.1f</td><td>%.1f</td><td>%d</td></tr>"
+                 (esc lbl) (esc w.Trace.wl_name) (esc w.Trace.wl_proc)
+                 ((w.Trace.wl_end -. w.Trace.wl_start) *. 1e3)
+                 ((w.Trace.wl_cpu_user +. w.Trace.wl_cpu_sys) *. 1e3)
+                 w.Trace.wl_maxrss_kb)
+      in
+      if rows = [] then ""
+      else
+        Fmt.str
+          "<details><summary>Hottest spans by wall time</summary><table><tr><th>run</th><th>span</th><th>proc</th><th>wall ms</th><th>cpu ms</th><th>maxrss kB</th></tr>%s</table></details>"
+          (String.concat "" rows)
+    in
+    Fmt.str
+      "<section class=\"panel\"><h2>Campaign trace</h2><p class=\"sub\">Packed span icicle per run (width &#8733; logical steps; hover for wall/CPU from the sidecar; colors by process).</p>%s%s</section>"
+      (Buffer.contents buf) table
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Document.                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -762,6 +969,7 @@ let render (runs : run list) : string =
       latency_panel runs;
       vulnmap_panel runs;
       overhead_panel runs;
+      trace_panel runs;
       "</body></html>";
     ]
 

@@ -80,6 +80,12 @@ val latency_panel : run list -> string
 val vulnmap_panel : run list -> string
 val overhead_panel : run list -> string
 
+(** Packed span icicle (flamegraph layout) per run from each run
+    directory's [trace.jsonl], with wall/CPU hover detail and a
+    hottest-spans table from the [trace-wall.jsonl] sidecar; [""] when
+    no run has a trace. *)
+val trace_panel : run list -> string
+
 (** Render the dashboard document. *)
 val render : run list -> string
 

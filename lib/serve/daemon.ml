@@ -36,6 +36,7 @@ module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Events = Ferrum_telemetry.Events
 module Sse = Ferrum_telemetry.Sse
+module Trace = Ferrum_telemetry.Trace
 module Runner = Ferrum_campaign.Runner
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
@@ -78,58 +79,96 @@ let peek_job qdir id : Queue.job option =
 (* Runner child: execute one job end to end.                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The job's tracer: continue the client's traceparent context when
+   the submission carried one (the whole CLI-to-worker story then
+   stitches into the client's trace), else root a fresh trace derived
+   from the spec — deterministic per submitted workload. *)
+let job_tracer (job : Queue.job) (spec : Spec.t) =
+  match Trace.of_traceparent job.Queue.trace with
+  | Some (trace, parent) ->
+    Trace.scoped
+      (Trace.ctx_make ~trace ~parent ~seg:(Fmt.str "j%d" job.Queue.id))
+      ~proc:"daemon"
+  | None ->
+    Trace.create
+      ~trace:
+        (Trace.derive_id ~seed:spec.Spec.seed
+           (Fmt.str "job:%s" (Digest.to_hex (Digest.string job.Queue.spec))))
+      ~proc:"daemon" ()
+
 (* Run the job's campaign and publish the result.  Runs in a forked
    child; everything it tells the parent goes through the outcome
    file.  The live event log is renumbered in arrival order as it is
    appended — one flushed line per event — so a concurrent tailer
-   always sees a prefix of a replay-consistent stream. *)
+   always sees a prefix of a replay-consistent stream.
+
+   The stored trace covers the daemon's side too: a "job" span wraps
+   "queue-wait" (wall interval backdated to submission time),
+   "resolve" (workload build + golden run) and the campaign, whose
+   runner continues the job span's context — so /runs/:digest/trace
+   serves one stitched trace from client submission to worker engine
+   phases. *)
 let run_job cfg ~jobdir (job : Queue.job) : (string, string) result =
   let ( let* ) = Result.bind in
   let* spec = Spec.of_string job.Queue.spec in
-  let* r = Spec.resolve spec in
-  let manifest = r.Spec.manifest in
-  Fsutil.mkdir_p jobdir;
-  (* Part files left by an earlier attempt are only replayed when they
-     were written under a compatible manifest (same workload, seed,
-     shard map ...) — the same gate the CLI campaign applies. *)
-  (match Manifest.load ~dir:jobdir with
-  | Ok recorded when Manifest.compatible recorded manifest -> ()
-  | Ok _ | Error _ -> Fsutil.rm_rf (Store.parts_dir jobdir));
-  Manifest.save ~dir:jobdir manifest;
-  let all_sites = spec.Spec.scope = "all-sites" in
-  let oc = open_out (Filename.concat jobdir live_events_file) in
-  output_string oc
-    (Json.to_string
-       (Store.events_header ~benchmark:spec.Spec.benchmark
-          ~technique:spec.Spec.technique ~samples:spec.Spec.samples
-          ~seed:spec.Spec.seed ~all_sites ~fault_bits:spec.Spec.fault_bits
-          ~shards:spec.Spec.shards));
-  output_char oc '\n';
-  flush oc;
-  let seq = ref 0 in
-  let on_event (e : Events.t) =
-    output_string oc (Json.to_string (Events.to_json { e with seq = !seq }));
-    output_char oc '\n';
-    flush oc;
-    incr seq
+  let tracer = job_tracer job spec in
+  let* manifest, result =
+    Trace.span tracer "job" (fun () ->
+        if job.Queue.submitted > 0.0 then
+          Trace.span ~w_start:job.Queue.submitted tracer "queue-wait"
+            (fun () -> ());
+        let* r = Trace.span tracer "resolve" (fun () -> Spec.resolve spec) in
+        let manifest = r.Spec.manifest in
+        Fsutil.mkdir_p jobdir;
+        (* Part files left by an earlier attempt are only replayed when
+           they were written under a compatible manifest (same
+           workload, seed, shard map ...) — the same gate the CLI
+           campaign applies. *)
+        (match Manifest.load ~dir:jobdir with
+        | Ok recorded when Manifest.compatible recorded manifest -> ()
+        | Ok _ | Error _ -> Fsutil.rm_rf (Store.parts_dir jobdir));
+        Manifest.save ~dir:jobdir manifest;
+        let all_sites = spec.Spec.scope = "all-sites" in
+        let oc = open_out (Filename.concat jobdir live_events_file) in
+        output_string oc
+          (Json.to_string
+             (Store.events_header ~benchmark:spec.Spec.benchmark
+                ~technique:spec.Spec.technique ~samples:spec.Spec.samples
+                ~seed:spec.Spec.seed ~all_sites
+                ~fault_bits:spec.Spec.fault_bits ~shards:spec.Spec.shards));
+        output_char oc '\n';
+        flush oc;
+        let seq = ref 0 in
+        let on_event (e : Events.t) =
+          output_string oc
+            (Json.to_string (Events.to_json { e with seq = !seq }));
+          output_char oc '\n';
+          flush oc;
+          incr seq
+        in
+        let mode = if spec.Spec.traced then Runner.Traced else Runner.Inject in
+        let* result =
+          match
+            Runner.run ~fault_bits:spec.Spec.fault_bits
+              ~part_dir:(Store.parts_dir jobdir) ~on_event ~mode
+              ~trace_ctx:(Trace.ctx_for tracer ~seg:"c")
+              ~shards:spec.Spec.shards ~seed:spec.Spec.seed
+              ~samples:spec.Spec.samples r.Spec.target
+          with
+          | result -> Ok result
+          | exception Failure msg -> Error msg
+        in
+        close_out oc;
+        Ok (manifest, result))
   in
-  let mode = if spec.Spec.traced then Runner.Traced else Runner.Inject in
-  let* result =
-    match
-      Runner.run ~fault_bits:spec.Spec.fault_bits
-        ~part_dir:(Store.parts_dir jobdir) ~on_event ~mode
-        ~shards:spec.Spec.shards ~seed:spec.Spec.seed
-        ~samples:spec.Spec.samples r.Spec.target
-    with
-    | result -> Ok result
-    | exception Failure msg -> Error msg
-  in
-  close_out oc;
   (* Assemble the complete store entry in a spool directory, then
-     publish it whole — the store only ever receives coherent runs. *)
+     publish it whole — the store only ever receives coherent runs.
+     The daemon's own (now closed) spans prepend the campaign's. *)
   let spool = Filename.concat jobdir "spool" in
   Fsutil.rm_rf spool;
-  Store.write_run ~dir:spool ~manifest ~result;
+  Store.write_run
+    ~extra_trace:(Trace.span_lines tracer, Trace.wall_lines tracer)
+    ~dir:spool ~manifest ~result ();
   Fsutil.write_file
     (Filename.concat spool Store.run_file)
     (Store.jsonl (Store.run_header [])
@@ -235,17 +274,42 @@ let stream_events cfg job_id ~last fd =
 (* Daemon.                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Latency histogram with fixed log-spaced bounds; cheap enough to
+   update on every request, rendered only by /metricz?format=text. *)
+let hist_bounds = [| 0.001; 0.01; 0.1; 1.0; 10.0 |]
+
+type hist = {
+  buckets : int array;  (** per-bound counts + overflow, non-cumulative *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+let hist_make () =
+  { buckets = Array.make (Array.length hist_bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0.0 }
+
+let hist_observe h v =
+  let i = ref 0 in
+  while !i < Array.length hist_bounds && v > hist_bounds.(!i) do incr i done;
+  h.buckets.(!i) <- h.buckets.(!i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
 type daemon = {
   cfg : config;
   q : Queue.t;
   listen_fd : Unix.file_descr;
-  mutable runner : (int * int) option;  (** (job id, child pid) *)
+  mutable runner : (int * int * float) option;
+      (** (job id, child pid, start wall time) *)
   mutable sse_children : int list;
   (* /metricz counters *)
   mutable http_requests : int;
   mutable jobs_submitted : int;
   mutable cache_hits : int;
   mutable sse_streams : int;
+  http_seconds : hist;  (** request handling latency *)
+  job_seconds : hist;  (** runner-child lifetime per finished job *)
 }
 
 let log fmt = Fmt.epr ("[serve] " ^^ fmt ^^ "@.")
@@ -266,24 +330,34 @@ let serve_file fd ?(content_type = ndjson) path =
    runs the golden run — the submission cost), digest its manifest and
    check the store: a hit is answered [done] immediately without
    running anything; a miss is queued. *)
-let submit_job d body fd =
-  match Result.bind (Spec.of_string body) Spec.resolve with
+let submit_job d (req : Http.request) fd =
+  match Result.bind (Spec.of_string req.Http.body) Spec.resolve with
   | Error e -> Http.respond_error fd 400 e
   | Ok r ->
     let digest = Manifest.digest r.Spec.manifest in
     let spec = Spec.to_string r.Spec.spec in
+    (* The client's span context, carried on the job record so the
+       runner child can stitch its spans under the caller's trace. *)
+    let trace =
+      match Http.header_value "traceparent" req.Http.headers with
+      | Some tp when Trace.of_traceparent tp <> None -> tp
+      | Some _ | None -> ""
+    in
+    let submitted = Unix.gettimeofday () in
     d.jobs_submitted <- d.jobs_submitted + 1;
     (match Store.lookup ~root:(store_root d.cfg.root) digest with
     | Store.Hit _ ->
       d.cache_hits <- d.cache_hits + 1;
       let job =
-        Queue.submit d.q ~spec ~digest ~cached:true ~state:Queue.Done
+        Queue.submit d.q ~trace ~submitted ~spec ~digest ~cached:true
+          ~state:Queue.Done
       in
       log "job %d cached (%s)" job.Queue.id digest;
       Http.respond fd ~status:200 ~content_type:ndjson (job_doc job)
     | Store.Corrupt _ | Store.Miss ->
       let job =
-        Queue.submit d.q ~spec ~digest ~cached:false ~state:Queue.Pending
+        Queue.submit d.q ~trace ~submitted ~spec ~digest ~cached:false
+          ~state:Queue.Pending
       in
       log "job %d queued (%s)" job.Queue.id digest;
       Http.respond fd ~status:202 ~content_type:ndjson (job_doc job))
@@ -317,6 +391,57 @@ let metricz d fd =
   Http.respond fd ~content_type:ndjson
     (Store.jsonl header (List.map record jobs))
 
+(* GET /metricz?format=text: the same counters plus latency histograms
+   in the text exposition format scrapers ingest.  The query-less form
+   above stays the schema-validated jobs.v1 document. *)
+let metricz_text d fd =
+  let b = Buffer.create 1024 in
+  let metric kind name help v =
+    Buffer.add_string b
+      (Fmt.str "# HELP %s %s\n# TYPE %s %s\n%s %d\n" name help name kind name
+         v)
+  in
+  metric "counter" "ferrum_http_requests_total" "HTTP connections accepted"
+    d.http_requests;
+  metric "counter" "ferrum_jobs_submitted_total" "campaign jobs submitted"
+    d.jobs_submitted;
+  metric "counter" "ferrum_cache_hits_total"
+    "submissions served from the run store" d.cache_hits;
+  metric "counter" "ferrum_sse_streams_total" "SSE event streams opened"
+    d.sse_streams;
+  List.iter
+    (fun st ->
+      let n =
+        List.length
+          (List.filter (fun j -> j.Queue.state = st) (Queue.jobs d.q))
+      in
+      Buffer.add_string b
+        (Fmt.str "ferrum_jobs{state=\"%s\"} %d\n" (Queue.state_name st) n))
+    [ Queue.Pending; Queue.Running; Queue.Done; Queue.Failed ];
+  let histogram name help (h : hist) =
+    Buffer.add_string b
+      (Fmt.str "# HELP %s %s\n# TYPE %s histogram\n" name help name);
+    let cum = ref 0 in
+    Array.iteri
+      (fun i n ->
+        cum := !cum + n;
+        let le =
+          if i < Array.length hist_bounds then Fmt.str "%g" hist_bounds.(i)
+          else "+Inf"
+        in
+        Buffer.add_string b
+          (Fmt.str "%s_bucket{le=\"%s\"} %d\n" name le !cum))
+      h.buckets;
+    Buffer.add_string b
+      (Fmt.str "%s_sum %g\n%s_count %d\n" name h.h_sum name h.h_count)
+  in
+  histogram "ferrum_http_request_seconds" "request handling latency"
+    d.http_seconds;
+  histogram "ferrum_job_seconds" "runner-child lifetime per finished job"
+    d.job_seconds;
+  Http.respond fd ~content_type:"text/plain; version=0.0.4"
+    (Buffer.contents b)
+
 let run_artifact d digest artifact fd =
   match Store.lookup ~root:(store_root d.cfg.root) digest with
   | Store.Miss -> Http.respond_error fd 404 (Fmt.str "no run %s" digest)
@@ -330,6 +455,8 @@ let run_artifact d digest artifact fd =
     | "vulnmap" -> file Store.vulnmap_file
     | "events" -> file Store.events_file
     | "stats" -> file Store.stats_file
+    | "trace" -> file Store.trace_file
+    | "trace-wall" -> file Store.trace_wall_file
     | "run" -> file Store.run_file
     | "manifest" -> file ~content_type:"application/json" Manifest.file
     | "dashboard" -> file ~content_type:"text/html" Store.dashboard_file
@@ -343,11 +470,15 @@ let history_page d fd =
 (* Route one parsed request.  SSE is the only handler that outlives the
    request: it forks, and the child exits when the stream ends. *)
 let route d (req : Http.request) fd =
-  let path =
+  let path, query =
     match String.index_opt req.Http.path '?' with
-    | Some q -> String.sub req.Http.path 0 q
-    | None -> req.Http.path
+    | Some q ->
+      ( String.sub req.Http.path 0 q,
+        String.sub req.Http.path (q + 1)
+          (String.length req.Http.path - q - 1) )
+    | None -> (req.Http.path, "")
   in
+  let query_has kv = List.mem kv (String.split_on_char '&' query) in
   let parts =
     List.filter (fun s -> s <> "") (String.split_on_char '/' path)
   in
@@ -355,7 +486,7 @@ let route d (req : Http.request) fd =
   | "GET", [] | "GET", [ "history" ] -> history_page d fd
   | "GET", [ "healthz" ] ->
     Http.respond fd ~content_type:"text/plain" "ok\n"
-  | "POST", [ "jobs" ] -> submit_job d req.Http.body fd
+  | "POST", [ "jobs" ] -> submit_job d req fd
   | "GET", [ "jobs" ] ->
     serve_file fd (Filename.concat (queue_dir d.cfg.root) Queue.file)
   | "GET", [ "jobs"; id ] -> (
@@ -387,7 +518,8 @@ let route d (req : Http.request) fd =
       ignore (Store.rebuild_index ~root:(store_root d.cfg.root));
     serve_file fd index
   | "GET", [ "runs"; digest; artifact ] -> run_artifact d digest artifact fd
-  | "GET", [ "metricz" ] -> metricz d fd
+  | "GET", [ "metricz" ] ->
+    if query_has "format=text" then metricz_text d fd else metricz d fd
   | meth, _ ->
     if meth = "GET" || meth = "POST" then
       Http.respond_error fd 404 (Fmt.str "no route %s %s" meth path)
@@ -395,6 +527,7 @@ let route d (req : Http.request) fd =
 
 let handle_connection d fd =
   d.http_requests <- d.http_requests + 1;
+  let t0 = Unix.gettimeofday () in
   (* a wedged client must not hold the daemon: bound the header read *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
    with Unix.Unix_error _ -> ());
@@ -409,6 +542,7 @@ let handle_connection d fd =
        with Unix.Unix_error _ -> ()))
   | Error e -> (
     try Http.respond_error fd 400 e with Unix.Unix_error _ -> ()));
+  hist_observe d.http_seconds (Unix.gettimeofday () -. t0);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Start the pending job's runner child. *)
@@ -429,7 +563,7 @@ let start_runner d (job : Queue.job) =
     Stdlib.exit (match outcome with Ok _ -> 0 | Error _ -> 1)
   | pid ->
     log "job %d running (pid %d)" job.Queue.id pid;
-    d.runner <- Some (job.Queue.id, pid)
+    d.runner <- Some (job.Queue.id, pid, Unix.gettimeofday ())
 
 (* Reap a finished runner child and record its outcome. *)
 let finish_runner d job_id =
@@ -457,8 +591,9 @@ let reaped pid =
 let rec loop d =
   d.sse_children <- List.filter (fun pid -> not (reaped pid)) d.sse_children;
   (match d.runner with
-  | Some (job_id, pid) when reaped pid ->
+  | Some (job_id, pid, t0) when reaped pid ->
     d.runner <- None;
+    hist_observe d.job_seconds (Unix.gettimeofday () -. t0);
     finish_runner d job_id
   | _ -> ());
   (match (d.runner, Queue.next_pending d.q) with
@@ -515,4 +650,6 @@ let serve (cfg : config) : unit =
       jobs_submitted = 0;
       cache_hits = 0;
       sse_streams = 0;
+      http_seconds = hist_make ();
+      job_seconds = hist_make ();
     }

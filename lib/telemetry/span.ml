@@ -32,10 +32,12 @@ type recorder = {
   mutable stack : open_span list; (* innermost first *)
   mutable closed : span list; (* newest first *)
   mutable started : int;
+  mutable stray : (string * int) list; (* counters with no open span, newest first *)
+  mutable stray_warned : bool;
 }
 
 let create ?(clock = Unix.gettimeofday) () =
-  { clock; stack = []; closed = []; started = 0 }
+  { clock; stack = []; closed = []; started = 0; stray = []; stray_warned = false }
 
 let enter r name =
   let o =
@@ -76,17 +78,43 @@ let span r name f =
     exit_ r o;
     raise e
 
-(* Attach a counter to the innermost open span.  Counters recorded with
-   no span open are silently dropped — instrumented code must be
-   callable without an active recorder section. *)
+(* Attach a counter to the innermost open span.  Counters recorded
+   with no span open are not lost: they collect on an implicit root
+   span (reported last by {!spans}), and the first such stray warns
+   once per recorder — instrumented code stays callable without an
+   active section, but the data survives and the drift is visible. *)
 let counter r name value =
   match r.stack with
   | o :: _ -> o.o_counters <- (name, value) :: o.o_counters
-  | [] -> ()
+  | [] ->
+    if not r.stray_warned then begin
+      r.stray_warned <- true;
+      Fmt.epr
+        "[span] counter %S recorded with no open span; attaching to an \
+         implicit root@."
+        name
+    end;
+    r.stray <- (name, value) :: r.stray
 
-(* Closed spans in start order.  Open spans are not reported. *)
+(* Closed spans in start order, then the implicit root carrying stray
+   counters (if any).  Open spans are not reported. *)
 let spans r =
-  List.sort (fun a b -> compare a.order b.order) (List.rev r.closed)
+  let closed =
+    List.sort (fun a b -> compare a.order b.order) (List.rev r.closed)
+  in
+  match r.stray with
+  | [] -> closed
+  | stray ->
+    closed
+    @ [
+        {
+          name = "<root>";
+          depth = 0;
+          order = r.started;
+          duration = 0.0;
+          counters = List.rev stray;
+        };
+      ]
 
 let pp_counters ppf = function
   | [] -> ()

@@ -21,11 +21,14 @@ val create : ?clock:(unit -> float) -> unit -> recorder
 (** Run [f] inside a named span; closes the span even if [f] raises. *)
 val span : recorder -> string -> (unit -> 'a) -> 'a
 
-(** Attach a counter to the innermost open span; dropped silently when
-    no span is open. *)
+(** Attach a counter to the innermost open span.  With no span open
+    the counter is kept on an implicit ["<root>"] span (reported last
+    by {!spans}) and the first such stray warns once per recorder on
+    stderr — never silently dropped. *)
 val counter : recorder -> string -> int -> unit
 
-(** Closed spans in start order; open spans are not reported. *)
+(** Closed spans in start order, then the implicit root carrying any
+    stray counters; open spans are not reported. *)
 val spans : recorder -> span list
 
 (** Indented tree; durations only with [~timings:true]. *)

@@ -449,7 +449,7 @@ let test_run_dir_replay_equality () =
       Runner.run ~mode:Runner.Traced ~shards:3 ~seed ~samples
         ~part_dir:(Store.parts_dir dir) target
     in
-    Store.write_run ~dir ~manifest:m ~result
+    Store.write_run ~dir ~manifest:m ~result ()
   in
   let d1 = tmp_dir "run1" and d2 = tmp_dir "run2" in
   write d1;
@@ -463,7 +463,7 @@ let test_run_dir_replay_equality () =
         (Fmt.str "%s identical across runs" file)
         (contents d1 file) (contents d2 file))
     [ Store.injection_file; Store.vulnmap_file; Store.events_file;
-      Manifest.file ];
+      Store.trace_file; Manifest.file ];
   (* the emitted events file validates against its schema *)
   (match
      Metrics.validate_lines ~kind:Events.kind ~record_fields:Events.fields

@@ -12,6 +12,7 @@ module Json = Ferrum_telemetry.Json
 module Metrics = Ferrum_telemetry.Metrics
 module Events = Ferrum_telemetry.Events
 module Sse = Ferrum_telemetry.Sse
+module Trace = Ferrum_telemetry.Trace
 module Runner = Ferrum_campaign.Runner
 module Manifest = Ferrum_campaign.Manifest
 module Store = Ferrum_campaign.Store
@@ -66,7 +67,7 @@ let fixture_run ?(seed = 99L) ?(samples = 30) ?(shards = 3) () =
 
 (* Write a finished run as a complete, publishable store entry. *)
 let spool_run ~dir (manifest, result) =
-  Store.write_run ~dir ~manifest ~result;
+  Store.write_run ~dir ~manifest ~result ();
   Fsutil.write_file
     (Filename.concat dir Store.run_file)
     (Store.jsonl (Store.run_header [])
@@ -112,6 +113,41 @@ let test_sse_chunking () =
         reference got;
       Alcotest.(check int) "last id" 39 (Sse.last_event_id d))
     [ 1; 2; 3; 7 ]
+
+(* Multiple data: lines in one frame join with a newline (the SSE
+   dispatch rule), and the joined payload survives arbitrary chunk
+   boundaries — including cuts inside the continuation lines. *)
+let test_sse_multiline_data () =
+  let stream =
+    "id: 7\ndata: first\ndata: second\ndata: third\n\n"
+    ^ ": keepalive\n\n" ^ "data: solo\n\n"
+  in
+  let expect = [ (Some 7, "first\nsecond\nthird"); (None, "solo") ] in
+  let check_events label got =
+    Alcotest.(check int) (label ^ " count") (List.length expect)
+      (List.length got);
+    List.iter2
+      (fun (id, data) (g : Sse.event) ->
+        Alcotest.(check (option int)) (label ^ " id") id g.Sse.id;
+        Alcotest.(check string) (label ^ " data") data g.Sse.data)
+      expect got
+  in
+  check_events "whole" (Sse.decode_string stream);
+  List.iter
+    (fun size ->
+      let d = Sse.decoder () in
+      let out = ref [] in
+      let n = String.length stream in
+      let rec go off =
+        if off < n then begin
+          let len = min size (n - off) in
+          out := List.rev_append (Sse.feed d (String.sub stream off len)) !out;
+          go (off + len)
+        end
+      in
+      go 0;
+      check_events (Fmt.str "chunk %d" size) (List.rev !out))
+    [ 1; 2; 5 ]
 
 (* CRLF line endings and field-colon variants decode identically. *)
 let test_sse_crlf () =
@@ -646,6 +682,99 @@ let test_daemon_end_to_end () =
           | Ok _ -> ()
           | Error e -> Alcotest.failf "%s invalid: %s" path e)
         [ "/jobs"; "/metricz" ];
+      (* text exposition stays behind ?format=text *)
+      let text = get "/metricz?format=text" in
+      Alcotest.(check int) "metricz text status" 200 text.Http.status;
+      List.iter
+        (fun affix ->
+          Alcotest.(check bool)
+            (Fmt.str "metricz text has %S" affix)
+            true
+            (contains ~affix text.Http.r_body))
+        [ "# TYPE ferrum_http_requests_total counter";
+          "ferrum_jobs{state=\"done\"}";
+          "# TYPE ferrum_job_seconds histogram";
+          "ferrum_job_seconds_bucket{le=\"+Inf\"}"; "ferrum_job_seconds_count" ];
+      (* the stored run carries a stitched trace, and a submission
+         under a client traceparent adopts the caller's trace id with
+         the job span parented under the caller's span *)
+      let client_trace = "00112233445566aa" in
+      let spec3 =
+        "{\"benchmark\":\"Backprop\",\"technique\":\"ferrum\",\
+         \"samples\":6,\"shards\":2,\"traced\":0}"
+      in
+      let id3, digest3 =
+        match
+          Http.request ~host ~port ~meth:"POST" ~path:"/jobs"
+            ~headers:
+              [ ("traceparent",
+                 Trace.to_traceparent ~trace:client_trace ~span:"0") ]
+            ~body:spec3 ()
+        with
+        | Error e -> Alcotest.failf "traced submit: %s" e
+        | Ok r -> (
+          let record =
+            match
+              List.filter_map Json.of_string_opt
+                (Metrics.lines_of_string r.Http.r_body)
+            with
+            | [ _header; record ] -> record
+            | _ -> Alcotest.failf "response is not header + one record"
+          in
+          match (Json.member "id" record, Json.member "digest" record) with
+          | Some (Json.Int id), Some (Json.Str dg) -> (id, dg)
+          | _ -> Alcotest.failf "job record incomplete: %s" r.Http.r_body)
+      in
+      let rec wait_done3 tries =
+        let r = get (Fmt.str "/jobs/%d" id3) in
+        if contains ~affix:"\"state\":\"done\"" r.Http.r_body then ()
+        else if tries = 0 then
+          Alcotest.failf "traced job never settled: %s" r.Http.r_body
+        else begin
+          Unix.sleepf 0.2;
+          wait_done3 (tries - 1)
+        end
+      in
+      wait_done3 100;
+      let trace_doc = get (Fmt.str "/runs/%s/trace" digest3) in
+      Alcotest.(check int) "trace artifact status" 200 trace_doc.Http.status;
+      let trace_lines = Metrics.lines_of_string trace_doc.Http.r_body in
+      (match
+         Metrics.validate_lines ~kind:Trace.kind ~record_fields:Trace.fields
+           trace_lines
+       with
+      | Ok n -> Alcotest.(check bool) "trace has records" true (n > 0)
+      | Error e -> Alcotest.failf "served trace invalid: %s" e);
+      let records3 =
+        match trace_lines with _hdr :: r -> r | [] -> []
+      in
+      (match Trace.validate_stitched records3 with
+      | Error e -> Alcotest.failf "served trace does not stitch: %s" e
+      | Ok root -> (
+        match Trace.rows_of_lines records3 with
+        | Error e -> Alcotest.failf "trace rows: %s" e
+        | Ok rows ->
+          let spans = Trace.spans_of_rows rows in
+          let root_span =
+            List.find (fun s -> s.Trace.sp_id = root) spans
+          in
+          Alcotest.(check string) "job span is the document root" "job"
+            root_span.Trace.sp_name;
+          Alcotest.(check string) "rooted under the client's span" "0"
+            root_span.Trace.sp_parent;
+          List.iter
+            (fun n ->
+              Alcotest.(check bool)
+                (Fmt.str "trace has %s span" n)
+                true
+                (List.exists (fun s -> s.Trace.sp_name = n) spans))
+            [ "job"; "queue-wait"; "resolve"; "campaign"; "shard" ]));
+      (* the client's trace id is adopted verbatim in every row *)
+      Alcotest.(check bool) "client trace id adopted" true
+        (List.for_all (contains ~affix:client_trace) records3);
+      (* the wall sidecar is served too *)
+      Alcotest.(check int) "trace-wall artifact status" 200
+        (get (Fmt.str "/runs/%s/trace-wall" digest3)).Http.status;
       (* history page lists the run *)
       Alcotest.(check bool) "history names the digest" true
         (contains ~affix:(String.sub digest 0 12)
@@ -658,6 +787,8 @@ let () =
         [
           Alcotest.test_case "chunk-boundary independence" `Quick
             test_sse_chunking;
+          Alcotest.test_case "multi-line data joins" `Quick
+            test_sse_multiline_data;
           Alcotest.test_case "crlf and field variants" `Quick test_sse_crlf;
           Alcotest.test_case "Last-Event-ID resume replays" `Quick
             test_sse_resume_replay;

@@ -115,16 +115,24 @@ let test_span_nesting () =
 
 let test_span_exception_and_stray_counter () =
   let r = Span.create ~clock:(fake_clock ()) () in
-  (* counters outside any span are dropped, not an error *)
+  (* counters outside any span survive on an implicit root span *)
   Span.counter r "stray" 1;
+  Span.counter r "stray" 2;
   (match Span.span r "boom" (fun () -> failwith "x") with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "exception must propagate");
   match Span.spans r with
-  | [ s ] ->
+  | [ s; root ] ->
     Alcotest.(check string) "span closed despite raise" "boom" s.Span.name;
-    Alcotest.(check (list (pair string int))) "no counters" [] s.Span.counters
-  | _ -> Alcotest.fail "expected exactly one span"
+    Alcotest.(check (list (pair string int))) "no counters" [] s.Span.counters;
+    Alcotest.(check string) "stray counters on implicit root" "<root>"
+      root.Span.name;
+    Alcotest.(check (list (pair string int)))
+      "strays kept in order"
+      [ ("stray", 1); ("stray", 2) ]
+      root.Span.counters
+  | spans -> Alcotest.failf "expected span + implicit root, got %d"
+               (List.length spans)
 
 let test_span_pp_deterministic () =
   let r = Span.create ~clock:(fake_clock ()) () in
