@@ -417,22 +417,23 @@ let lint_compare ~samples ~seed =
 (* E16: injection-engine throughput (scratch vs pooled vs checkpointed).*)
 (* ------------------------------------------------------------------ *)
 
-(* End-to-end campaign throughput per execution engine, on the
-   FERRUM-protected catalogue.  Counts are cross-checked across engines
-   (they must agree exactly — the engines are bit-identical by
-   construction and by the test battery).  With [smoke] set, only the
-   first workload runs and the function fails loudly unless the
-   checkpointed engine is at least as fast as scratch — the `make perf`
-   regression gate. *)
+(* End-to-end campaign throughput per engine configuration, on the
+   FERRUM-protected catalogue.  The checkpointed engine is timed twice —
+   on the legacy [Machine.step] dispatch loop (the PR 5 baseline) and on
+   the pre-decoded threaded loop — and outcome counts are cross-checked
+   across every configuration (they must agree exactly — the engines and
+   the two dispatchers are bit-identical by construction and by the test
+   battery).  With [smoke] set, only the first workload runs and the
+   function fails loudly unless the predecoded checkpointed engine beats
+   both the legacy checkpointed baseline and the scratch path — the
+   `make perf` / CI perf-smoke regression gate. *)
 let perf_compare ~samples ~seed ~smoke =
-  let engines =
-    [ F.Scratch; F.Pooled; F.default_engine ]
-  in
   let entries =
     if smoke then [ List.hd Ferrum_workloads.Catalog.all ]
     else Ferrum_workloads.Catalog.all
   in
   let failed = ref false in
+  let results = ref [] in
   let rows =
     List.map
       (fun (entry : Ferrum_workloads.Catalog.entry) ->
@@ -442,48 +443,76 @@ let perf_compare ~samples ~seed ~smoke =
             .program
         in
         let img = Ferrum_machine.Machine.load p in
-        let timed engine =
-          let t0 = Unix.gettimeofday () in
-          let res = F.campaign ~seed ~samples ~engine img in
-          let dt = Unix.gettimeofday () -. t0 in
-          (res.F.counts, float_of_int samples /. dt, dt)
+        let timed ?(legacy = false) engine =
+          let pre = Ferrum_machine.Predecode.enabled in
+          let saved = !pre in
+          pre := not legacy;
+          Fun.protect
+            ~finally:(fun () -> pre := saved)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let res = F.campaign ~seed ~samples ~engine img in
+              let dt = Unix.gettimeofday () -. t0 in
+              (res.F.counts, float_of_int samples /. dt))
         in
-        let per = List.map (fun e -> (e, timed e)) engines in
-        let counts = List.map (fun (_, (c, _, _)) -> c) per in
-        let reference = List.hd counts in
-        if not (List.for_all (fun c -> c = reference) counts) then begin
-          Fmt.epr "[perf] %s: engines disagree on outcome counts!@."
-            entry.name;
-          failed := true
-        end;
-        let sps e =
-          let _, (_, s, _) = List.nth per e in
-          s
+        let configs =
+          [ ("scratch", timed F.Scratch);
+            ("pooled", timed F.Pooled);
+            ("legacy", timed ~legacy:true F.default_engine);
+            ("predecoded", timed F.default_engine) ]
         in
-        let scratch = sps 0 and pooled = sps 1 and ckpt = sps 2 in
-        if smoke && ckpt < scratch then begin
+        let reference = fst (snd (List.hd configs)) in
+        List.iter
+          (fun (name, (c, _)) ->
+            if c <> reference then begin
+              Fmt.epr
+                "[perf] %s: %s configuration disagrees on outcome counts!@."
+                entry.name name;
+              failed := true
+            end)
+          configs;
+        let sps name = snd (List.assoc name configs) in
+        let scratch = sps "scratch" and pooled = sps "pooled" in
+        let legacy = sps "legacy" and predecoded = sps "predecoded" in
+        if smoke && predecoded < legacy then begin
           Fmt.epr
-            "[perf] %s: checkpointed engine slower than scratch (%.0f vs \
-             %.0f samples/s)@."
-            entry.name ckpt scratch;
+            "[perf] %s: predecoded dispatch slower than legacy ckpt (%.0f \
+             vs %.0f samples/s)@."
+            entry.name predecoded legacy;
           failed := true
         end;
+        if smoke && predecoded < scratch then begin
+          Fmt.epr
+            "[perf] %s: predecoded ckpt slower than scratch (%.0f vs %.0f \
+             samples/s)@."
+            entry.name predecoded scratch;
+          failed := true
+        end;
+        results :=
+          { Ferrum_report.Export.p_benchmark = entry.name;
+            p_scratch = scratch; p_pooled = pooled; p_legacy = legacy;
+            p_predecoded = predecoded }
+          :: !results;
         [
           entry.name;
           Fmt.str "%.0f" scratch;
           Fmt.str "%.0f" pooled;
-          Fmt.str "%.0f" ckpt;
-          Fmt.str "%.1fx" (ckpt /. scratch);
+          Fmt.str "%.0f" legacy;
+          Fmt.str "%.0f" predecoded;
+          Fmt.str "%.1fx" (predecoded /. legacy);
         ])
       entries
   in
   let table =
     Fmt.str
       "Injection throughput by engine (samples/sec, %d samples, seed %Ld;\n\
-       speedup = checkpointed over scratch)@.%s"
+       legacy = ckpt-4096 on Machine.step dispatch, predecoded = ckpt-4096\n\
+       on the pre-decoded threaded loop; speedup = predecoded over legacy)@.%s"
       samples seed
       (R.Ascii.table
-         ~header:[ "benchmark"; "scratch"; "pooled"; "ckpt-4096"; "speedup" ]
+         ~header:
+           [ "benchmark"; "scratch"; "pooled"; "legacy"; "predecoded";
+             "speedup" ]
          ~rows)
   in
   if !failed then begin
@@ -491,7 +520,7 @@ let perf_compare ~samples ~seed ~smoke =
     Fmt.epr "[perf] FAILED@.";
     exit 1
   end;
-  table
+  (table, List.rev !results)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the toolchain.                         *)
@@ -589,11 +618,19 @@ let () =
   in
   let captured = ref [] in
   let captured_adaptive = ref [] in
+  let captured_perf = ref [] in
   let run_adaptive () =
     let table, results =
       timed "adaptive" (fun () -> adaptive_compare ~samples ~seed)
     in
     captured_adaptive := results;
+    table
+  in
+  let run_perf ~smoke =
+    let table, results =
+      timed "perf" (fun () -> perf_compare ~samples ~seed ~smoke)
+    in
+    captured_perf := results;
     table
   in
   let run ?(perf_only = false) () =
@@ -630,7 +667,9 @@ let () =
   | Default ->
     print_all ~with_outcomes:false ();
     print_newline ();
-    print_endline (run_adaptive ())
+    print_endline (run_adaptive ());
+    print_newline ();
+    print_endline (run_perf ~smoke:false)
   | All ->
     print_all ~with_outcomes:true ();
     print_newline ();
@@ -674,13 +713,12 @@ let () =
   | AdaptiveCmd -> print_endline (run_adaptive ())
   | LintCmd ->
     print_endline (timed "lint" (fun () -> lint_compare ~samples ~seed))
-  | Perf ->
-    print_endline
-      (timed "perf" (fun () -> perf_compare ~samples ~seed ~smoke))
+  | Perf -> print_endline (run_perf ~smoke)
   | Micro -> micro ());
   match metrics with
   | Some path ->
     Ferrum_report.Export.write_metrics_json ~adaptive:!captured_adaptive
-      path ~samples ~seed ~experiments:(List.rev !timings) !captured;
+      ~perf:!captured_perf path ~samples ~seed
+      ~experiments:(List.rev !timings) !captured;
     Fmt.pr "(wrote %s)@." path
   | None -> ()

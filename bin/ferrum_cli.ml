@@ -594,14 +594,14 @@ let trace_cmd =
                 Some
                   (Fmt.str "%s=%Ld"
                      (Ferrum_asm.Reg.gpr_name r Ferrum_asm.Reg.Q)
-                     st.Machine.gpr.(Ferrum_asm.Reg.gpr_index r))
+                     st.Machine.gpr.{Ferrum_asm.Reg.gpr_index r})
               | Ferrum_asm.Instr.Dflags _ ->
                 Some
                   (Fmt.str "zf=%b sf=%b" st.Machine.zf st.Machine.sf)
               | Ferrum_asm.Instr.Dsimd (x, lanes) ->
                 Some
                   (Fmt.str "xmm%d[%d]=%Ld" x (List.hd lanes)
-                     st.Machine.simd.((x * 8) + List.hd lanes)))
+                     st.Machine.simd.{(x * 8) + List.hd lanes}))
             img.Machine.dests.(idx)
         in
         Fmt.pr "%8d  %-40s %s@." !seen
@@ -821,24 +821,26 @@ let profile_cmd =
       (Pipeline.raw ~recorder:raw_recorder ~optimize:knobs.optimize m)
         .Pipeline.program
     in
-    let raw_profile = Profile.run (Machine.load raw) in
+    let raw_img = Machine.load raw in
+    let raw_profile = Profile.run raw_img in
     if json then begin
       (* One canonical JSON object: raw profile plus, per technique, the
          hot-opcode table, provenance overhead split and overhead vs
          raw.  No wall-clock values, so output is byte-stable. *)
       let raw_cycles = raw_profile.Profile.total_cycles in
       let tech_json t =
-        let profile =
-          Profile.run
-            (Machine.load
-               (Pipeline.protect ~ferrum_config:knobs.ferrum_config
-                  ~optimize:knobs.optimize t m)
-                 .Pipeline.program)
+        let img =
+          Machine.load
+            (Pipeline.protect ~ferrum_config:knobs.ferrum_config
+               ~optimize:knobs.optimize t m)
+              .Pipeline.program
         in
+        let profile = Profile.run img in
         Json.Obj
           [
             ("technique", Json.Str (Technique.short_name t));
             ("profile", Profile.to_json profile);
+            ("dispatch", Profile.dispatch_to_json (Profile.dispatch img));
             ("overhead_pct",
              Json.Float
                (if raw_cycles > 0.0 then
@@ -854,13 +856,16 @@ let profile_cmd =
               [
                 ("benchmark", Json.Str e.Catalog.name);
                 ("raw", Profile.to_json raw_profile);
+                ("raw_dispatch",
+                 Profile.dispatch_to_json (Profile.dispatch raw_img));
                 ("techniques", Json.Arr (List.map tech_json techniques));
               ]));
       exit 0
     end;
     Fmt.pr "== %s, raw ==@." e.Catalog.name;
     Fmt.pr "pipeline:@.%a" (Span.pp ~timings) raw_recorder;
-    Fmt.pr "%a@." (Profile.pp ~top) raw_profile;
+    Fmt.pr "%a" (Profile.pp ~top) raw_profile;
+    Fmt.pr "%a@." Profile.pp_dispatch (Profile.dispatch raw_img);
     List.iter
       (fun t ->
         let recorder = Span.create () in
@@ -868,11 +873,13 @@ let profile_cmd =
           Pipeline.protect ~recorder ~ferrum_config:knobs.ferrum_config
             ~optimize:knobs.optimize t m
         in
-        let profile = Profile.run (Machine.load r.Pipeline.program) in
+        let img = Machine.load r.Pipeline.program in
+        let profile = Profile.run img in
         Fmt.pr "== %s, %s ==@." e.Catalog.name (Technique.short_name t);
         Fmt.pr "pipeline:@.%a" (Span.pp ~timings) recorder;
         Fmt.pr "%a" (Profile.pp ~top) profile;
         Fmt.pr "%a" Profile.pp_provenance profile;
+        Fmt.pr "%a" Profile.pp_dispatch (Profile.dispatch img);
         let raw_cycles = raw_profile.Profile.total_cycles in
         if raw_cycles > 0.0 then begin
           Fmt.pr "overhead vs raw: %+.1f%%"
@@ -918,10 +925,11 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Per-opcode cycle breakdown of a benchmark under the cycle \
-          model, pipeline-stage spans with transform counters, and the \
+          model, pipeline-stage spans with transform counters, the \
           protection overhead attributed to duplicate / check / \
-          instrumentation cycles.  Without -p, profiles all three \
-          techniques against the raw baseline.")
+          instrumentation cycles, and predecoded-dispatch coverage \
+          (fused superinstruction pairs and fast-path share).  Without \
+          -p, profiles all three techniques against the raw baseline.")
     Term.(
       const run $ bench_arg $ protect_arg $ knobs_term $ top_arg
       $ timings_arg $ json_arg)

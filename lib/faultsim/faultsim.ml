@@ -14,6 +14,7 @@
 open Ferrum_asm
 module Machine = Ferrum_machine.Machine
 module Snapshot = Ferrum_machine.Snapshot
+module Predecode = Ferrum_machine.Predecode
 
 type scope = Original_only | All_sites
 
@@ -138,6 +139,8 @@ type phases = {
   mutable ph_restores : int; (* checkpoint/initial-state restores *)
   mutable ph_prefix_steps : int; (* unobserved replay up to the flip *)
   mutable ph_suffix_steps : int; (* flip + post-flip execution *)
+  mutable ph_decodes : int; (* predecode lowerings of this target *)
+  mutable ph_fused_steps : int; (* suffix steps retired as fused pairs *)
 }
 
 let zero_phases () =
@@ -147,6 +150,8 @@ let zero_phases () =
     ph_restores = 0;
     ph_prefix_steps = 0;
     ph_suffix_steps = 0;
+    ph_decodes = 0;
+    ph_fused_steps = 0;
   }
 
 (* A profiled program ready for injection.  The checkpoint cache and the
@@ -168,6 +173,7 @@ type target = {
   mutable slot_ : Snapshot.slot option; (* pooled injected-run state *)
   mutable golden_slot_ : Snapshot.slot option; (* pooled lockstep golden *)
   mutable occ_ : int array array option; (* lazy per-site occurrences *)
+  mutable pre_ : Predecode.t option; (* lazy pre-decoded program *)
   phases : phases; (* per-process engine-phase tallies *)
 }
 
@@ -179,7 +185,9 @@ let reset_phases (t : target) =
   p.ph_walk_steps <- 0;
   p.ph_restores <- 0;
   p.ph_prefix_steps <- 0;
-  p.ph_suffix_steps <- 0
+  p.ph_suffix_steps <- 0;
+  p.ph_decodes <- 0;
+  p.ph_fused_steps <- 0
 
 exception Golden_failure of string
 
@@ -196,7 +204,8 @@ let prepare ?(scope = Original_only) ?(engine = default_engine)
       rev_sites := idx :: !rev_sites
     end
   in
-  let outcome, st = Machine.run_fresh ~on_step img in
+  let st = Machine.fresh_state img in
+  let outcome = Predecode.exec_observed ~on_step (Predecode.get img) st in
   match outcome with
   | Machine.Exit out ->
     {
@@ -213,6 +222,7 @@ let prepare ?(scope = Original_only) ?(engine = default_engine)
       slot_ = None;
       golden_slot_ = None;
       occ_ = None;
+      pre_ = None;
       phases = zero_phases ();
     }
   | o ->
@@ -281,6 +291,19 @@ let golden_slot (t : target) =
     let s = Snapshot.make_slot (cache t) in
     t.golden_slot_ <- Some s;
     s
+
+(* The target's pre-decoded program, lowered once per process (forked
+   workers inherit a decoded parent handle for free).  The eligible-site
+   mask is passed as the fusion [avoid] set so no injection site ever
+   sits in the second half of a superinstruction. *)
+let predecoded (t : target) =
+  match t.pre_ with
+  | Some p -> p
+  | None ->
+    let p = Predecode.decode ~avoid:t.eligible t.img in
+    t.phases.ph_decodes <- t.phases.ph_decodes + 1;
+    t.pre_ <- Some p;
+    p
 
 (* ------------------------------------------------------------------ *)
 (* One injection.                                                      *)
@@ -390,7 +413,7 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
     end;
     match observe with Some f -> f mstate idx | None -> ()
   in
-  let outcome = Machine.run ~fuel:t.fuel ~on_step t.img st in
+  let outcome = Predecode.exec_observed ~fuel:t.fuel ~on_step (predecoded t) st in
   (* Phase accounting for the scratch engine: everything up to the flip
      is prefix, the rest suffix (an unreached site is all prefix). *)
   let pre = if !flip_steps >= 0 then !flip_steps else st.Machine.steps in
@@ -413,8 +436,10 @@ let inject_full ?(fault_bits = 1) ?on_inject ?observe (t : target) rng
    instruction has *not* executed yet; {!Machine.step} reports the
    pre-step ip, so stopping on [st.ip] is exact), or [Some outcome]
    mirroring {!Machine.run}'s fuel / wild-control / halt / trap
-   semantics, in {!Machine.run}'s check order (fuel before bounds). *)
-let rec run_prefix (t : target) len st seen ~dyn_index =
+   semantics, in {!Machine.run}'s check order (fuel before bounds).
+   Rides the pre-decoded single-step dispatch: never fused, so the
+   stop-at-site check runs before every instruction. *)
+let rec run_prefix (t : target) pre len st seen ~dyn_index =
   if st.Machine.steps >= t.fuel then Some Machine.Timeout
   else
     let ip = st.Machine.ip in
@@ -422,12 +447,12 @@ let rec run_prefix (t : target) len st seen ~dyn_index =
       Some (Machine.Crash (Printf.sprintf "control reached 0x%x" ip))
     else if t.eligible.(ip) && !seen = dyn_index then None
     else
-      match Machine.step t.img st with
+      match Predecode.step1 pre st with
       | exception Machine.Halt o -> Some o
       | exception Machine.Trap m -> Some (Machine.Crash m)
       | idx ->
         if t.eligible.(idx) then incr seen;
-        run_prefix t len st seen ~dyn_index
+        run_prefix t pre len st seen ~dyn_index
 
 (* {!inject_full}'s exact semantics on a pooled, checkpoint-restored
    state: restore the nearest checkpoint at or below the flip point, run
@@ -440,12 +465,14 @@ let inject_fast ~fault_bits (t : target) rng ~dyn_index :
   let sl = slot t in
   let seen = ref (Snapshot.restore sl ~dyn_index) in
   let st = Snapshot.state sl in
+  let pre = predecoded t in
   t.phases.ph_restores <- t.phases.ph_restores + 1;
   let s0 = st.Machine.steps in
   let prefix_done () =
     t.phases.ph_prefix_steps <- t.phases.ph_prefix_steps + (st.Machine.steps - s0)
   in
-  match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
+  match run_prefix t pre (Array.length t.img.Machine.code) st seen ~dyn_index
+  with
   | Some o ->
     prefix_done ();
     (classify t o, unreached_fault dyn_index, st)
@@ -457,10 +484,13 @@ let inject_fast ~fault_bits (t : target) rng ~dyn_index :
         t.phases.ph_suffix_steps + (st.Machine.steps - s1)
     in
     let idx = st.Machine.ip in
-    match Machine.step t.img st with
+    match Predecode.step1 pre st with
     | _retired ->
       let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
-      let outcome = Machine.run ~fuel:t.fuel t.img st in
+      let f0 = Predecode.fused_steps () in
+      let outcome = Predecode.exec ~fuel:t.fuel pre st in
+      t.phases.ph_fused_steps <-
+        t.phases.ph_fused_steps + (Predecode.fused_steps () - f0);
       suffix_done ();
       (classify t outcome, fault, st)
     | exception Machine.Halt o ->
@@ -781,12 +811,14 @@ let trace_fast ~fault_bits (t : target) rng ~dyn_index :
   let isl = slot t in
   let seen = ref (Snapshot.restore isl ~dyn_index) in
   let st = Snapshot.state isl in
+  let pre = predecoded t in
   t.phases.ph_restores <- t.phases.ph_restores + 1;
   let s0 = st.Machine.steps in
   let prefix_done () =
     t.phases.ph_prefix_steps <- t.phases.ph_prefix_steps + (st.Machine.steps - s0)
   in
-  match run_prefix t (Array.length t.img.Machine.code) st seen ~dyn_index with
+  match run_prefix t pre (Array.length t.img.Machine.code) st seen ~dyn_index
+  with
   | Some o ->
     (* Site unreached: the traced run never diverged, so the summary is
        that of a tracer that observed nothing. *)
@@ -806,14 +838,14 @@ let trace_fast ~fault_bits (t : target) rng ~dyn_index :
     Snapshot.sync ~src:isl gsl;
     let tracer = Propagation.create ~golden:(Snapshot.state gsl) t.img in
     let idx = st.Machine.ip in
-    match Machine.step t.img st with
+    match Predecode.step1 pre st with
     | _retired ->
       let fault = apply_flip ~fault_bits t rng st ~dyn_index idx in
       Propagation.note_injection tracer st;
       Propagation.observe tracer st idx;
       let outcome =
-        Machine.run ~fuel:t.fuel ~on_step:(Propagation.observe tracer) t.img
-          st
+        Predecode.exec_observed ~fuel:t.fuel
+          ~on_step:(Propagation.observe tracer) pre st
       in
       suffix_done ();
       (classify t outcome, fault, Propagation.finish tracer st)

@@ -95,6 +95,11 @@ type phases = {
   mutable ph_restores : int;  (** checkpoint/initial-state restores *)
   mutable ph_prefix_steps : int;  (** unobserved replay up to the flip *)
   mutable ph_suffix_steps : int;  (** flip + post-flip execution *)
+  mutable ph_decodes : int;  (** predecode lowerings of this target *)
+  mutable ph_fused_steps : int;
+      (** suffix steps retired as fused superinstruction pairs; replayed
+          identically by the legacy dispatch loop so trace counters stay
+          byte-identical whichever dispatcher ran *)
 }
 
 (** A profiled program ready for injection.  The trailing mutable
@@ -117,11 +122,17 @@ type target = {
   mutable slot_ : Ferrum_machine.Snapshot.slot option;
   mutable golden_slot_ : Ferrum_machine.Snapshot.slot option;
   mutable occ_ : int array array option;
+  mutable pre_ : Ferrum_machine.Predecode.t option;
   phases : phases;
 }
 
 (** This process's engine-phase tallies for [target]. *)
 val phases : target -> phases
+
+(** The target's pre-decoded program (lowered lazily, once per process).
+    The eligible-site mask is the fusion [avoid] set, so injection
+    sites never sit in the second half of a superinstruction. *)
+val predecoded : target -> Ferrum_machine.Predecode.t
 
 (** Zero the tallies (each campaign worker resets at startup so its
     shard's counters cover exactly its own work). *)

@@ -52,11 +52,11 @@ let record t entry =
 let writes_of (img : Machine.image) (st : Machine.state) idx =
   List.map
     (function
-      | Instr.Dgpr (r, _) -> Wgpr (r, st.Machine.gpr.(Reg.gpr_index r))
+      | Instr.Dgpr (r, _) -> Wgpr (r, st.Machine.gpr.{Reg.gpr_index r})
       | Instr.Dsimd (x, lanes) ->
         (match lanes with
-        | lane :: _ -> Wsimd (x, lane, st.Machine.simd.((x * 8) + lane))
-        | [] -> Wsimd (x, 0, st.Machine.simd.(x * 8)))
+        | lane :: _ -> Wsimd (x, lane, st.Machine.simd.{(x * 8) + lane})
+        | [] -> Wsimd (x, 0, st.Machine.simd.{x * 8}))
       | Instr.Dflags _ ->
         Wflags (st.Machine.zf, st.Machine.sf, st.Machine.cf, st.Machine.off))
     img.Machine.dests.(idx)

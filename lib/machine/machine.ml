@@ -134,9 +134,27 @@ let page_bits = 12
 
 let page_size = 1 lsl page_bits
 
+type regfile = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_regfile n : regfile =
+  let a = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0L;
+  a
+
+let copy_regfile (r : regfile) : regfile =
+  let c = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout
+      (Bigarray.Array1.dim r) in
+  Bigarray.Array1.blit r c;
+  c
+
+let blit_regfile (src : regfile) (dst : regfile) = Bigarray.Array1.blit src dst
+
+let dump_regfile (r : regfile) =
+  Array.init (Bigarray.Array1.dim r) (Bigarray.Array1.get r)
+
 type state = {
-  gpr : int64 array; (* 16 *)
-  simd : int64 array; (* 16 registers x 8 lanes (ZMM width) *)
+  gpr : regfile; (* 16 *)
+  simd : regfile; (* 16 registers x 8 lanes (ZMM width) *)
   mutable zf : bool;
   mutable sf : bool;
   mutable cf : bool;
@@ -179,8 +197,8 @@ let clear_dirty st =
 let fresh_state (img : image) =
   let st =
     {
-      gpr = Array.make 16 0L;
-      simd = Array.make 128 0L; (* 16 registers x 8 lanes (ZMM width) *)
+      gpr = make_regfile 16;
+      simd = make_regfile 128; (* 16 registers x 8 lanes (ZMM width) *)
       zf = false;
       sf = false;
       cf = false;
@@ -197,14 +215,14 @@ let fresh_state (img : image) =
      address so that [ret] from the entry function halts cleanly. *)
   let sp = img.mem_size - 16 in
   Bytes.set_int64_le st.mem sp (Int64.of_int img.halt_ip);
-  st.gpr.(Reg.gpr_index Reg.RSP) <- Int64.of_int sp;
+  st.gpr.{Reg.gpr_index Reg.RSP} <- Int64.of_int sp;
   st
 
 (* Blit register files, flags, scalars — everything but memory — from
    [src] into [st].  The cheap half of resetting a pooled state. *)
 let reset_regs ~from:(src : state) st =
-  Array.blit src.gpr 0 st.gpr 0 16;
-  Array.blit src.simd 0 st.simd 0 128;
+  Bigarray.Array1.blit src.gpr st.gpr;
+  Bigarray.Array1.blit src.simd st.simd;
   st.zf <- src.zf;
   st.sf <- src.sf;
   st.cf <- src.cf;
@@ -242,33 +260,33 @@ let sign_extend v = function
   | Reg.Q -> v
 
 let read_gpr st r s =
-  Int64.logand st.gpr.(Reg.gpr_index r) (mask_of_size s)
+  Int64.logand st.gpr.{Reg.gpr_index r} (mask_of_size s)
 
 (* x86 semantics: 32-bit writes zero the upper half, 8/16-bit writes
    merge into the old value. *)
 let write_gpr st r s v =
   let i = Reg.gpr_index r in
   match s with
-  | Reg.Q -> st.gpr.(i) <- v
-  | Reg.D -> st.gpr.(i) <- Int64.logand v 0xFFFFFFFFL
+  | Reg.Q -> st.gpr.{i} <- v
+  | Reg.D -> st.gpr.{i} <- Int64.logand v 0xFFFFFFFFL
   | Reg.W ->
-    st.gpr.(i) <-
+    st.gpr.{i} <-
       Int64.logor
-        (Int64.logand st.gpr.(i) (Int64.lognot 0xFFFFL))
+        (Int64.logand st.gpr.{i} (Int64.lognot 0xFFFFL))
         (Int64.logand v 0xFFFFL)
   | Reg.B ->
-    st.gpr.(i) <-
+    st.gpr.{i} <-
       Int64.logor
-        (Int64.logand st.gpr.(i) (Int64.lognot 0xFFL))
+        (Int64.logand st.gpr.{i} (Int64.lognot 0xFFL))
         (Int64.logand v 0xFFL)
 
 let effective_address st (m : Instr.mem) =
   let base =
-    match m.base with Some r -> st.gpr.(Reg.gpr_index r) | None -> 0L
+    match m.base with Some r -> st.gpr.{Reg.gpr_index r} | None -> 0L
   in
   let index =
     match m.index with
-    | Some r -> Int64.mul st.gpr.(Reg.gpr_index r) (Int64.of_int m.scale)
+    | Some r -> Int64.mul st.gpr.{Reg.gpr_index r} (Int64.of_int m.scale)
     | None -> 0L
   in
   Int64.add (Int64.add base index) (Int64.of_int m.disp)
@@ -372,23 +390,23 @@ let eval_cond st c = Cond.eval c ~zf:st.zf ~sf:st.sf ~cf:st.cf ~of_:st.off
 let rsp_i = Reg.gpr_index Reg.RSP
 
 let push st v =
-  let sp = Int64.sub st.gpr.(rsp_i) 8L in
-  st.gpr.(rsp_i) <- sp;
+  let sp = Int64.sub st.gpr.{rsp_i} 8L in
+  st.gpr.{rsp_i} <- sp;
   write_mem st sp Reg.Q v
 
 let pop st =
-  let sp = st.gpr.(rsp_i) in
+  let sp = st.gpr.{rsp_i} in
   let v = read_mem st sp Reg.Q in
-  st.gpr.(rsp_i) <- Int64.add sp 8L;
+  st.gpr.{rsp_i} <- Int64.add sp 8L;
   v
 
 (* ------------------------------------------------------------------ *)
 (* One execution step.                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let simd_lane st x lane = st.simd.((x * 8) + lane)
+let simd_lane st x lane = st.simd.{(x * 8) + lane}
 
-let set_simd_lane st x lane v = st.simd.((x * 8) + lane) <- v
+let set_simd_lane st x lane v = st.simd.{(x * 8) + lane} <- v
 
 let exec_alu st op s src dst =
   let a = read_operand st s dst and b = read_operand st s src in
@@ -469,7 +487,7 @@ let step (img : image) (st : state) =
     | L_call entry ->
       push st (Int64.of_int st.ip);
       st.ip <- entry
-    | L_print -> st.out_rev <- st.gpr.(Reg.gpr_index Reg.RDI) :: st.out_rev
+    | L_print -> st.out_rev <- st.gpr.{Reg.gpr_index Reg.RDI} :: st.out_rev
     | L_detect -> raise (Halt Detected)
     | _ -> trap "bad call link")
   | Instr.Ret ->
@@ -481,22 +499,22 @@ let step (img : image) (st : state) =
   | Instr.Push src -> push st (read_operand st Reg.Q src)
   | Instr.Pop r -> write_gpr st r Reg.Q (pop st)
   | Instr.Cqto ->
-    let a = st.gpr.(Reg.gpr_index Reg.RAX) in
-    st.gpr.(Reg.gpr_index Reg.RDX) <- Int64.shift_right a 63
+    let a = st.gpr.{Reg.gpr_index Reg.RAX} in
+    st.gpr.{Reg.gpr_index Reg.RDX} <- Int64.shift_right a 63
   | Instr.Idiv (s, src) ->
     if s <> Reg.Q then trap "idiv: only 64-bit division is supported";
     let d = read_operand st s src in
     if Int64.equal d 0L then trap "divide by zero";
-    let rax = st.gpr.(Reg.gpr_index Reg.RAX) in
-    let rdx = st.gpr.(Reg.gpr_index Reg.RDX) in
+    let rax = st.gpr.{Reg.gpr_index Reg.RAX} in
+    let rdx = st.gpr.{Reg.gpr_index Reg.RDX} in
     (* The backend always sign-extends with cqto first; anything else
        denotes a corrupted RDX and raises the divide-error trap, as the
        quotient would not fit in 64 bits. *)
     if not (Int64.equal rdx (Int64.shift_right rax 63)) then
       trap "divide overflow"
     else begin
-      st.gpr.(Reg.gpr_index Reg.RAX) <- Int64.div rax d;
-      st.gpr.(Reg.gpr_index Reg.RDX) <- Int64.rem rax d
+      st.gpr.{Reg.gpr_index Reg.RAX} <- Int64.div rax d;
+      st.gpr.{Reg.gpr_index Reg.RDX} <- Int64.rem rax d
     end
   | Instr.MovQ_to_xmm (src, x) ->
     set_simd_lane st x 0 (read_operand st Reg.Q src);
@@ -578,12 +596,12 @@ let step (img : image) (st : state) =
 let flip_gpr st r s ~bit =
   let bit = bit mod Reg.size_bits s in
   let i = Reg.gpr_index r in
-  st.gpr.(i) <- Int64.logxor st.gpr.(i) (Int64.shift_left 1L bit)
+  st.gpr.{i} <- Int64.logxor st.gpr.{i} (Int64.shift_left 1L bit)
 
 let flip_simd_lane st x ~lane ~bit =
   let bit = bit land 63 in
   let i = (x * 8) + lane in
-  st.simd.(i) <- Int64.logxor st.simd.(i) (Int64.shift_left 1L bit)
+  st.simd.{i} <- Int64.logxor st.simd.{i} (Int64.shift_left 1L bit)
 
 let flip_flag st = function
   | Cond.ZF -> st.zf <- not st.zf
@@ -597,6 +615,38 @@ let flip_flag st = function
 
 let default_fuel = 50_000_000
 
+(* The two run loops are split so the no-observer case pays neither the
+   option branch nor the observer indirection per retired instruction;
+   {!run} dispatches on [on_step] exactly once. *)
+let run_unobserved ~fuel (img : image) (st : state) =
+  let len = Array.length img.code in
+  try
+    while st.steps < fuel do
+      if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
+      ignore (step img st)
+    done;
+    Timeout
+  with
+  | Halt o -> o
+  | Trap msg -> Crash msg
+
+let run_observed ~fuel ~f (img : image) (st : state) =
+  let len = Array.length img.code in
+  try
+    while st.steps < fuel do
+      if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
+      let ip0 = st.ip in
+      (match step img st with
+      | idx -> f st idx
+      | exception Halt o ->
+        f st ip0;
+        raise (Halt o))
+    done;
+    Timeout
+  with
+  | Halt o -> o
+  | Trap msg -> Crash msg
+
 (* Run to completion.  [on_step] receives the state and the static index
    of the instruction that just retired (its destinations are in
    [img.dests]); mutations it performs are visible to the next step.
@@ -604,28 +654,9 @@ let default_fuel = 50_000_000
    cycles are accounted); halting instructions define no injectable
    destinations, so fault-injection sampling is unaffected. *)
 let run ?(fuel = default_fuel) ?on_step (img : image) (st : state) =
-  let len = Array.length img.code in
-  try
-    (match on_step with
-    | None ->
-      while st.steps < fuel do
-        if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
-        ignore (step img st)
-      done
-    | Some f ->
-      while st.steps < fuel do
-        if st.ip >= len || st.ip < 0 then trap "control reached 0x%x" st.ip;
-        let ip0 = st.ip in
-        (match step img st with
-        | idx -> f st idx
-        | exception Halt o ->
-          f st ip0;
-          raise (Halt o))
-      done);
-    Timeout
-  with
-  | Halt o -> o
-  | Trap msg -> Crash msg
+  match on_step with
+  | None -> run_unobserved ~fuel img st
+  | Some f -> run_observed ~fuel ~f img st
 
 (* Convenience wrapper: load-free execution of an image from scratch. *)
 let run_fresh ?fuel ?on_step img =

@@ -72,10 +72,27 @@ type track = {
   mutable tr_count : int;
 }
 
+(** Register files are int64 bigarrays: element access compiles to
+    unboxed loads and stores (no per-write allocation, no GC write
+    barrier), which is what lets {!Predecode}'s specialized thunks run
+    allocation-free.  Index with [r.{i}]. *)
+type regfile = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh zero-filled register file of [n] slots. *)
+val make_regfile : int -> regfile
+
+val copy_regfile : regfile -> regfile
+
+(** [blit_regfile src dst] copies [src] over [dst] (equal dims). *)
+val blit_regfile : regfile -> regfile -> unit
+
+(** Plain-array snapshot, for tests and display code. *)
+val dump_regfile : regfile -> int64 array
+
 (** Architectural state.  [simd] is indexed [reg * 8 + lane]. *)
 type state = {
-  gpr : int64 array;
-  simd : int64 array;
+  gpr : regfile;
+  simd : regfile;
   mutable zf : bool;
   mutable sf : bool;
   mutable cf : bool;
@@ -129,6 +146,45 @@ val flip_flag : state -> Cond.flag -> unit
 (** Resolve a memory operand's address against the current register
     file (used by the propagation tracer to locate store targets). *)
 val effective_address : state -> Instr.mem -> int64
+
+(** {1 Decoder support}
+
+    The building blocks of {!step}, exposed so {!Predecode} can lower
+    instructions into resolved-operand closures with the exact same
+    masking, flag, trap and dirty-page behaviour. *)
+
+(** Raise {!Trap} with a formatted message. *)
+val trap : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val mask_of_size : Reg.size -> int64
+val sign_extend : int64 -> Reg.size -> int64
+val read_gpr : state -> Reg.gpr -> Reg.size -> int64
+
+(** Bounds-checked loads/stores; stores route through the dirty-page
+    log when one is attached. *)
+val read_mem : state -> int64 -> Reg.size -> int64
+
+val write_mem : state -> int64 -> Reg.size -> int64 -> unit
+
+(** [check_addr st addr bytes] validates an access of [bytes] bytes at
+    [addr] and returns it as an int offset, trapping exactly like the
+    interpreter on an out-of-range access. *)
+val check_addr : state -> int64 -> int -> int
+
+(** Mark the page(s) of an [n]-byte write at offset [a] dirty when a
+    log is attached (inlined stores call this after their own bounds
+    check). *)
+val mark_dirty : state -> int -> int -> unit
+val set_flags_logic : state -> Reg.size -> int64 -> unit
+val set_flags_add : state -> Reg.size -> int64 -> int64 -> int64 -> unit
+val set_flags_sub : state -> Reg.size -> int64 -> int64 -> int64 -> unit
+
+(** Stack push/pop with x86 RSP adjustment. *)
+val push : state -> int64 -> unit
+
+val pop : state -> int64
+val simd_lane : state -> Reg.simd -> int -> int64
+val set_simd_lane : state -> Reg.simd -> int -> int64 -> unit
 
 (** Execute exactly one instruction and return the static index of the
     instruction that retired.  Raises {!Halt} when the program ends and

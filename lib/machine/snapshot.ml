@@ -22,8 +22,8 @@ let page_bits = Machine.page_bits
 let page_size = Machine.page_size
 
 type ckpt = {
-  c_gpr : int64 array;
-  c_simd : int64 array;
+  c_gpr : Machine.regfile;
+  c_simd : Machine.regfile;
   c_zf : bool;
   c_sf : bool;
   c_cf : bool;
@@ -66,8 +66,8 @@ let capture (st : Machine.state) ~seen =
   done;
   Machine.clear_dirty st;
   {
-    c_gpr = Array.copy st.Machine.gpr;
-    c_simd = Array.copy st.Machine.simd;
+    c_gpr = Machine.copy_regfile st.Machine.gpr;
+    c_simd = Machine.copy_regfile st.Machine.simd;
     c_zf = st.Machine.zf;
     c_sf = st.Machine.sf;
     c_cf = st.Machine.cf;
@@ -93,6 +93,7 @@ let build ?interval ~counted img =
       if k < 1 then invalid_arg "Snapshot.build: interval < 1";
       let st = Machine.fresh_state img in
       Machine.track_writes st;
+      let pre = Predecode.get img in
       let acc = ref [] in
       let seen = ref 0 in
       let next = ref k in
@@ -104,7 +105,7 @@ let build ?interval ~counted img =
              acc := capture st ~seen:!seen :: !acc;
              next := !next + k
            end;
-           let idx = Machine.step img st in
+           let idx = Predecode.step1 pre st in
            if counted idx then incr seen
          done
        with Machine.Halt _ | Machine.Trap _ | Done -> ());
@@ -195,8 +196,8 @@ let load_regs sl c =
   if c < 0 then Machine.reset_regs ~from:sl.cache.pristine st
   else begin
     let ck = sl.cache.ckpts.(c) in
-    Array.blit ck.c_gpr 0 st.Machine.gpr 0 16;
-    Array.blit ck.c_simd 0 st.Machine.simd 0 128;
+    Machine.blit_regfile ck.c_gpr st.Machine.gpr;
+    Machine.blit_regfile ck.c_simd st.Machine.simd;
     st.Machine.zf <- ck.c_zf;
     st.Machine.sf <- ck.c_sf;
     st.Machine.cf <- ck.c_cf;

@@ -139,14 +139,38 @@ let json_of_adaptive (a : adaptive_result) =
       ("flat_wall_seconds", Json.Float a.a_flat_wall);
       ("adaptive_wall_seconds", Json.Float a.a_adaptive_wall) ]
 
+(* One benchmark's injection-engine throughput snapshot: samples/sec
+   per engine configuration, with the checkpointed engine measured on
+   both dispatch loops so the BENCH trajectory records the
+   legacy-to-predecoded speedup. *)
+type perf_result = {
+  p_benchmark : string;
+  p_scratch : float;
+  p_pooled : float;
+  p_legacy : float; (* ckpt-4096, legacy Machine.step dispatch *)
+  p_predecoded : float; (* ckpt-4096, pre-decoded threaded dispatch *)
+}
+
+let perf_speedup (p : perf_result) =
+  if p.p_legacy <= 0.0 then 0.0 else p.p_predecoded /. p.p_legacy
+
+let json_of_perf (p : perf_result) =
+  Json.Obj
+    [ ("benchmark", Json.Str p.p_benchmark);
+      ("scratch_sps", Json.Float p.p_scratch);
+      ("pooled_sps", Json.Float p.p_pooled);
+      ("legacy_ckpt_sps", Json.Float p.p_legacy);
+      ("predecoded_ckpt_sps", Json.Float p.p_predecoded);
+      ("speedup", Json.Float (perf_speedup p)) ]
+
 (* Full bench metrics document: meta (sample counts, seed), one entry
    per timed experiment (name + wall seconds — wall clock is confined
    here, the per-benchmark results are deterministic per seed), the
    per-benchmark results themselves, and the flat-vs-adaptive
-   allocation comparison when it ran. *)
+   allocation comparison and per-engine throughput when they ran. *)
 let bench_kind = "ferrum.bench.v1"
 
-let metrics_json ?(adaptive = []) ~samples ~seed ~experiments
+let metrics_json ?(adaptive = []) ?(perf = []) ~samples ~seed ~experiments
     (results : bench_result list) =
   Json.Obj
     ([ ("schema", Json.Str bench_kind);
@@ -162,15 +186,19 @@ let metrics_json ?(adaptive = []) ~samples ~seed ~experiments
                    ("wall_seconds", Json.Float wall_seconds) ])
              experiments));
        ("results", Json.Arr (List.map json_of_bench results)) ]
+    @ (match adaptive with
+      | [] -> []
+      | l -> [ ("adaptive", Json.Arr (List.map json_of_adaptive l)) ])
     @
-    match adaptive with
+    match perf with
     | [] -> []
-    | l -> [ ("adaptive", Json.Arr (List.map json_of_adaptive l)) ])
+    | l -> [ ("perf", Json.Arr (List.map json_of_perf l)) ])
 
-let write_metrics_json ?adaptive path ~samples ~seed ~experiments results =
+let write_metrics_json ?adaptive ?perf path ~samples ~seed ~experiments
+    results =
   let oc = open_out path in
   output_string oc
     (Json.to_string
-       (metrics_json ?adaptive ~samples ~seed ~experiments results));
+       (metrics_json ?adaptive ?perf ~samples ~seed ~experiments results));
   output_char oc '\n';
   close_out oc

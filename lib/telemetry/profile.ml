@@ -11,6 +11,7 @@
 
 open Ferrum_asm
 module Machine = Ferrum_machine.Machine
+module Predecode = Ferrum_machine.Predecode
 
 type row = {
   mnemonic : string;
@@ -91,7 +92,101 @@ let run ?fuel (img : Machine.image) : t =
     by_provenance;
   }
 
+(* ---- Predecoded-dispatch statistics ----
+
+   How much of the program the threaded dispatcher covers: static fused
+   pair sites, the share of a golden run's steps the unobserved fast
+   path retires, and a dynamic histogram of which superinstruction
+   patterns actually fire (static pair counts overweight cold code). *)
+
+type dispatch = {
+  d_sites : int; (* static code length *)
+  d_fused_sites : int; (* static fused pair sites *)
+  d_steps : int; (* golden-run dynamic steps *)
+  d_fast_steps : int; (* steps retired by the unobserved fast path *)
+  d_fused_steps : int; (* steps retired inside fused superinstructions *)
+  d_patterns : (string * int) list; (* dynamic pairs fired, descending *)
+}
+
+let dispatch ?fuel (img : Machine.image) : dispatch =
+  let d = Predecode.get img in
+  Predecode.reset_counters ();
+  let st = Machine.fresh_state img in
+  ignore (Predecode.exec ?fuel d st);
+  let fast = Predecode.fast_steps () and fused = Predecode.fused_steps () in
+  (* Dynamic pattern histogram: replay observed and pair retirements the
+     way the fused dispatcher does — a pair fires when control enters a
+     fused head and the second half retires right after it. *)
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let pending = ref (-1) in
+  let on_step (_ : Machine.state) idx =
+    if !pending >= 0 && idx = !pending + 1 then begin
+      let name = Predecode.fused_name d !pending in
+      (match Hashtbl.find_opt tbl name with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl name (ref 1));
+      pending := -1
+    end
+    else if idx < Predecode.length d && Predecode.is_fused_start d idx then
+      pending := idx
+    else pending := -1
+  in
+  ignore (Machine.run ?fuel ~on_step img (Machine.fresh_state img));
+  let patterns =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+           match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
+  in
+  {
+    d_sites = Predecode.length d;
+    d_fused_sites = Predecode.fused_pairs d;
+    d_steps = st.Machine.steps;
+    d_fast_steps = fast;
+    d_fused_steps = fused;
+    d_patterns = patterns;
+  }
+
 let pct part total = if total <= 0.0 then 0.0 else 100.0 *. part /. total
+
+let ipct a b = pct (float_of_int a) (float_of_int b)
+
+let dispatch_to_json dp =
+  Json.Obj
+    [
+      ("sites", Json.Int dp.d_sites);
+      ("fused_sites", Json.Int dp.d_fused_sites);
+      ("steps", Json.Int dp.d_steps);
+      ("fast_steps", Json.Int dp.d_fast_steps);
+      ("fused_steps", Json.Int dp.d_fused_steps);
+      ("fused_boundary_pct",
+       Json.Float (ipct dp.d_fused_sites (max 1 (dp.d_sites - 1))));
+      ("fast_path_pct", Json.Float (ipct dp.d_fast_steps dp.d_steps));
+      ("fused_steps_pct", Json.Float (ipct dp.d_fused_steps dp.d_steps));
+      ("patterns",
+       Json.Arr
+         (List.map
+            (fun (n, c) ->
+              Json.Obj [ ("name", Json.Str n); ("pairs", Json.Int c) ])
+            dp.d_patterns));
+    ]
+
+let pp_dispatch ppf dp =
+  Fmt.pf ppf
+    "predecoded dispatch: %d of %d instruction boundaries fused (%.1f%%)@."
+    dp.d_fused_sites (max 1 (dp.d_sites - 1))
+    (ipct dp.d_fused_sites (max 1 (dp.d_sites - 1)));
+  Fmt.pf ppf
+    "  fast path retired %d/%d steps (%.1f%%), %.1f%% in superinstructions@."
+    dp.d_fast_steps dp.d_steps
+    (ipct dp.d_fast_steps dp.d_steps)
+    (ipct dp.d_fused_steps dp.d_steps);
+  if dp.d_patterns <> [] then begin
+    Fmt.pf ppf "  %-16s %10s %7s@." "superinstruction" "pairs" "steps%";
+    List.iter
+      (fun (n, c) ->
+        Fmt.pf ppf "  %-16s %10d %6.1f%%@." n c (ipct (2 * c) dp.d_steps))
+      dp.d_patterns
+  end
 
 (* Canonical JSON view: outcome/steps/cycles, the full hot-opcode table
    and the provenance overhead split.  Field order is fixed so the

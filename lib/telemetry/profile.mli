@@ -40,3 +40,27 @@ val pp : ?top:int -> Format.formatter -> t -> unit
 (** Provenance (overhead-attribution) table; empty provenances are
     skipped. *)
 val pp_provenance : Format.formatter -> t -> unit
+
+(** {1 Predecoded-dispatch statistics}
+
+    Coverage of {!Ferrum_machine.Predecode}'s threaded dispatcher over
+    one image: static fused superinstruction sites, the share of a
+    golden run's steps the unobserved fast path retires, and a dynamic
+    histogram of the superinstruction patterns that actually fire. *)
+
+type dispatch = {
+  d_sites : int;  (** static code length *)
+  d_fused_sites : int;  (** static fused pair sites *)
+  d_steps : int;  (** golden-run dynamic steps *)
+  d_fast_steps : int;  (** steps retired by the unobserved fast path *)
+  d_fused_steps : int;  (** steps retired inside fused superinstructions *)
+  d_patterns : (string * int) list;
+      (** dynamic pairs fired per pattern, descending *)
+}
+
+(** One unobserved fast-path run (counters) plus one observed replay
+    (dynamic pattern histogram).  Deterministic for a given image. *)
+val dispatch : ?fuel:int -> Machine.image -> dispatch
+
+val dispatch_to_json : dispatch -> Json.t
+val pp_dispatch : Format.formatter -> dispatch -> unit

@@ -28,6 +28,7 @@
 
 open Ferrum_asm
 module Machine = Ferrum_machine.Machine
+module Predecode = Ferrum_machine.Predecode
 
 (* ------------------------------------------------------------------ *)
 (* Tainted locations.                                                  *)
@@ -135,7 +136,7 @@ let write_regions (img : Machine.image) (st : Machine.state) idx =
   in
   let stack_slot () =
     (* push/call already decremented RSP: the slot is at the new top *)
-    [ (Int64.to_int st.Machine.gpr.(Reg.gpr_index Reg.RSP), 8) ]
+    [ (Int64.to_int st.Machine.gpr.{Reg.gpr_index Reg.RSP}, 8) ]
   in
   match img.Machine.code.(idx).Instr.op with
   | Instr.Mov (s, _, Instr.Mem m)
@@ -174,13 +175,13 @@ let compare_writes t (st : Machine.state) idx =
     (function
       | Instr.Dgpr (r, _) ->
         let i = Reg.gpr_index r in
-        set_reg (Lgpr r) (Int64.equal st.Machine.gpr.(i) g.Machine.gpr.(i))
+        set_reg (Lgpr r) (Int64.equal st.Machine.gpr.{i} g.Machine.gpr.{i})
       | Instr.Dsimd (x, lanes) ->
         List.iter
           (fun lane ->
             let i = (x * 8) + lane in
             set_reg (Lsimd (x, lane))
-              (Int64.equal st.Machine.simd.(i) g.Machine.simd.(i)))
+              (Int64.equal st.Machine.simd.{i} g.Machine.simd.{i}))
           lanes
       | Instr.Dflags flags ->
         List.iter
@@ -268,7 +269,7 @@ let observe t (st : Machine.state) idx =
       (* the faulted run retired an instruction the golden run did not *)
       mark_control_divergence t st idx
     else begin
-      (match Machine.step t.img t.golden with
+      (match Predecode.step1 (Predecode.get t.img) t.golden with
       | (_ : int) -> ()
       | exception Machine.Halt _ -> t.golden_exited <- true
       | exception Machine.Trap _ ->

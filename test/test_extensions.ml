@@ -122,11 +122,11 @@ let test_zmm_semantics_machine () =
   (match Machine.run img st with
   | Machine.Exit _ -> ()
   | o -> Alcotest.failf "zmm program failed: %a" Machine.pp_outcome o);
-  Alcotest.(check int64) "zero test" 1L st.Machine.gpr.(Reg.gpr_index Reg.RBX);
-  Alcotest.(check int64) "nonzero test" 1L st.Machine.gpr.(Reg.gpr_index Reg.RCX);
+  Alcotest.(check int64) "zero test" 1L st.Machine.gpr.{Reg.gpr_index Reg.RBX};
+  Alcotest.(check int64) "nonzero test" 1L st.Machine.gpr.{Reg.gpr_index Reg.RCX};
   (* all 8 lanes of zmm2 hold 1 *)
   for lane = 0 to 7 do
-    Alcotest.(check int64) "lane" 1L st.Machine.simd.((2 * 8) + lane)
+    Alcotest.(check int64) "lane" 1L st.Machine.simd.{(2 * 8) + lane}
   done
 
 let test_zmm_semantics_preserved () =

@@ -19,7 +19,7 @@ let run_body ?(mem_size = 1 lsl 16) body =
   let outcome = Machine.run img st in
   (outcome, st)
 
-let gpr st r = st.Machine.gpr.(Reg.gpr_index r)
+let gpr st r = st.Machine.gpr.{Reg.gpr_index r}
 
 let check_i64 = Alcotest.(check int64)
 
@@ -413,7 +413,7 @@ let test_flip_gpr () =
          [ Prog.func "main" [ Prog.block "main" (originals [ Instr.Ret ]) ] ])
   in
   let st = Machine.fresh_state img in
-  st.Machine.gpr.(Reg.gpr_index Reg.RAX) <- 0L;
+  st.Machine.gpr.{Reg.gpr_index Reg.RAX} <- 0L;
   Machine.flip_gpr st Reg.RAX Reg.Q ~bit:17;
   check_i64 "bit 17" (Int64.shift_left 1L 17) (gpr st Reg.RAX);
   Machine.flip_gpr st Reg.RAX Reg.Q ~bit:17;
@@ -424,7 +424,7 @@ let test_flip_gpr () =
   Machine.flip_flag st Cond.ZF;
   Alcotest.(check bool) "zf flipped" true st.Machine.zf;
   Machine.flip_simd_lane st 3 ~lane:2 ~bit:1;
-  check_i64 "simd lane" 2L st.Machine.simd.((3 * 8) + 2)
+  check_i64 "simd lane" 2L st.Machine.simd.{(3 * 8) + 2}
 
 (* ---- cost model ---- *)
 

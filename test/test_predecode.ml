@@ -1,0 +1,356 @@
+(* Tests for the pre-decoded threaded dispatcher: decode round-trip
+   identity against the legacy interpreter (final state, retirement
+   stream, single-stepping), superinstruction fusion boundary cases
+   (join targets, avoid masks, fuel running out mid-pair, resuming at a
+   pair's second half), the [enabled := false] fallback, the dispatch
+   counters, and classification/vulnmap identity of the fault-injection
+   engines whichever dispatcher runs. *)
+
+open Ferrum_asm
+module Machine = Ferrum_machine.Machine
+module Predecode = Ferrum_machine.Predecode
+module F = Ferrum_faultsim.Faultsim
+module Json = Ferrum_telemetry.Json
+module Pipeline = Ferrum_eddi.Pipeline
+module Technique = Ferrum_eddi.Technique
+module Catalog = Ferrum_workloads.Catalog
+
+let original = Instr.original
+
+(* A loop fixture: flag-setting ALU traffic, a conditional back edge
+   (so cmp+jcc fuses on a loop-carried pair), memory stores and a
+   print.  Small enough to single-step exhaustively. *)
+let loop_program () =
+  Prog.program
+    [ Prog.func "main"
+        [ Prog.block "main"
+            [ original (Instr.Mov (Reg.Q, Instr.Imm 0L, Instr.Reg Reg.RAX));
+              original (Instr.Mov (Reg.Q, Instr.Imm 0L, Instr.Reg Reg.RCX)) ];
+          Prog.block "loop"
+            [ original
+                (Instr.Alu
+                   (Instr.Add, Reg.Q, Instr.Reg Reg.RCX, Instr.Reg Reg.RAX));
+              original
+                (Instr.Mov
+                   ( Reg.Q, Instr.Reg Reg.RAX,
+                     Instr.Mem (Instr.mem ~index:Reg.RCX ~scale:8 3600) ));
+              original
+                (Instr.Alu (Instr.Add, Reg.Q, Instr.Imm 1L, Instr.Reg Reg.RCX));
+              original (Instr.Cmp (Reg.Q, Instr.Imm 50L, Instr.Reg Reg.RCX));
+              original (Instr.Jcc (Cond.NE, "loop")) ];
+          Prog.block "done"
+            [ original
+                (Instr.Mov (Reg.Q, Instr.Reg Reg.RAX, Instr.Reg Reg.RDI));
+              original (Instr.Call "print_i64");
+              original Instr.Ret ] ] ]
+
+(* ---- helpers ---- *)
+
+let check_state_eq name (want : Machine.state) (got : Machine.state) =
+  Alcotest.(check (array int64)) (name ^ ": gpr")
+    (Machine.dump_regfile want.Machine.gpr)
+    (Machine.dump_regfile got.Machine.gpr);
+  Alcotest.(check (array int64)) (name ^ ": simd")
+    (Machine.dump_regfile want.Machine.simd)
+    (Machine.dump_regfile got.Machine.simd);
+  Alcotest.(check bool) (name ^ ": zf") want.Machine.zf got.Machine.zf;
+  Alcotest.(check bool) (name ^ ": sf") want.Machine.sf got.Machine.sf;
+  Alcotest.(check bool) (name ^ ": cf") want.Machine.cf got.Machine.cf;
+  Alcotest.(check bool) (name ^ ": off") want.Machine.off got.Machine.off;
+  Alcotest.(check int) (name ^ ": ip") want.Machine.ip got.Machine.ip;
+  Alcotest.(check int) (name ^ ": steps") want.Machine.steps got.Machine.steps;
+  Alcotest.(check (float 0.)) (name ^ ": cycles") want.Machine.cycles
+    got.Machine.cycles;
+  Alcotest.(check (list int64)) (name ^ ": output") want.Machine.out_rev
+    got.Machine.out_rev;
+  Alcotest.(check bool) (name ^ ": memory") true
+    (Bytes.equal want.Machine.mem got.Machine.mem)
+
+let run_legacy ?fuel img =
+  let st = Machine.fresh_state img in
+  let o = Machine.run ?fuel img st in
+  (o, st)
+
+let run_fast ?fuel img =
+  let d = Predecode.get img in
+  let st = Machine.fresh_state img in
+  let o = Predecode.exec ?fuel d st in
+  (o, st)
+
+let check_run_eq name ?fuel img =
+  let o1, st1 = run_legacy ?fuel img in
+  let o2, st2 = run_fast ?fuel img in
+  Alcotest.(check bool)
+    (name ^ ": outcome")
+    true
+    (Machine.equal_outcome o1 o2);
+  check_state_eq name st1 st2
+
+(* ---- decode round-trip: full-run identity ---- *)
+
+let test_fixture_roundtrip () =
+  check_run_eq "loop fixture" (Machine.load (loop_program ()))
+
+let test_catalogue_roundtrip () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      List.iter
+        (fun t ->
+          let res = Pipeline.protect t (e.Catalog.build ()) in
+          let img = Machine.load res.Pipeline.program in
+          check_run_eq
+            (Printf.sprintf "%s/%s" e.Catalog.name (Technique.short_name t))
+            img)
+        Technique.all)
+    Catalog.all
+
+(* ---- observed path: same retirement stream as Machine.run ---- *)
+
+let test_observed_stream_identity () =
+  let img = Machine.load (loop_program ()) in
+  let d = Predecode.get img in
+  let observe st0 =
+    let seen = ref [] in
+    let on_step (st : Machine.state) idx =
+      seen := (idx, st.Machine.steps, st.Machine.cycles) :: !seen
+    in
+    (on_step, st0, seen)
+  in
+  let on1, st1, seen1 = observe (Machine.fresh_state img) in
+  let o1 = Machine.run ~on_step:on1 img st1 in
+  let on2, st2, seen2 = observe (Machine.fresh_state img) in
+  let o2 = Predecode.exec_observed ~on_step:on2 d st2 in
+  Alcotest.(check bool) "outcome" true (Machine.equal_outcome o1 o2);
+  Alcotest.(check int) "stream length" (List.length !seen1)
+    (List.length !seen2);
+  List.iter2
+    (fun (i1, s1, c1) (i2, s2, c2) ->
+      Alcotest.(check int) "retired idx" i1 i2;
+      Alcotest.(check int) "steps at retire" s1 s2;
+      Alcotest.(check (float 0.)) "cycles at retire" c1 c2)
+    !seen1 !seen2;
+  check_state_eq "observed final" st1 st2
+
+(* ---- step1: lockstep single-stepping against Machine.step ---- *)
+
+let test_step1_lockstep () =
+  let img = Machine.load (loop_program ()) in
+  let d = Predecode.get img in
+  let st1 = Machine.fresh_state img and st2 = Machine.fresh_state img in
+  let halted = ref false in
+  while not !halted do
+    let r1 = try `Idx (Machine.step img st1) with Machine.Halt o -> `Halt o in
+    let r2 = try `Idx (Predecode.step1 d st2) with Machine.Halt o -> `Halt o in
+    (match (r1, r2) with
+    | `Idx i1, `Idx i2 -> Alcotest.(check int) "retired idx" i1 i2
+    | `Halt o1, `Halt o2 ->
+      Alcotest.(check bool) "halt outcome" true (Machine.equal_outcome o1 o2);
+      halted := true
+    | _ -> Alcotest.fail "dispatchers halted at different steps");
+    Alcotest.(check int) "lockstep ip" st1.Machine.ip st2.Machine.ip;
+    Alcotest.(check (float 0.)) "lockstep cycles" st1.Machine.cycles
+      st2.Machine.cycles
+  done;
+  check_state_eq "step1 final" st1 st2
+
+(* ---- fusion boundary cases ---- *)
+
+(* A branch target is a join point, so the boundary just before it must
+   not fuse: jumping to the target would otherwise land in the middle
+   of a pair. *)
+let test_join_target_unfused () =
+  let img = Machine.load (loop_program ()) in
+  let d = Predecode.get img in
+  Alcotest.(check bool) "some pairs fused" true (Predecode.fused_pairs d > 0);
+  let checked = ref 0 in
+  Array.iteri
+    (fun _ link ->
+      match link with
+      | Machine.L_target t | Machine.L_call t ->
+        if t > 0 && t < Predecode.length d then begin
+          incr checked;
+          Alcotest.(check string)
+            (Printf.sprintf "boundary into join %d unfused" t)
+            ""
+            (Predecode.fused_name d (t - 1))
+        end
+      | _ -> ())
+    img.Machine.links;
+  Alcotest.(check bool) "fixture has join targets" true (!checked > 0);
+  (* The loop's flag-setting compare pairs with its conditional branch. *)
+  let cmp_jcc =
+    List.exists
+      (fun (n, c) -> n = "cmp+jcc" && c > 0)
+      (Predecode.pattern_counts d)
+  in
+  Alcotest.(check bool) "cmp+jcc fused in loop" true cmp_jcc
+
+(* [decode ~avoid] masks fusion at the flagged indices; an all-true
+   mask is the fully unfused dispatcher and must still be identical. *)
+let test_avoid_mask_unfuses () =
+  let img = Machine.load (loop_program ()) in
+  let avoid = Array.make (Array.length img.Machine.code) true in
+  let d = Predecode.decode ~avoid img in
+  Alcotest.(check int) "no pairs under full avoid mask" 0
+    (Predecode.fused_pairs d);
+  let o1, st1 = run_legacy img in
+  let st2 = Machine.fresh_state img in
+  let o2 = Predecode.exec d st2 in
+  Alcotest.(check bool) "outcome" true (Machine.equal_outcome o1 o2);
+  check_state_eq "avoid mask" st1 st2
+
+(* Fuel that lands mid-pair must time out at exactly the legacy step
+   count: the fused thunk checks fuel between its halves. *)
+let test_fuel_mid_pair () =
+  let img = Machine.load (loop_program ()) in
+  for fuel = 40 to 60 do
+    let o1, st1 = run_legacy ~fuel img in
+    let o2, st2 = run_fast ~fuel img in
+    Alcotest.(check bool)
+      (Printf.sprintf "fuel=%d outcome" fuel)
+      true
+      (Machine.equal_outcome o1 o2);
+    Alcotest.(check bool)
+      (Printf.sprintf "fuel=%d timed out" fuel)
+      true
+      (o1 = Machine.Timeout);
+    check_state_eq (Printf.sprintf "fuel=%d" fuel) st1 st2
+  done
+
+(* Resuming [exec] from a state parked mid-stream — including at the
+   second half of a fused pair, which is how the injection engines
+   resume after a prefix replay — must match legacy from that point. *)
+let test_resume_mid_pair () =
+  let img = Machine.load (loop_program ()) in
+  let d = Predecode.get img in
+  for k = 1 to 9 do
+    let st1 = Machine.fresh_state img in
+    for _ = 1 to k do
+      ignore (Machine.step img st1)
+    done;
+    let o1 = Machine.run img st1 in
+    let st2 = Machine.fresh_state img in
+    for _ = 1 to k do
+      ignore (Predecode.step1 d st2)
+    done;
+    let o2 = Predecode.exec d st2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "resume after %d steps" k)
+      true
+      (Machine.equal_outcome o1 o2);
+    check_state_eq (Printf.sprintf "resume k=%d" k) st1 st2
+  done
+
+(* ---- fallback parity: enabled := false ---- *)
+
+let with_disabled f =
+  Predecode.enabled := false;
+  Fun.protect ~finally:(fun () -> Predecode.enabled := true) f
+
+let test_fallback_parity () =
+  let img = Machine.load (loop_program ()) in
+  let d = Predecode.get img in
+  let o1, st1 = run_fast img in
+  Predecode.reset_counters ();
+  ignore (run_fast img);
+  let fused_fast = Predecode.fused_steps () in
+  with_disabled (fun () ->
+      let st2 = Machine.fresh_state img in
+      let o2 = Predecode.exec d st2 in
+      Alcotest.(check bool) "outcome" true (Machine.equal_outcome o1 o2);
+      check_state_eq "fallback exec" st1 st2;
+      (* The legacy loop replays the fused-step accounting over the
+         retirement stream, so the counters agree across dispatchers. *)
+      Predecode.reset_counters ();
+      let st3 = Machine.fresh_state img in
+      ignore (Predecode.exec d st3);
+      Alcotest.(check int) "fused_steps parity" fused_fast
+        (Predecode.fused_steps ());
+      (* Observed path and step1 fall back too. *)
+      let st4 = Machine.fresh_state img in
+      let o4 = Predecode.exec_observed ~on_step:(fun _ _ -> ()) d st4 in
+      Alcotest.(check bool) "fallback observed" true
+        (Machine.equal_outcome o1 o4);
+      let st5 = Machine.fresh_state img in
+      ignore (Predecode.step1 d st5);
+      Alcotest.(check int) "fallback step1 steps" 1 st5.Machine.steps)
+
+(* ---- counters and decode cache ---- *)
+
+let test_counters_and_cache () =
+  let img = Machine.load (loop_program ()) in
+  Predecode.reset_counters ();
+  let d = Predecode.get img in
+  Alcotest.(check int) "decode counted" 1 (Predecode.decodes ());
+  Alcotest.(check bool) "cache hit is physical" true (Predecode.get img == d);
+  Alcotest.(check int) "cache hit decodes nothing" 1 (Predecode.decodes ());
+  Predecode.reset_counters ();
+  let st = Machine.fresh_state img in
+  ignore (Predecode.exec d st);
+  Alcotest.(check int) "fast_steps = dynamic steps" st.Machine.steps
+    (Predecode.fast_steps ());
+  let fused = Predecode.fused_steps () in
+  Alcotest.(check bool) "fused_steps even" true (fused mod 2 = 0);
+  Alcotest.(check bool) "fused within fast" true
+    (fused > 0 && fused <= Predecode.fast_steps ())
+
+(* ---- injection engines are dispatcher-independent ---- *)
+
+let campaign_lines ~engine ~seed ~samples img =
+  let t = F.prepare ~engine img in
+  List.init samples (fun sample ->
+      let _, _, r = F.campaign_sample t ~seed ~sample in
+      Json.to_string (F.record_to_json r))
+
+let vulnmap_rows ~engine ~seed ~samples img =
+  let v = F.vulnmap_campaign ~engine ~seed ~samples img in
+  List.map Json.to_string (F.vulnmap_rows v)
+
+let test_engines_across_dispatchers () =
+  let entry =
+    match Catalog.find "kmeans" with Some e -> e | None -> assert false
+  in
+  let res = Pipeline.protect Technique.Ferrum (entry.Catalog.build ()) in
+  let img = Machine.load res.Pipeline.program in
+  let seed = 9L and samples = 6 in
+  List.iter
+    (fun engine ->
+      let name = F.engine_name engine in
+      let fast_records = campaign_lines ~engine ~seed ~samples img in
+      let fast_vuln = vulnmap_rows ~engine ~seed ~samples img in
+      with_disabled (fun () ->
+          Alcotest.(check (list string))
+            (name ^ " records across dispatchers")
+            fast_records
+            (campaign_lines ~engine ~seed ~samples img);
+          Alcotest.(check (list string))
+            (name ^ " vulnmap across dispatchers")
+            fast_vuln
+            (vulnmap_rows ~engine ~seed ~samples img)))
+    [ F.Scratch; F.Pooled; F.Checkpointed 64 ]
+
+let () =
+  Alcotest.run "predecode"
+    [
+      ( "roundtrip",
+        [ Alcotest.test_case "loop fixture" `Quick test_fixture_roundtrip;
+          Alcotest.test_case "observed stream" `Quick
+            test_observed_stream_identity;
+          Alcotest.test_case "step1 lockstep" `Quick test_step1_lockstep;
+          Alcotest.test_case "catalogue x techniques" `Slow
+            test_catalogue_roundtrip ] );
+      ( "fusion",
+        [ Alcotest.test_case "join targets unfused" `Quick
+            test_join_target_unfused;
+          Alcotest.test_case "avoid mask" `Quick test_avoid_mask_unfuses;
+          Alcotest.test_case "fuel mid-pair" `Quick test_fuel_mid_pair;
+          Alcotest.test_case "resume mid-pair" `Quick test_resume_mid_pair ] );
+      ( "fallback",
+        [ Alcotest.test_case "legacy parity" `Quick test_fallback_parity ] );
+      ( "counters",
+        [ Alcotest.test_case "counters and cache" `Quick
+            test_counters_and_cache ] );
+      ( "engines",
+        [ Alcotest.test_case "dispatcher-independent" `Slow
+            test_engines_across_dispatchers ] );
+    ]

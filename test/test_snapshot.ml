@@ -102,10 +102,12 @@ let timeout_program () =
 (* ---- helpers ---- *)
 
 let check_state_eq name (want : Machine.state) (got : Machine.state) =
-  Alcotest.(check (array int64)) (name ^ ": gpr") want.Machine.gpr
-    got.Machine.gpr;
-  Alcotest.(check (array int64)) (name ^ ": simd") want.Machine.simd
-    got.Machine.simd;
+  Alcotest.(check (array int64)) (name ^ ": gpr")
+    (Machine.dump_regfile want.Machine.gpr)
+    (Machine.dump_regfile got.Machine.gpr);
+  Alcotest.(check (array int64)) (name ^ ": simd")
+    (Machine.dump_regfile want.Machine.simd)
+    (Machine.dump_regfile got.Machine.simd);
   Alcotest.(check bool) (name ^ ": zf") want.Machine.zf got.Machine.zf;
   Alcotest.(check bool) (name ^ ": sf") want.Machine.sf got.Machine.sf;
   Alcotest.(check bool) (name ^ ": cf") want.Machine.cf got.Machine.cf;
